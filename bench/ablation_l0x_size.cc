@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation — L0X capacity sweep: how much filtering each L0X size
+ * buys and where the hit-energy cost overtakes it (the design
+ * space between Lesson 3 and Lesson 7).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    auto scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Ablation: L0X capacity sweep (FUSION)",
+                  "design space between Lessons 3 and 7");
+
+    const std::uint64_t kSizes[] = {1024, 2048, 4096, 8192, 16384};
+    std::printf("%-8s | %8s %12s %12s %12s\n", "bench", "L0X(B)",
+                "cycles", "L1X accesses", "energy(uJ)");
+    std::printf("%s\n", std::string(60, '-').c_str());
+
+    for (const auto &name :
+         {std::string("fft"), std::string("filter"),
+          std::string("tracking")}) {
+        trace::Program prog = core::buildProgram(name, scale);
+        bool first = true;
+        for (std::uint64_t bytes : kSizes) {
+            core::SystemConfig cfg = core::SystemConfig::paperDefault(
+                core::SystemKind::Fusion);
+            cfg.l0xBytes = bytes;
+            core::RunResult r = core::runProgram(cfg, prog);
+            std::printf("%-8s | %8llu %12llu %12llu %12.3f\n",
+                        first ? bench::displayName(name).c_str()
+                              : "",
+                        static_cast<unsigned long long>(bytes),
+                        static_cast<unsigned long long>(
+                            r.accelCycles),
+                        static_cast<unsigned long long>(
+                            r.l1xHits + r.l1xMisses),
+                        r.hierarchyPj() / 1e6);
+            first = false;
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

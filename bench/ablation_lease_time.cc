@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation — lease-time sensitivity. The LT column of Table 3 is a
+ * per-function tuning knob: short leases force frequent
+ * self-invalidation re-fetches (request-message energy, Lesson 4);
+ * long leases delay host-forwarded responses (GTIME stalls) and
+ * keep write epochs open longer. This sweep scales every function's
+ * LT and reports the FUSION cycle/energy response.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    auto scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Ablation: lease-time sensitivity (FUSION)",
+                  "design choice behind Table 3's LT column");
+
+    const double kScales[] = {0.25, 0.5, 1.0, 2.0, 4.0, 16.0};
+    std::printf("%-8s | %8s %12s %12s %12s\n", "bench", "LT scale",
+                "cycles", "tile msgs", "energy(uJ)");
+    std::printf("%s\n", std::string(60, '-').c_str());
+
+    for (const auto &name :
+         {std::string("adpcm"), std::string("fft"),
+          std::string("susan")}) {
+        trace::Program prog = core::buildProgram(name, scale);
+        for (double s : kScales) {
+            trace::Program scaled = prog;
+            for (auto &f : scaled.functions) {
+                f.leaseTime = std::max<Cycles>(
+                    16, static_cast<Cycles>(
+                            static_cast<double>(f.leaseTime) * s));
+            }
+            core::RunResult r = core::runProgram(
+                core::SystemConfig::paperDefault(
+                    core::SystemKind::Fusion),
+                scaled);
+            std::printf("%-8s | %8.2f %12llu %12llu %12.3f\n",
+                        s == kScales[0]
+                            ? bench::displayName(name).c_str()
+                            : "",
+                        s,
+                        static_cast<unsigned long long>(
+                            r.accelCycles),
+                        static_cast<unsigned long long>(
+                            r.l0xL1xCtrlMsgs),
+                        r.hierarchyPj() / 1e6);
+        }
+        std::printf("\n");
+    }
+    std::printf("Short leases raise tile request traffic; very long "
+                "leases mostly plateau\n(the paper sizes epochs to "
+                "expected invocation latency).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation — overlapped invocation execution. The paper's Figure 5
+ * timeline shows producer and consumer accelerators concurrently
+ * active; our default model runs the sequential program's
+ * invocations strictly in order. This harness enables the
+ * dependence-driven overlap scheduler (trace-analyzed RAW/WAW/WAR
+ * edges) and reports the headroom concurrency buys each system —
+ * and how much more forwarding FUSION-Dx realizes when producer
+ * and consumer overlap.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    auto scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Ablation: overlapped invocation execution",
+                  "Figure 5's producer/consumer concurrency");
+
+    std::printf("%-8s %-6s | %12s %12s %8s | %10s\n", "bench",
+                "sys", "serial cyc", "overlap cyc", "speedup",
+                "Dx fwds");
+    std::printf("%s\n", std::string(68, '-').c_str());
+
+    for (const auto &name : workloads::workloadNames()) {
+        trace::Program prog = core::buildProgram(name, scale);
+        for (auto kind :
+             {core::SystemKind::Fusion, core::SystemKind::FusionDx}) {
+            core::SystemConfig serial =
+                core::SystemConfig::paperDefault(kind);
+            core::SystemConfig overlap = serial;
+            overlap.overlapInvocations = true;
+            core::RunResult rs = core::runProgram(serial, prog);
+            core::RunResult ro = core::runProgram(overlap, prog);
+            std::printf("%-8s %-6s | %12llu %12llu %7.2fx | %10llu\n",
+                        kind == core::SystemKind::Fusion
+                            ? bench::displayName(name).c_str()
+                            : "",
+                        core::systemKindShortName(kind),
+                        static_cast<unsigned long long>(
+                            rs.accelCycles),
+                        static_cast<unsigned long long>(
+                            ro.accelCycles),
+                        static_cast<double>(rs.accelCycles) /
+                            static_cast<double>(ro.accelCycles),
+                        static_cast<unsigned long long>(
+                            ro.l0xForwards));
+        }
+        std::printf("\n");
+    }
+    std::printf("Speedup > 1 means data-independent invocations ran "
+                "concurrently on\ndifferent accelerators; "
+                "dependences are enforced from the trace.\n");
+    return 0;
+}

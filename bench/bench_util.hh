@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench harnesses.
+ *
+ * Every harness regenerates one table or figure of the paper's
+ * evaluation at the Paper input scale; pass --small for a fast
+ * smoke run on CI-size inputs.
+ */
+
+#ifndef FUSION_BENCH_BENCH_UTIL_HH
+#define FUSION_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/reporters.hh"
+#include "core/runner.hh"
+#include "trace/analysis.hh"
+
+namespace fusion::bench
+{
+
+/** Parse --small (default is the paper-scale inputs). */
+inline workloads::Scale
+scaleFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--small") == 0)
+            return workloads::Scale::Small;
+    }
+    return workloads::Scale::Paper;
+}
+
+/** Build all seven benchmarks once. */
+inline std::vector<trace::Program>
+buildSuite(workloads::Scale scale)
+{
+    return workloads::buildAll(scale);
+}
+
+/** Display name lookup ("FFT", "DISP.", ...). */
+inline std::string
+displayName(const std::string &workload)
+{
+    auto w = workloads::makeWorkload(workload);
+    return w ? w->displayName() : workload;
+}
+
+/** Print a header banner for a harness. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("=== %s ===\n", what);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("(shapes, not absolute numbers, are the "
+                "reproduction target; see EXPERIMENTS.md)\n\n");
+}
+
+} // namespace fusion::bench
+
+#endif // FUSION_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 6a — dynamic energy breakdown of the cache hierarchy for
+ * SCRATCH / SHARED / FUSION, per benchmark, normalized to SCRATCH.
+ * The stack categories mirror the paper's: accelerator compute,
+ * local store (L0X or scratchpad), shared L1X, host L2, tile links
+ * (L0X<->L1X and L0X<->L0X), and tile<->L2 links (incl. DMA).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    auto scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Figure 6a: Dynamic energy breakdown (normalized "
+                  "to SCRATCH)",
+                  "Figure 6a (Section 5.2, Lessons 3-4)");
+
+    std::printf("%-8s %-6s %7s | %6s %6s %6s %6s %6s %6s\n",
+                "bench", "sys", "total", "axc", "local", "l1x",
+                "l2", "tlink", "hlink");
+    std::printf("%s\n", std::string(72, '-').c_str());
+
+    for (const auto &name : workloads::workloadNames()) {
+        trace::Program prog = core::buildProgram(name, scale);
+        double scratch_total = 0.0;
+        for (auto kind :
+             {core::SystemKind::Scratch, core::SystemKind::Shared,
+              core::SystemKind::Fusion}) {
+            core::RunResult r = core::runProgram(
+                core::SystemConfig::paperDefault(kind), prog);
+            core::EnergyStack s = core::energyStack(r);
+            double hier = r.hierarchyPj();
+            if (kind == core::SystemKind::Scratch)
+                scratch_total = hier;
+            double n = scratch_total > 0 ? hier / scratch_total : 0;
+            auto frac = [&](double pj) {
+                return scratch_total > 0 ? pj / scratch_total : 0;
+            };
+            std::printf("%-8s %-6s %7.3f | %6.3f %6.3f %6.3f %6.3f "
+                        "%6.3f %6.3f\n",
+                        kind == core::SystemKind::Scratch
+                            ? bench::displayName(name).c_str()
+                            : "",
+                        core::systemKindShortName(kind), n,
+                        frac(s.axcComputePj), frac(s.localStorePj),
+                        frac(s.l1xPj), frac(s.llcPj),
+                        frac(s.tileLinkPj), frac(s.hostLinkPj));
+        }
+        std::printf("\n");
+    }
+    std::printf("Lower is better. SCRATCH's tile<->L2 column (hlink) "
+                "is its DMA traffic.\n");
+    return 0;
+}

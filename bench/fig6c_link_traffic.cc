@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 6c — link message breakdown: requests (L0X->L1X MSG),
+ * data responses (L1X->L0X DATA) and tile<->L2 traffic per system.
+ * Shows the pull-based coherence request overhead of Lesson 4 and
+ * the L0X's filtering of Lesson 3.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    auto scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Figure 6c: Link traffic breakdown",
+                  "Figure 6c (Section 5.2, Lessons 3-4)");
+
+    std::printf("%-8s %-6s | %12s %12s %12s %12s %10s\n", "bench",
+                "sys", "l0x>l1x msg", "l1x>l0x data", "l1x<>l2 msg",
+                "l1x<>l2 data", "l0x>l0x");
+    std::printf("%s\n", std::string(84, '-').c_str());
+
+    for (const auto &name : workloads::workloadNames()) {
+        trace::Program prog = core::buildProgram(name, scale);
+        for (auto kind :
+             {core::SystemKind::Scratch, core::SystemKind::Shared,
+              core::SystemKind::Fusion, core::SystemKind::FusionDx}) {
+            core::RunResult r = core::runProgram(
+                core::SystemConfig::paperDefault(kind), prog);
+            std::printf(
+                "%-8s %-6s | %12llu %12llu %12llu %12llu %10llu\n",
+                kind == core::SystemKind::Scratch
+                    ? bench::displayName(name).c_str()
+                    : "",
+                core::systemKindShortName(kind),
+                static_cast<unsigned long long>(r.l0xL1xCtrlMsgs),
+                static_cast<unsigned long long>(r.l0xL1xDataMsgs),
+                static_cast<unsigned long long>(r.l1xL2CtrlMsgs),
+                static_cast<unsigned long long>(r.l1xL2DataMsgs),
+                static_cast<unsigned long long>(r.l0xL0xDataMsgs));
+        }
+        std::printf("\n");
+    }
+    std::printf("SCRATCH's l1x<>l2 columns are its DMA transfers; "
+                "its tile links are idle.\n");
+    return 0;
+}

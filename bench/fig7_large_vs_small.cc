@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 7 — AXC-Large (8K L0X / 256K L1X) vs AXC-Small (4K/64K):
+ * per benchmark, energy and cycle-time ratios of Large over Small
+ * for the FUSION system (Lesson 7: larger may not be better).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    auto scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Figure 7: AXC-Large vs AXC-Small (FUSION)",
+                  "Figure 7 (Section 5.5, Lesson 7)");
+
+    std::printf("%-8s %10s | %12s %12s | %12s\n", "bench",
+                "WSet(kB)", "energy L/S", "cycles L/S",
+                "L1X miss dlt");
+    std::printf("%s\n", std::string(64, '-').c_str());
+
+    for (const auto &name : workloads::workloadNames()) {
+        trace::Program prog = core::buildProgram(name, scale);
+        core::RunResult small = core::runProgram(
+            core::SystemConfig::paperDefault(
+                core::SystemKind::Fusion),
+            prog);
+        core::RunResult large = core::runProgram(
+            core::SystemConfig::axcLarge(core::SystemKind::Fusion),
+            prog);
+        double miss_delta =
+            small.l1xMisses
+                ? 100.0 *
+                      (static_cast<double>(small.l1xMisses) -
+                       static_cast<double>(large.l1xMisses)) /
+                      static_cast<double>(small.l1xMisses)
+                : 0.0;
+        std::printf("%-8s %10.1f | %11.3fx %11.3fx | %10.1f%%\n",
+                    bench::displayName(name).c_str(),
+                    static_cast<double>(small.workingSetBytes) /
+                        1024.0,
+                    large.hierarchyPj() / small.hierarchyPj(),
+                    static_cast<double>(large.accelCycles) /
+                        static_cast<double>(small.accelCycles),
+                    miss_delta);
+    }
+    std::printf("\nenergy L/S > 1 means the Large configuration "
+                "wastes energy (Lesson 7); a\npositive L1X miss "
+                "delta means the bigger L1X newly captured the "
+                "working set.\n");
+    return 0;
+}

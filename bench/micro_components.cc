@@ -1,0 +1,184 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot simulation
+ * structures: event queue throughput, cache-array lookups,
+ * directory transactions and trace capture.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/tile.hh"
+#include "host/host_l1.hh"
+#include "host/llc.hh"
+#include "mem/cache_array.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "trace/analysis.hh"
+#include "trace/recorder.hh"
+#include "vm/ax_tlb.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace fusion;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>(i % 97), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    mem::CacheArray tags(
+        mem::CacheGeometry{64 * 1024, 8, kLineBytes});
+    Rng rng(7);
+    for (int i = 0; i < 512; ++i) {
+        Addr a = lineAlign(rng.below(1 << 22));
+        if (auto *w = tags.victim(a))
+            tags.install(*w, a);
+    }
+    Rng probe(13);
+    for (auto _ : state) {
+        Addr a = lineAlign(probe.below(1 << 22));
+        benchmark::DoNotOptimize(tags.find(a));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_DirectoryMesiTransaction(benchmark::State &state)
+{
+    SimContext ctx;
+    mem::Dram dram(ctx, mem::DramParams{});
+    host::Llc llc(ctx, host::LlcParams{}, dram);
+    interconnect::Link link(
+        ctx, interconnect::LinkParams{
+                 "l", energy::LinkClass::HostL1ToL2, 2, "m", "d"});
+    host::HostL1 l1(ctx, host::HostL1Params{}, llc, &link);
+    Rng rng(3);
+    for (auto _ : state) {
+        bool done = false;
+        l1.access(lineAlign(rng.below(1 << 24)), rng.below(2) == 0,
+                  [&] { done = true; });
+        ctx.eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryMesiTransaction);
+
+void
+BM_TraceCapture(benchmark::State &state)
+{
+    for (auto _ : state) {
+        trace::Recorder rec("bm");
+        trace::VaAllocator va;
+        FuncId f = rec.addFunction({"f", 0, 2, 500});
+        trace::Traced<int> arr(rec, va, 4096);
+        rec.beginInvocation(f);
+        for (std::size_t i = 0; i < 4096; ++i) {
+            rec.intOps(4);
+            arr[i] = static_cast<int>(i);
+        }
+        rec.end();
+        auto prog = rec.take();
+        benchmark::DoNotOptimize(prog.opCount());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TraceCapture);
+
+void
+BM_AxTlbTranslate(benchmark::State &state)
+{
+    SimContext ctx;
+    vm::PageTable pt;
+    pt.ensureMappedRange(1, 0x10000000, 1 << 22);
+    vm::AxTlb tlb(ctx, vm::AxTlbParams{}, pt);
+    Rng rng(5);
+    for (auto _ : state) {
+        Addr va = 0x10000000 + (rng.below(1 << 22) & ~7ull);
+        bool done = false;
+        tlb.translate(1, va, [&](Addr) { done = true; });
+        ctx.eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AxTlbTranslate);
+
+void
+BM_AccLeaseRoundTrip(benchmark::State &state)
+{
+    SimContext ctx;
+    mem::Dram dram(ctx, mem::DramParams{});
+    host::Llc llc(ctx, host::LlcParams{}, dram);
+    vm::PageTable pt;
+    pt.ensureMappedRange(1, 0x10000000, 1 << 22);
+    accel::TileParams tp;
+    tp.numAccels = 1;
+    accel::FusionTile tile(ctx, tp, llc, pt);
+    Rng rng(11);
+    for (auto _ : state) {
+        Addr va = 0x10000000 + (rng.below(1 << 20) & ~63ull);
+        bool done = false;
+        tile.l1x().requestLease(
+            0, va, 1, 500, false, true,
+            [&](const accel::LeaseGrant &) { done = true; });
+        ctx.eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccLeaseRoundTrip);
+
+void
+BM_WindowSegmentation(benchmark::State &state)
+{
+    trace::Recorder rec("bm");
+    trace::VaAllocator va;
+    FuncId f = rec.addFunction({"f", 0, 2, 500});
+    trace::Traced<int> arr(rec, va, 1 << 14);
+    rec.beginInvocation(f);
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i)
+        arr[rng.below(1 << 14)] = i;
+    rec.end();
+    auto prog = rec.take();
+    for (auto _ : state) {
+        auto wins = trace::segmentWindows(prog.invocations[0], 64);
+        benchmark::DoNotOptimize(wins.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowSegmentation);
+
+void
+BM_ForwardPlanning(benchmark::State &state)
+{
+    auto w = fusion::workloads::makeWorkload("fft");
+    auto prog = w->build(fusion::workloads::Scale::Small);
+    for (auto _ : state) {
+        auto plan = trace::planForwarding(prog);
+        benchmark::DoNotOptimize(plan.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardPlanning);
+
+} // namespace
+
+BENCHMARK_MAIN();

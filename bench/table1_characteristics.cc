@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 1 — "Accelerator Characteristics": per accelerated function,
+ * the fraction of (host) execution time, the operation mix
+ * (%INT/%FP/%LD/%ST), the memory-level parallelism assumed for its
+ * datapath, and the sharing degree %SHR (fraction of its cache
+ * lines also touched by another accelerator).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    auto scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Table 1: Accelerator Characteristics",
+                  "Table 1 (Section 2)");
+
+    std::printf("%-10s %-10s %7s %6s %6s %6s %6s %4s %6s\n",
+                "bench", "function", "%Time", "%INT", "%FP", "%LD",
+                "%ST", "MLP", "%SHR");
+    std::printf("%s\n", std::string(72, '-').c_str());
+
+    for (const auto &name : workloads::workloadNames()) {
+        trace::Program prog = core::buildProgram(name, scale);
+        auto profiles = trace::profileFunctions(prog);
+        auto host_cycles = core::hostProfile(prog);
+        std::uint64_t total_cycles = 0;
+        for (const auto &[f, c] : host_cycles)
+            total_cycles += c;
+
+        bool first = true;
+        for (const auto &p : profiles) {
+            double pct_time =
+                total_cycles
+                    ? 100.0 *
+                          static_cast<double>(
+                              host_cycles.at(p.name)) /
+                          static_cast<double>(total_cycles)
+                    : 0.0;
+            std::printf("%-10s %-10s %7.1f %6.1f %6.1f %6.1f %6.1f "
+                        "%4u %6.1f\n",
+                        first ? bench::displayName(name).c_str()
+                              : "",
+                        p.name.c_str(), pct_time, p.pctInt, p.pctFp,
+                        p.pctLd, p.pctSt, p.mlp, p.sharePct);
+            first = false;
+        }
+    }
+    std::printf("\nMLP values follow Table 1; %%SHR and op mixes are "
+                "measured on the captured traces.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 4 — "Bandwidth in Flits": L0X<->L1X link flits under
+ * write-through vs writeback L0Xs, plus the fraction of blocks
+ * written back dirty (Lesson 5: write-through is expensive).
+ */
+
+#include <unordered_set>
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    auto scale = bench::scaleFromArgs(argc, argv);
+    bench::banner("Table 4: Write-through vs writeback L0X "
+                  "bandwidth (flits)",
+                  "Table 4 (Section 5.3, Lesson 5)");
+
+    std::printf("%-8s %14s %14s %8s %14s\n", "bench",
+                "Write-Through", "Writeback", "ratio",
+                "%Dirty Blocks");
+    std::printf("%s\n", std::string(64, '-').c_str());
+
+    for (const auto &name : workloads::workloadNames()) {
+        trace::Program prog = core::buildProgram(name, scale);
+
+        core::SystemConfig wb = core::SystemConfig::paperDefault(
+            core::SystemKind::Fusion);
+        core::SystemConfig wt = wb;
+        wt.l0xWriteThrough = true;
+
+        core::RunResult rwb = core::runProgram(wb, prog);
+        core::RunResult rwt = core::runProgram(wt, prog);
+
+        // %Dirty Blocks: fraction of the accelerator-touched lines
+        // that get stored to (and hence eventually written back).
+        std::unordered_set<Addr> touched, stored;
+        for (const auto &inv : prog.invocations) {
+            for (const auto &op : inv.ops) {
+                if (op.kind == trace::OpKind::Compute)
+                    continue;
+                touched.insert(lineAlign(op.addr));
+                if (op.kind == trace::OpKind::Store)
+                    stored.insert(lineAlign(op.addr));
+            }
+        }
+        double dirty_pct =
+            touched.empty()
+                ? 0.0
+                : 100.0 * static_cast<double>(stored.size()) /
+                      static_cast<double>(touched.size());
+        std::printf("%-8s %14llu %14llu %7.1fx %13.1f%%\n",
+                    bench::displayName(name).c_str(),
+                    static_cast<unsigned long long>(rwt.l0xL1xFlits),
+                    static_cast<unsigned long long>(rwb.l0xL1xFlits),
+                    rwb.l0xL1xFlits
+                        ? static_cast<double>(rwt.l0xL1xFlits) /
+                              static_cast<double>(rwb.l0xL1xFlits)
+                        : 0.0,
+                    dirty_pct);
+    }
+    std::printf("\n%%Dirty Blocks = accelerator lines stored to / "
+                "lines touched (trace).\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * How to bring your own workload: implement the kernel over
+ * Traced<> arrays, verify it against a golden reference, and run
+ * the captured program on every system — everything a user needs
+ * to evaluate a new offload candidate on the FUSION hierarchy.
+ *
+ * The example offloads a two-stage sparse pipeline:
+ *   gather(AXC-0):  dense[i] = table[idx[i]]
+ *   scale (AXC-1):  dense[i] *= alpha        (consumes AXC-0 output)
+ * Indirect accesses give the gather poor spatial locality — watch
+ * the L0X miss rate versus the streaming scale stage.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/reporters.hh"
+#include "core/runner.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "trace/analysis.hh"
+#include "trace/recorder.hh"
+
+using namespace fusion;
+
+namespace
+{
+
+trace::Program
+buildGatherScale(std::size_t n, std::size_t table_size)
+{
+    trace::Recorder rec("gather_scale");
+    // MLP 8: gathers are independent; LT 600 cycles.
+    FuncId gather = rec.addFunction({"gather", 0, 8, 600});
+    FuncId scalef = rec.addFunction({"scale", 1, 2, 600});
+
+    trace::VaAllocator va;
+    trace::Traced<float> table(rec, va, table_size);
+    trace::Traced<int> idx(rec, va, n);
+    trace::Traced<float> dense(rec, va, n);
+
+    Rng rng(0xC0FFEEu);
+    for (std::size_t i = 0; i < table_size; ++i)
+        table.poke(i, static_cast<float>(i) * 0.5f);
+    std::vector<int> idx_ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        idx_ref[i] = static_cast<int>(rng.below(table_size));
+        idx.poke(i, idx_ref[i]);
+    }
+
+    rec.beginHostInit();
+    hostTouchArray(rec, table, true);
+    hostTouchArray(rec, idx, true);
+    rec.end();
+
+    const float alpha = 3.0f;
+
+    rec.beginInvocation(gather);
+    for (std::size_t i = 0; i < n; ++i) {
+        int j = idx[i];
+        dense[i] = table[static_cast<std::size_t>(j)];
+        rec.intOps(4);
+    }
+    rec.end();
+
+    rec.beginInvocation(scalef);
+    for (std::size_t i = 0; i < n; ++i) {
+        dense[i] = static_cast<float>(dense[i]) * alpha;
+        rec.fpOps(1);
+        rec.intOps(2);
+    }
+    rec.end();
+
+    rec.beginHostFinal();
+    hostTouchArray(rec, dense, false);
+    rec.end();
+
+    // Golden check: the functional results must match an
+    // independent computation before we trust the trace.
+    for (std::size_t i = 0; i < n; i += 7) {
+        float want = static_cast<float>(idx_ref[i]) * 0.5f * alpha;
+        fusion_assert(dense.peek(i) == want,
+                      "golden check failed at ", i);
+    }
+    return rec.take();
+}
+
+} // namespace
+
+int
+main()
+{
+    trace::Program prog = buildGatherScale(8192, 16384);
+
+    // The captured trace is analyzable before simulating anything.
+    auto profiles = trace::profileFunctions(prog);
+    std::printf("captured trace: %llu mem ops, working set %.1f "
+                "kB\n",
+                static_cast<unsigned long long>(prog.memOpCount()),
+                trace::workingSet(prog).kilobytes());
+    for (const auto &p : profiles) {
+        std::printf("  %-8s %%LD=%.1f %%ST=%.1f %%SHR=%.1f\n",
+                    p.name.c_str(), p.pctLd, p.pctSt, p.sharePct);
+    }
+
+    std::printf("\n%-10s %12s %14s\n", "system", "cycles",
+                "energy(uJ)");
+    for (auto kind :
+         {core::SystemKind::Scratch, core::SystemKind::Shared,
+          core::SystemKind::Fusion, core::SystemKind::FusionDx}) {
+        auto r = core::runProgram(
+            core::SystemConfig::paperDefault(kind), prog);
+        std::printf("%-10s %12llu %14.3f\n",
+                    core::systemKindName(kind),
+                    static_cast<unsigned long long>(r.accelCycles),
+                    r.hierarchyPj() / 1e6);
+    }
+    std::printf("\nNote how the random gather punishes the "
+                "windowed DMA of SCRATCH\n(every window's read set "
+                "is scattered) while the caches absorb it.\n");
+    return 0;
+}

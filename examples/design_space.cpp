@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Design-space exploration with the public API: sweep the tile's
+ * L0X and L1X capacities for one workload and print the
+ * energy/performance frontier — the kind of study the FUSION
+ * infrastructure exists to support.
+ *
+ *   ./example_design_space [workload] [--paper]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/reporters.hh"
+#include "core/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    std::string workload = "filter";
+    auto scale = workloads::Scale::Small;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--paper")
+            scale = workloads::Scale::Paper;
+        else
+            workload = a;
+    }
+
+    trace::Program prog = core::buildProgram(workload, scale);
+    std::printf("design-space sweep on '%s' (%llu memory ops)\n\n",
+                workload.c_str(),
+                static_cast<unsigned long long>(prog.memOpCount()));
+
+    struct Point
+    {
+        std::uint64_t l0x, l1x;
+        core::RunResult r;
+    };
+    std::vector<Point> points;
+
+    std::printf("%8s %8s | %12s %14s %12s\n", "L0X(B)", "L1X(KB)",
+                "cycles", "energy(uJ)", "L1X accesses");
+    std::printf("%s\n", std::string(62, '-').c_str());
+    for (std::uint64_t l0x : {2048ull, 4096ull, 8192ull}) {
+        for (std::uint64_t l1x_kb : {32ull, 64ull, 256ull}) {
+            core::SystemConfig cfg = core::SystemConfig::paperDefault(
+                core::SystemKind::Fusion);
+            cfg.l0xBytes = l0x;
+            cfg.l1xBytes = l1x_kb * 1024;
+            core::RunResult r = core::runProgram(cfg, prog);
+            std::printf("%8llu %8llu | %12llu %14.3f %12llu\n",
+                        static_cast<unsigned long long>(l0x),
+                        static_cast<unsigned long long>(l1x_kb),
+                        static_cast<unsigned long long>(
+                            r.accelCycles),
+                        r.hierarchyPj() / 1e6,
+                        static_cast<unsigned long long>(
+                            r.l1xHits + r.l1xMisses));
+            points.push_back({l0x, l1x_kb, std::move(r)});
+        }
+    }
+
+    // Pareto frontier on (cycles, energy).
+    std::printf("\nPareto-optimal configurations:\n");
+    for (const auto &p : points) {
+        bool dominated = false;
+        for (const auto &q : points) {
+            if (&q == &p)
+                continue;
+            if (q.r.accelCycles <= p.r.accelCycles &&
+                q.r.hierarchyPj() <= p.r.hierarchyPj() &&
+                (q.r.accelCycles < p.r.accelCycles ||
+                 q.r.hierarchyPj() < p.r.hierarchyPj())) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) {
+            std::printf("  L0X %llu B + L1X %llu KB  (%llu cycles, "
+                        "%.3f uJ)\n",
+                        static_cast<unsigned long long>(p.l0x),
+                        static_cast<unsigned long long>(p.l1x),
+                        static_cast<unsigned long long>(
+                            p.r.accelCycles),
+                        p.r.hierarchyPj() / 1e6);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The paper's Figure 1 motivating example, built directly against
+ * the public trace API: an image pipeline whose step1() and step2()
+ * are offloaded to two accelerators (AXC-1, AXC-2) while step3()
+ * runs on the host.
+ *
+ *   in_img -> step1(AXC-1) -> tmp_1 -> step2(AXC-2) -> tmp_2
+ *          -> step3(host) -> out_img
+ *
+ * Running it on SCRATCH vs FUSION shows exactly the effect the
+ * introduction describes: the DMA ping-pong of tmp_1 through the
+ * host L2 disappears when the tile is coherent.
+ */
+
+#include <cstdio>
+
+#include "core/reporters.hh"
+#include "core/runner.hh"
+#include "trace/recorder.hh"
+
+using namespace fusion;
+
+namespace
+{
+
+trace::Program
+buildFigure1Pipeline(std::size_t w, std::size_t h)
+{
+    trace::Recorder rec("figure1");
+    FuncId step1 = rec.addFunction({"step1", 0, 4, 500});
+    FuncId step2 = rec.addFunction({"step2", 1, 4, 500});
+
+    trace::VaAllocator va;
+    trace::Traced<float> in_img(rec, va, w * h);
+    trace::Traced<float> tmp1(rec, va, w * h);
+    trace::Traced<float> tmp2(rec, va, w * h);
+
+    for (std::size_t i = 0; i < w * h; ++i)
+        in_img.poke(i, static_cast<float>(i % 251));
+
+    // Host writes the input image.
+    rec.beginHostInit();
+    hostTouchArray(rec, in_img, true);
+    rec.end();
+
+    // step1 on AXC-1: 3x1 horizontal smoothing.
+    rec.beginInvocation(step1);
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            std::size_t xl = x > 0 ? x - 1 : 0;
+            std::size_t xr = x + 1 < w ? x + 1 : w - 1;
+            float v = (in_img[y * w + xl] + in_img[y * w + x] +
+                       in_img[y * w + xr]) /
+                      3.0f;
+            tmp1[y * w + x] = v;
+            rec.fpOps(4);
+            rec.intOps(6);
+        }
+    }
+    rec.end();
+
+    // step2 on AXC-2: consumes tmp_1 (the shared intermediate!),
+    // 1x3 vertical gradient.
+    rec.beginInvocation(step2);
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            std::size_t yu = y > 0 ? y - 1 : 0;
+            std::size_t yd = y + 1 < h ? y + 1 : h - 1;
+            tmp2[y * w + x] =
+                tmp1[yd * w + x] - tmp1[yu * w + x];
+            rec.fpOps(2);
+            rec.intOps(6);
+        }
+    }
+    rec.end();
+
+    // step3 runs on the host: it consumes tmp_2 incrementally.
+    rec.beginHostFinal();
+    hostTouchArray(rec, tmp2, false);
+    rec.end();
+    return rec.take();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t dim = argc > 1 ? std::stoul(argv[1]) : 96;
+    trace::Program prog = buildFigure1Pipeline(dim, dim);
+    std::printf("Figure-1 pipeline: %zux%zu image, %llu memory "
+                "ops, 2 accelerators + host step3\n\n",
+                dim, dim,
+                static_cast<unsigned long long>(prog.memOpCount()));
+
+    std::printf("%-10s %12s %12s %14s %16s\n", "system", "cycles",
+                "DMA cycles", "tmp_1 via L2?", "hier. energy(uJ)");
+    for (auto kind :
+         {core::SystemKind::Scratch, core::SystemKind::Shared,
+          core::SystemKind::Fusion, core::SystemKind::FusionDx}) {
+        auto r = core::runProgram(
+            core::SystemConfig::paperDefault(kind), prog);
+        // In SCRATCH the shared tmp_1 array crosses the expensive
+        // tile<->L2 link twice (out of AXC-1, into AXC-2); the
+        // coherent hierarchies keep it inside the tile.
+        const char *ping_pong =
+            kind == core::SystemKind::Scratch ? "yes (DMA x2)"
+                                              : "no";
+        std::printf("%-10s %12llu %12llu %14s %16.3f\n",
+                    core::systemKindName(kind),
+                    static_cast<unsigned long long>(r.accelCycles),
+                    static_cast<unsigned long long>(r.dmaCycles),
+                    ping_pong, r.hierarchyPj() / 1e6);
+    }
+    std::printf("\nThe l1x<->l2 data-message counts make the "
+                "ping-pong visible:\n");
+    for (auto kind :
+         {core::SystemKind::Scratch, core::SystemKind::Fusion}) {
+        auto r = core::runProgram(
+            core::SystemConfig::paperDefault(kind), prog);
+        std::printf("  %-10s %llu line transfers across the "
+                    "tile<->L2 boundary\n",
+                    core::systemKindName(kind),
+                    static_cast<unsigned long long>(
+                        r.l1xL2DataMsgs));
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: build one benchmark's trace, run it on all four
+ * systems, and print the headline comparison (cycles + energy).
+ *
+ *   ./example_quickstart [workload] [--paper]
+ *
+ * Defaults to the ADPCM workload at the fast "Small" input scale.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/reporters.hh"
+#include "core/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+
+    std::string workload = "adpcm";
+    workloads::Scale scale = workloads::Scale::Small;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--paper")
+            scale = workloads::Scale::Paper;
+        else
+            workload = arg;
+    }
+
+    std::printf("building '%s' trace (runs the real kernels and "
+                "verifies them against golden references)...\n",
+                workload.c_str());
+    trace::Program prog = core::buildProgram(workload, scale);
+    std::printf("  %zu functions, %zu invocations, %llu memory "
+                "ops\n\n",
+                prog.functions.size(), prog.invocations.size(),
+                static_cast<unsigned long long>(prog.memOpCount()));
+
+    core::RunResult scratch;
+    std::printf("%-10s %14s %14s %16s\n", "system", "accel cycles",
+                "DMA cycles", "energy (uJ)");
+    for (auto kind :
+         {core::SystemKind::Scratch, core::SystemKind::Shared,
+          core::SystemKind::Fusion, core::SystemKind::FusionDx,
+          core::SystemKind::FusionMesi}) {
+        auto cfg = core::SystemConfig::paperDefault(kind);
+        core::RunResult r = core::runProgram(cfg, prog);
+        if (kind == core::SystemKind::Scratch)
+            scratch = r;
+        double speedup =
+            static_cast<double>(scratch.accelCycles) /
+            static_cast<double>(r.accelCycles ? r.accelCycles : 1);
+        double esave = scratch.totalPj() /
+                       (r.totalPj() > 0 ? r.totalPj() : 1.0);
+        std::printf("%-10s %14llu %14llu %16.3f   (%.2fx perf, "
+                    "%.2fx energy vs SCRATCH)\n",
+                    core::systemKindName(kind),
+                    static_cast<unsigned long long>(r.accelCycles),
+                    static_cast<unsigned long long>(r.dmaCycles),
+                    r.totalPj() / 1e6, speedup, esave);
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+#include "accel/accel_core.hh"
+
+#include "energy/energy_ledger.hh"
+#include "sim/logging.hh"
+
+namespace fusion::accel
+{
+
+AccelCore::AccelCore(SimContext &ctx, const AccelCoreParams &p,
+                     AccelId id)
+    : _ctx(ctx), _p(p), _id(id)
+{
+    _stats = &ctx.stats.root()
+                  .child("axc" + std::to_string(id))
+                  .child("core");
+}
+
+void
+AccelCore::run(const trace::Invocation &inv, std::uint32_t mlp,
+               MemPort &port, std::size_t begin_op,
+               std::size_t end_op, std::function<void()> done)
+{
+    fusion_assert(!_active, "accelerator ", _id, " already running");
+    fusion_assert(mlp > 0, "MLP must be positive");
+    fusion_assert(end_op <= inv.ops.size(), "op range OOB");
+    _inv = &inv;
+    _port = &port;
+    _mlp = mlp;
+    _pos = begin_op;
+    _end = end_op;
+    _outstandingLoads = 0;
+    _outstandingStores = 0;
+    _active = true;
+    _done = std::move(done);
+    pump();
+}
+
+void
+AccelCore::pump()
+{
+    _pumpScheduled = false;
+    while (_pos < _end) {
+        const trace::TraceOp &op = _inv->ops[_pos];
+        if (op.kind == trace::OpKind::Compute) {
+            _ctx.energy.add(energy::comp::kAxcCompute,
+                            _p.intOpPj * op.intOps +
+                                _p.fpOpPj * op.fpOps);
+            _stats->scalar("int_ops") += op.intOps;
+            _stats->scalar("fp_ops") += op.fpOps;
+            Cycles c =
+                (op.intOps + op.fpOps + _p.datapathWidth - 1) /
+                _p.datapathWidth;
+            ++_pos;
+            if (c > 0) {
+                _pumpScheduled = true;
+                _ctx.eq.scheduleIn(c, [this] { pump(); });
+                return;
+            }
+            continue;
+        }
+        bool is_store = op.kind == trace::OpKind::Store;
+        if (is_store ? _outstandingStores >= _p.storeBuffer
+                     : _outstandingLoads >= _mlp)
+            return; // a completion re-pumps
+        ++_pos;
+        ++_memOps;
+        _stats->scalar(is_store ? "stores" : "loads") += 1;
+        if (is_store)
+            ++_outstandingStores;
+        else
+            ++_outstandingLoads;
+        _port->access(op.addr, op.size, is_store, [this, is_store] {
+            if (is_store)
+                --_outstandingStores;
+            else
+                --_outstandingLoads;
+            if (!_pumpScheduled) {
+                _pumpScheduled = true;
+                _ctx.eq.scheduleIn(0, [this] { pump(); });
+            }
+        });
+        // At most one memory issue per cycle.
+        if (_pos < _end) {
+            _pumpScheduled = true;
+            _ctx.eq.scheduleIn(1, [this] { pump(); });
+        }
+        return;
+    }
+    if (_outstandingLoads == 0 && _outstandingStores == 0 &&
+        _active) {
+        _active = false;
+        auto done = std::move(_done);
+        _done = nullptr;
+        done();
+    }
+}
+
+} // namespace fusion::accel

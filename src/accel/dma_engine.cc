@@ -1,0 +1,83 @@
+#include "accel/dma_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace fusion::accel
+{
+
+DmaEngine::DmaEngine(SimContext &ctx, const DmaParams &p,
+                     host::Llc &llc, interconnect::Link *dma_link,
+                     const vm::PageTable &pt)
+    : _ctx(ctx), _p(p), _llc(llc), _link(dma_link), _pt(pt)
+{
+    _stats = &ctx.stats.root().child("dma");
+}
+
+void
+DmaEngine::fill(const std::vector<Addr> &vlines, Pid pid,
+                mem::Scratchpad &spm, std::function<void()> done)
+{
+    fusion_assert(_state == DmaState::Idle, "DMA engine busy");
+    _state = DmaState::Fill;
+    _lines = &vlines;
+    _pid = pid;
+    _spm = &spm;
+    _pos = 0;
+    _outstanding = 0;
+    _done = std::move(done);
+    ++_dmaOps;
+    _stats->scalar("fill_ops") += 1;
+    pump();
+}
+
+void
+DmaEngine::drain(const std::vector<Addr> &vlines, Pid pid,
+                 mem::Scratchpad &spm, std::function<void()> done)
+{
+    fusion_assert(_state == DmaState::Idle, "DMA engine busy");
+    _state = DmaState::Drain;
+    _lines = &vlines;
+    _pid = pid;
+    _spm = &spm;
+    _pos = 0;
+    _outstanding = 0;
+    _done = std::move(done);
+    ++_dmaOps;
+    _stats->scalar("drain_ops") += 1;
+    pump();
+}
+
+void
+DmaEngine::pump()
+{
+    while (_pos < _lines->size() &&
+           _outstanding < _p.maxOutstanding) {
+        Addr vline = (*_lines)[_pos];
+        Addr pline = lineAlign(_pt.translate(_pid, vline));
+        ++_pos;
+        ++_outstanding;
+        ++_lineTransfers;
+        _stats->scalar("line_transfers") += 1;
+        bool is_drain = (_state == DmaState::Drain);
+        // Scratchpad side of the transfer.
+        _spm->dmaLineAccess(!is_drain);
+        auto completion = [this] {
+            --_outstanding;
+            pump();
+        };
+        if (is_drain) {
+            _llc.dmaWrite(pline, _link, completion);
+        } else {
+            _llc.dmaRead(pline, _link, completion);
+        }
+    }
+    if (_pos >= _lines->size() && _outstanding == 0 &&
+        _state != DmaState::Idle) {
+        _state = DmaState::Idle;
+        auto done = std::move(_done);
+        _done = nullptr;
+        done();
+    }
+}
+
+} // namespace fusion::accel

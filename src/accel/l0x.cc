@@ -1,0 +1,409 @@
+#include "accel/l0x.hh"
+
+#include "energy/sram_model.hh"
+#include "sim/logging.hh"
+
+namespace fusion::accel
+{
+
+using interconnect::MsgClass;
+
+namespace
+{
+/// Word-granularity accelerator accesses cost a fraction of a full
+/// line read (only one subarray word line fires).
+constexpr double kWordAccessScale = 0.5;
+} // namespace
+
+L0x::L0x(SimContext &ctx, const L0xParams &p, L1xAcc &l1x,
+         interconnect::Link *tile_link, interconnect::Link *fwd_link)
+    : _ctx(ctx), _p(p), _l1x(l1x), _tileLink(tile_link),
+      _fwdLink(fwd_link),
+      _tags(mem::CacheGeometry{p.capacityBytes, p.assoc, kLineBytes,
+                               p.repl})
+{
+    energy::SramParams sp;
+    sp.capacityBytes = p.capacityBytes;
+    sp.assoc = p.assoc;
+    sp.banks = 1;
+    sp.kind = energy::SramKind::TimestampCache;
+    _fig = energy::evaluateSram(sp);
+    _setWbTime.assign(_tags.numSets(), kTickNever);
+    _stats = &ctx.stats.root().child(p.name);
+}
+
+void
+L0x::setFunction(Cycles lease_len, Pid pid)
+{
+    fusion_assert(lease_len > 0, "zero lease length");
+    _leaseLen = lease_len;
+    _pid = pid;
+}
+
+void
+L0x::setForwardTargets(
+    const std::unordered_map<Addr, L0x *> *targets,
+    const std::unordered_map<Addr, L0x *> *early_targets)
+{
+    _fwdTargets = targets;
+    _fwdEarly = early_targets;
+}
+
+void
+L0x::bookAccess(bool is_write, bool line_granular)
+{
+    double pj = is_write ? _fig.writePj : _fig.readPj;
+    if (!line_granular)
+        pj *= kWordAccessScale;
+    _ctx.energy.add(energy::comp::kL0x, pj);
+    _stats->scalar(is_write ? "writes" : "reads") += 1;
+}
+
+void
+L0x::access(Addr va, std::uint32_t size, bool is_write,
+            PortDone done)
+{
+    (void)size; // sub-line accesses never straddle lines in traces
+    Addr vline = lineAlign(va);
+    bookAccess(is_write, false);
+    Tick start = _ctx.now();
+    PortDone timed = [this, start,
+                      done = std::move(done)]() mutable {
+        _stats->histogram("access_latency", 0, 64, 16)
+            .sample(static_cast<double>(_ctx.now() - start));
+        done();
+    };
+    _ctx.eq.scheduleIn(_fig.latency,
+                       [this, vline, is_write,
+                        done = std::move(timed)]() mutable {
+                           lookup(vline, is_write, std::move(done));
+                       });
+}
+
+void
+L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
+{
+    Tick now = _ctx.now();
+    mem::CacheLine *line = _tags.find(vline, _pid);
+    bool lease_valid =
+        line && (line->ltime >= now || line->wepochEnd >= now);
+
+    if (!is_write) {
+        if (lease_valid) {
+            if (!is_retry) {
+                ++_hits;
+                _stats->scalar("hits") += 1;
+            }
+            _tags.touch(*line);
+            done();
+            return;
+        }
+    } else {
+        if (_p.writeThrough) {
+            // Write-through: update any local copy, push the word
+            // to the L1X (Table 4), complete immediately.
+            if (lease_valid)
+                _tags.touch(*line);
+            _tileLink->book(MsgClass::Data);
+            Addr wt_line = vline;
+            _ctx.eq.scheduleIn(_tileLink->latency(), [this, wt_line] {
+                _l1x.writeThroughStore(_p.accel, wt_line, _pid);
+            });
+            done();
+            return;
+        }
+        if (line && line->wepochEnd >= now) {
+            // Store hit under our write epoch.
+            if (!is_retry) {
+                ++_hits;
+                _stats->scalar("hits") += 1;
+            }
+            _tags.touch(*line);
+            line->dirty = true;
+            noteWriteEpoch(vline, line->wepochEnd);
+            done();
+            return;
+        }
+    }
+
+    // Miss (or store without a write epoch): go to the L1X.
+    if (!is_retry) {
+        ++_misses;
+        _stats->scalar(is_write ? "store_misses"
+                                : "load_misses") += 1;
+    }
+    bool need_data = !lease_valid;
+    bool primary = _mshrs.allocate(
+        vline, [this, vline, is_write, done = std::move(done)]() {
+            lookup(vline, is_write, std::move(done), true);
+        });
+    if (primary)
+        requestMiss(vline, is_write, need_data);
+}
+
+void
+L0x::requestMiss(Addr vline, bool is_write, bool need_data)
+{
+    // Request message crosses the L0X->L1X link.
+    _tileLink->book(MsgClass::Control);
+    _ctx.eq.scheduleIn(
+        _tileLink->latency(), [this, vline, is_write, need_data] {
+            _l1x.requestLease(
+                _p.accel, vline, _pid, _leaseLen, is_write,
+                need_data,
+                [this, vline, is_write](const LeaseGrant &g) {
+                    onGrant(vline, is_write, g.leaseEnd);
+                });
+        });
+}
+
+void
+L0x::onGrant(Addr vline, bool is_write, Tick lease_end)
+{
+    mem::CacheLine *line = _tags.find(vline, _pid);
+    if (!line) {
+        line = allocateFrame(vline);
+        ++_fills;
+        _stats->scalar("fills") += 1;
+        bookAccess(true, true); // line fill
+    }
+    if (lease_end > line->ltime)
+        line->ltime = lease_end;
+    if (is_write)
+        line->wepochEnd = lease_end;
+    _tags.touch(*line);
+    _mshrs.complete(vline);
+}
+
+mem::CacheLine *
+L0x::allocateFrame(Addr vline)
+{
+    mem::CacheLine *way = _tags.victim(vline);
+    fusion_assert(way, "L0X victim selection failed");
+    if (way->valid) {
+        _stats->scalar("evictions") += 1;
+        if (way->dirty) {
+            // Early self-downgrade on capacity eviction.
+            emitDirtyLine(*way);
+        }
+        _tags.invalidate(*way);
+    }
+    _tags.install(*way, vline, _pid);
+    return way;
+}
+
+void
+L0x::noteWriteEpoch(Addr vline, Tick epoch_end)
+{
+    std::uint32_t set = _tags.setIndex(vline);
+    if (epoch_end < _setWbTime[set])
+        _setWbTime[set] = epoch_end;
+    scheduleDowngrade(epoch_end);
+}
+
+void
+L0x::scheduleDowngrade(Tick when)
+{
+    if (when >= _nextDowngrade)
+        return;
+    _nextDowngrade = when;
+    _ctx.eq.schedule(when, [this] { downgradeSweep(); },
+                     EventPriority::Maintenance);
+}
+
+void
+L0x::downgradeSweep()
+{
+    Tick now = _ctx.now();
+    if (now < _nextDowngrade)
+        return; // superseded by an earlier sweep
+    _nextDowngrade = kTickNever;
+    _stats->scalar("downgrade_sweeps") += 1;
+
+    Tick next = kTickNever;
+    for (std::uint32_t set = 0; set < _tags.numSets(); ++set) {
+        if (_setWbTime[set] > now) {
+            next = std::min(next, _setWbTime[set]);
+            continue; // filtered: no expired epoch in this set
+        }
+        Tick set_next = kTickNever;
+        _tags.forEachValidInSet(set, [&](mem::CacheLine &l) {
+            if (!l.dirty)
+                return;
+            if (l.wepochEnd <= now) {
+                emitDirtyLine(l);
+            } else {
+                set_next = std::min(set_next, l.wepochEnd);
+            }
+        });
+        _setWbTime[set] = set_next;
+        next = std::min(next, set_next);
+    }
+    if (next != kTickNever)
+        scheduleDowngrade(next);
+}
+
+void
+L0x::emitDirtyLine(mem::CacheLine &line, bool allow_forward)
+{
+    Addr vline = line.lineAddr;
+    Pid pid = line.pid;
+    bookAccess(false, true); // read the line out of the array
+
+    // Forwarding happens only at end-of-invocation self-eviction
+    // (Figure 5: the producer forwards when it completes
+    // processing). Mid-run epoch expiries and capacity evictions
+    // write back normally — a mid-run push would let the
+    // producer's own later accesses stall on the lease it just
+    // transferred.
+    const auto *targets = allow_forward ? _fwdTargets : nullptr;
+    if (targets) {
+        auto it = targets->find(vline);
+        if (it != targets->end() && it->second != this &&
+            it->second->canAcceptForward(vline)) {
+            // FUSION-Dx: push the dirty line straight to the
+            // consumer, notify the L1X with a 1-flit lease transfer.
+            ++_forwardsOut;
+            _stats->scalar("forwards_out") += 1;
+            L0x *consumer = it->second;
+            fusion_assert(_fwdLink, "forwarding without a fwd link");
+            _fwdLink->book(MsgClass::Data);
+            Tick lease_end = _ctx.now() + consumer->_leaseLen;
+            _ctx.eq.scheduleIn(_fwdLink->latency(),
+                               [consumer, vline, pid, lease_end] {
+                                   consumer->receiveForward(
+                                       vline, pid, lease_end, true);
+                               });
+            _tileLink->book(MsgClass::Control);
+            _ctx.eq.scheduleIn(_tileLink->latency(),
+                               [this, vline, pid, lease_end] {
+                                   _l1x.leaseTransfer(vline, pid,
+                                                      lease_end,
+                                                      true);
+                               });
+            line.dirty = false;
+            line.wepochEnd = 0;
+            // Self-eviction: the producer's copy is gone.
+            _tags.invalidate(line);
+            return;
+        }
+    }
+
+    ++_writebacks;
+    _stats->scalar("writebacks") += 1;
+    _tileLink->book(MsgClass::Data);
+    _ctx.eq.scheduleIn(_tileLink->latency(), [this, vline, pid] {
+        _l1x.writeback(_p.accel, vline, pid);
+    });
+    line.dirty = false;
+    line.wepochEnd = 0;
+}
+
+void
+L0x::forwardPlannedLines()
+{
+    if (!_fwdTargets)
+        return;
+    _tags.forEachValid([this](mem::CacheLine &l) {
+        auto it = _fwdTargets->find(l.lineAddr);
+        if (it == _fwdTargets->end() || it->second == this)
+            return;
+        if (l.dirty) {
+            emitDirtyLine(l, true);
+            return;
+        }
+        // Clean (possibly lease-expired) planned line: the trace
+        // analysis guarantees the next toucher is the consumer, so
+        // the producer's copy is still the freshest — push it with
+        // a fresh read lease. No write responsibility moves, so
+        // the L1X only extends the lease (no lock).
+        L0x *consumer = it->second;
+        if (!consumer->canAcceptForward(l.lineAddr))
+            return;
+        ++_forwardsOut;
+        _stats->scalar("forwards_out") += 1;
+        fusion_assert(_fwdLink, "forwarding without a fwd link");
+        Addr vline = l.lineAddr;
+        Pid pid = l.pid;
+        bookAccess(false, true);
+        _fwdLink->book(MsgClass::Data);
+        Tick lease_end = _ctx.now() + consumer->_leaseLen;
+        _ctx.eq.scheduleIn(_fwdLink->latency(),
+                           [consumer, vline, pid, lease_end] {
+                               consumer->receiveForward(
+                                   vline, pid, lease_end, false);
+                           });
+        _tileLink->book(MsgClass::Control);
+        _ctx.eq.scheduleIn(_tileLink->latency(),
+                           [this, vline, pid, lease_end] {
+                               _l1x.leaseTransfer(vline, pid,
+                                                  lease_end, false);
+                           });
+        _tags.invalidate(l); // self-eviction
+    });
+}
+
+bool
+L0x::canAcceptForward(Addr vline) const
+{
+    Tick now = _ctx.now();
+    auto *self = const_cast<L0x *>(this);
+    mem::CacheLine *way = self->_tags.victim(
+        vline, [now](const mem::CacheLine &l) {
+            return !l.dirty && l.ltime < now && l.wepochEnd < now;
+        });
+    return way != nullptr;
+}
+
+void
+L0x::receiveForward(Addr vline, Pid pid, Tick lease_end,
+                    bool dirty)
+{
+    mem::CacheLine *line = _tags.find(vline, pid);
+    if (!line) {
+        Tick now = _ctx.now();
+        mem::CacheLine *way = _tags.victim(
+            vline, [now](const mem::CacheLine &l) {
+                return !l.dirty && l.ltime < now &&
+                       l.wepochEnd < now;
+            });
+        if (!way) {
+            // The set filled between the producer's probe and the
+            // push landing: degrade to a normal writeback so the
+            // dirty data reaches the L1X.
+            _stats->scalar("forwards_rejected") += 1;
+            _tileLink->book(MsgClass::Data);
+            _ctx.eq.scheduleIn(_tileLink->latency(),
+                               [this, vline, pid] {
+                                   _l1x.writeback(_p.accel, vline,
+                                                  pid);
+                               });
+            return;
+        }
+        if (way->valid)
+            _stats->scalar("evictions") += 1;
+        _tags.install(*way, vline, pid);
+        line = way;
+        ++_fills;
+    }
+    _stats->scalar("forwards_in") += 1;
+    bookAccess(true, true);
+    line->ltime = std::max(line->ltime, lease_end);
+    _tags.touch(*line);
+    if (dirty) {
+        line->wepochEnd = lease_end;
+        line->dirty = true;
+        noteWriteEpoch(vline, lease_end);
+    }
+}
+
+void
+L0x::drainDirty()
+{
+    _tags.forEachValid([this](mem::CacheLine &l) {
+        if (l.dirty)
+            emitDirtyLine(l);
+    });
+}
+
+} // namespace fusion::accel

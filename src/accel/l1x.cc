@@ -1,0 +1,368 @@
+#include "accel/l1x.hh"
+
+#include "energy/sram_model.hh"
+#include "sim/logging.hh"
+
+namespace fusion::accel
+{
+
+using coherence::CoherenceReq;
+using coherence::FwdKind;
+using interconnect::MsgClass;
+using mem::MesiState;
+
+L1xAcc::L1xAcc(SimContext &ctx, const L1xParams &p, host::Llc &llc,
+               interconnect::Link *tile_link,
+               interconnect::Link *llc_link, vm::AxTlb &tlb,
+               vm::AxRmap &rmap)
+    : _ctx(ctx), _name(p.name), _llc(llc), _tileLink(tile_link),
+      _llcLink(llc_link), _tlb(tlb), _rmap(rmap),
+      _tags(mem::CacheGeometry{p.capacityBytes, p.assoc, kLineBytes}),
+      _banks(p.banks, 1)
+{
+    energy::SramParams sp;
+    sp.capacityBytes = p.capacityBytes;
+    sp.assoc = p.assoc;
+    sp.banks = p.banks;
+    sp.kind = energy::SramKind::TimestampCache;
+    _fig = energy::evaluateSram(sp);
+    _agentId = llc.registerAgent(this, llc_link, p.ringNode);
+    _stats = &ctx.stats.root().child(p.name);
+}
+
+void
+L1xAcc::bookAccess(bool is_write)
+{
+    _ctx.energy.add(energy::comp::kL1x,
+                    is_write ? _fig.writePj : _fig.readPj);
+    _stats->scalar(is_write ? "writes" : "reads") += 1;
+}
+
+void
+L1xAcc::requestLease(AccelId who, Addr vline, Pid pid,
+                     Cycles lease_len, bool is_write, bool need_data,
+                     LeaseDone done)
+{
+    vline = lineAlign(vline);
+    bookAccess(false);
+    // Bank conflicts serialize concurrent requests (16 banks,
+    // line interleaved).
+    Cycles bank_delay = _banks.reserve(vline, _ctx.now());
+    if (bank_delay > 0)
+        _stats->scalar("bank_conflicts") += 1;
+    _ctx.eq.scheduleIn(_fig.latency + bank_delay,
+                       [this, who, vline, pid, lease_len, is_write,
+                        need_data, done = std::move(done)]() mutable {
+                           processLease(who, vline, pid, lease_len,
+                                        is_write, need_data,
+                                        std::move(done));
+                       });
+}
+
+void
+L1xAcc::processLease(AccelId who, Addr vline, Pid pid,
+                     Cycles lease_len, bool is_write, bool need_data,
+                     LeaseDone done, bool is_retry)
+{
+    mem::CacheLine *line = _tags.find(vline, pid);
+    if (line) {
+        if (line->locked) {
+            // An un-expired write epoch: stall at the L1X until the
+            // epoch's writeback arrives (Section 3.2).
+            _stats->scalar("stalls_on_write_epoch") += 1;
+            DPRINTFN("ACC", "stall vline=", vline, " now=",
+                     _ctx.now(), " wepochEnd=", line->wepochEnd,
+                     " gtime=", line->gtime, " who=", who);
+            _stalled[stallKey(vline, pid)].push_back(
+                [this, who, vline, pid, lease_len, is_write,
+                 need_data, done = std::move(done)]() mutable {
+                    processLease(who, vline, pid, lease_len,
+                                 is_write, need_data,
+                                 std::move(done));
+                });
+            return;
+        }
+        if (!is_retry) {
+            ++_hits;
+            _stats->scalar("hits") += 1;
+        }
+        grant(*line, lease_len, is_write, need_data,
+              std::move(done));
+        return;
+    }
+
+    // Miss at the L1X: cross to the host tile.
+    if (!is_retry) {
+        ++_misses;
+        _stats->scalar("misses") += 1;
+    }
+    std::uint64_t key = stallKey(vline, pid);
+    bool primary = _mshrs.allocate(
+        key, [this, who, vline, pid, lease_len, is_write, need_data,
+              done = std::move(done)]() mutable {
+            processLease(who, vline, pid, lease_len, is_write,
+                         need_data, std::move(done), true);
+        });
+    if (primary)
+        startFill(vline, pid);
+}
+
+void
+L1xAcc::startFill(Addr vline, Pid pid)
+{
+    // The TLB sits on the L1X miss path: translate before entering
+    // the host tile's physical address space (Section 3.2).
+    _tlb.translate(pid, vline, [this, vline, pid](Addr pa) {
+        Addr pline = lineAlign(pa);
+        // Synonym filter (Appendix): if the physical line is already
+        // cached in the tile under a different virtual address,
+        // evict the duplicate so at most one synonym is resident.
+        if (auto syn = _rmap.probeForSynonym(pline)) {
+            if (syn->vline != vline || syn->pid != pid) {
+                _stats->scalar("synonym_evictions") += 1;
+                mem::CacheLine *dup = _tags.find(syn->vline,
+                                                 syn->pid);
+                if (dup) {
+                    if (dup->dirty) {
+                        _llc.writebackData(_agentId, dup->pline);
+                    } else {
+                        _llc.evictNotice(_agentId, dup->pline);
+                    }
+                    _rmap.erase(dup->pline);
+                    _tags.invalidate(*dup);
+                }
+            }
+        }
+        // The tile always requests exclusivity: M/E/I states only.
+        _llc.request(_agentId, pline, CoherenceReq::GetX,
+                     [this, vline, pid,
+                      pline](const host::LlcResponse &) {
+                         finishFill(vline, pid, pline);
+                     });
+    });
+}
+
+void
+L1xAcc::finishFill(Addr vline, Pid pid, Addr pline)
+{
+    allocateFrame(vline, pid, pline, [this, vline, pid, pline]() {
+        mem::CacheLine *line = _tags.find(vline, pid);
+        fusion_assert(line, "fill lost its frame");
+        line->mesi = MesiState::E;
+        line->pline = pline;
+        _rmap.insert(pline, vline, pid);
+        bookAccess(true); // fill write
+        _mshrs.complete(stallKey(vline, pid));
+    });
+}
+
+void
+L1xAcc::allocateFrame(Addr vline, Pid pid, Addr pline,
+                      std::function<void()> installed)
+{
+    Tick now = _ctx.now();
+    mem::CacheLine *victim = _tags.victim(
+        vline, [now](const mem::CacheLine &l) {
+            // Leased lines are pinned: the L1X must stay inclusive
+            // of every outstanding lease.
+            return !l.locked && l.gtime <= now;
+        });
+    if (!victim) {
+        _stats->scalar("frame_retries") += 1;
+        _ctx.eq.scheduleIn(16, [this, vline, pid, pline,
+                                installed = std::move(installed)]() {
+            allocateFrame(vline, pid, pline, std::move(installed));
+        });
+        return;
+    }
+    if (victim->valid) {
+        _stats->scalar("evictions") += 1;
+        _rmap.erase(victim->pline);
+        if (victim->dirty) {
+            _llc.writebackData(_agentId, victim->pline);
+        } else {
+            _llc.evictNotice(_agentId, victim->pline);
+        }
+    }
+    _tags.install(*victim, vline, pid);
+    installed();
+}
+
+void
+L1xAcc::grant(mem::CacheLine &line, Cycles lease_len, bool is_write,
+              bool need_data, LeaseDone done)
+{
+    Tick end = _ctx.now() + lease_len;
+    if (end > line.gtime)
+        line.gtime = end;
+    if (is_write) {
+        line.locked = true;
+        line.wepochEnd = end;
+        _stats->scalar("write_epochs") += 1;
+    } else {
+        _stats->scalar("read_leases") += 1;
+    }
+    _tags.touch(line);
+    // Response to the L0X: data for fills, 1-flit grant otherwise.
+    _tileLink->book(need_data ? MsgClass::Data : MsgClass::Control);
+    _ctx.eq.scheduleIn(_tileLink->latency(),
+                       [end, done = std::move(done)]() {
+                           done(LeaseGrant{end});
+                       });
+}
+
+void
+L1xAcc::writeback(AccelId who, Addr vline, Pid pid)
+{
+    (void)who;
+    vline = lineAlign(vline);
+    bookAccess(true);
+    _stats->scalar("l0x_writebacks") += 1;
+    mem::CacheLine *line = _tags.find(vline, pid);
+    if (line) {
+        line->dirty = true;
+        line->mesi = MesiState::M;
+        line->locked = false;
+        line->wepochEnd = 0;
+        wakeStalled(vline, pid);
+        return;
+    }
+    // The line was moved to the writeback buffer by a host demand.
+    for (auto it = _wbBuffer.begin(); it != _wbBuffer.end(); ++it) {
+        if (it->vline == vline && it->pid == pid) {
+            it->dirty = true;
+            it->awaitingL0xWb = false;
+            tryRespondWbBuf(it->id);
+            return;
+        }
+    }
+    fusion_warn("orphan L0X writeback for vline=", vline);
+}
+
+void
+L1xAcc::leaseTransfer(Addr vline, Pid pid, Tick new_end, bool dirty)
+{
+    vline = lineAlign(vline);
+    _stats->scalar("lease_transfers") += 1;
+    mem::CacheLine *line = _tags.find(vline, pid);
+    if (!line) {
+        fusion_warn("lease transfer for absent line vline=", vline);
+        return;
+    }
+    if (new_end > line->gtime)
+        line->gtime = new_end;
+    if (dirty) {
+        // The dirty copy (and write responsibility) now lives in
+        // the consumer's L0X: lock until its writeback arrives.
+        line->locked = true;
+        line->wepochEnd = new_end;
+    }
+}
+
+void
+L1xAcc::writeThroughStore(AccelId who, Addr vline, Pid pid)
+{
+    (void)who;
+    vline = lineAlign(vline);
+    bookAccess(true);
+    _stats->scalar("write_through_stores") += 1;
+    mem::CacheLine *line = _tags.find(vline, pid);
+    if (line) {
+        line->dirty = true;
+        line->mesi = MesiState::M;
+        return;
+    }
+    // Write-allocate through the regular miss path.
+    std::uint64_t key = stallKey(vline, pid);
+    bool primary = _mshrs.allocate(key, [] {});
+    if (primary)
+        startFill(vline, pid);
+}
+
+void
+L1xAcc::wakeStalled(Addr vline, Pid pid)
+{
+    auto it = _stalled.find(stallKey(vline, pid));
+    if (it == _stalled.end())
+        return;
+    auto queue = std::move(it->second);
+    _stalled.erase(it);
+    // Replays re-stall into a fresh queue if the line locks again.
+    for (auto &fn : queue)
+        fn();
+}
+
+void
+L1xAcc::handleFwd(Addr pa, FwdKind kind, FwdDone done)
+{
+    (void)kind; // ACC answers every host demand identically.
+    _stats->scalar("fwd_recv") += 1;
+    auto entry = _rmap.lookup(pa);
+    if (!entry) {
+        done(false, false);
+        return;
+    }
+    mem::CacheLine *line = _tags.find(entry->vline, entry->pid);
+    if (!line) {
+        done(false, false);
+        return;
+    }
+    // Evict into the writeback buffer; the PUTX response stalls
+    // until GTIME expires (Figure 4, right). The L0Xs are never
+    // probed.
+    bookAccess(false);
+    WbBufEntry w;
+    w.id = _nextWbId++;
+    w.pline = line->pline;
+    w.vline = line->lineAddr;
+    w.pid = line->pid;
+    w.dirty = line->dirty;
+    w.awaitingL0xWb = line->locked;
+    w.readyAt = std::max(_ctx.now(), line->gtime);
+    w.done = std::move(done);
+    _rmap.erase(line->pline);
+    _tags.invalidate(*line);
+    std::uint64_t id = w.id;
+    Tick ready_at = w.readyAt;
+    _wbBuffer.push_back(std::move(w));
+    if (ready_at > _ctx.now()) {
+        _stats->scalar("fwd_stalled_on_gtime") += 1;
+        _ctx.eq.schedule(ready_at,
+                         [this, id] { tryRespondWbBuf(id); });
+    } else {
+        tryRespondWbBuf(id);
+    }
+}
+
+void
+L1xAcc::tryRespondWbBuf(std::uint64_t id)
+{
+    auto it = _wbBuffer.begin();
+    while (it != _wbBuffer.end() && it->id != id)
+        ++it;
+    if (it == _wbBuffer.end())
+        return; // already responded via another path
+    if (it->awaitingL0xWb || it->readyAt > _ctx.now())
+        return;
+    auto done = std::move(it->done);
+    bool dirty = it->dirty;
+    _wbBuffer.erase(it);
+    // The tile relinquishes: never retains a shared copy.
+    done(dirty, false);
+}
+
+void
+L1xAcc::flushAll()
+{
+    _tags.forEachValid([this](mem::CacheLine &l) {
+        _rmap.erase(l.pline);
+        if (l.dirty) {
+            _llc.writebackData(_agentId, l.pline);
+        } else {
+            _llc.evictNotice(_agentId, l.pline);
+        }
+        _tags.invalidate(l);
+    });
+}
+
+} // namespace fusion::accel

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The accelerator tile's shared L1X cache running the ACC
+ * (ACcelerator Coherence) protocol — the ordering point of the tile
+ * (Section 3.2).
+ *
+ * ACC is a timestamp-based self-invalidation protocol:
+ *  - L0Xs request *leases*: a read epoch or a write epoch ending at
+ *    now + LT (the per-function lease time, Table 3).
+ *  - The L1X records the latest lease granted for a line as its
+ *    GTIME; by GTIME every L0X copy has self-invalidated, so the
+ *    L1X can answer host MESI demands without ever probing an L0X.
+ *  - A write epoch implicitly locks the line at the L1X; subsequent
+ *    readers/writers stall *at the L1X* until the epoch expires and
+ *    the dirty writeback arrives. Read epochs coexist.
+ *  - Strict 2-hop within the tile: request -> grant, no
+ *    invalidations, no acks.
+ *
+ * Host integration (MEI): the L1X always fetches lines exclusively
+ * (GetX) from the host LLC, so its MESI states collapse to M/E/I
+ * and silent S->I drops cannot happen; the host directory's sharer
+ * information for the tile is exact. A forwarded host request is
+ * translated through the AX-RMAP, evicts the line into a writeback
+ * buffer, and the PUTX response is *stalled until GTIME expires*
+ * (Figure 4, right).
+ *
+ * Virtual memory: the L1X is virtually indexed and PID tagged; the
+ * AX-TLB sits on its miss path (Figure 3, top) and the AX-RMAP
+ * provides the PA -> L1X pointer reverse translation, doubling as
+ * the synonym filter of the Appendix.
+ */
+
+#ifndef FUSION_ACCEL_L1X_HH
+#define FUSION_ACCEL_L1X_HH
+
+#include <deque>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "energy/sram_model.hh"
+#include "coherence/protocol.hh"
+#include "host/llc.hh"
+#include "interconnect/link.hh"
+#include "mem/cache_array.hh"
+#include "mem/bank_scheduler.hh"
+#include "mem/mshr.hh"
+#include "sim/sim_context.hh"
+#include "vm/ax_rmap.hh"
+#include "vm/ax_tlb.hh"
+
+namespace fusion::accel
+{
+
+/** L1X configuration (Table 2: 64 KB or 256 KB, 16 banks, 8-way). */
+struct L1xParams
+{
+    std::string name = "l1x";
+    std::uint64_t capacityBytes = 64 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t banks = 16;
+    std::uint32_t ringNode = 4; ///< tile attachment on the LLC ring
+};
+
+/** Result of a lease request. */
+struct LeaseGrant
+{
+    Tick leaseEnd = 0; ///< LTIME handed to the L0X
+};
+
+/** The shared L1X with the ACC controller. */
+class L1xAcc : public coherence::CoherentAgent
+{
+  public:
+    using LeaseDone = std::function<void(const LeaseGrant &)>;
+
+    /**
+     * @param tile_link the L0X<->L1X link (response direction booked
+     *        here; requests are booked by the L0X side)
+     * @param llc_link the tile's link to the host LLC
+     */
+    L1xAcc(SimContext &ctx, const L1xParams &p, host::Llc &llc,
+           interconnect::Link *tile_link,
+           interconnect::Link *llc_link, vm::AxTlb &tlb,
+           vm::AxRmap &rmap);
+
+    /**
+     * Lease request from an L0X (arrives after the tile-link
+     * latency, which the L0X models). A write lease locks the line.
+     * @p done fires when the grant (with data) reaches the L0X.
+     */
+    void requestLease(AccelId who, Addr vline, Pid pid,
+                      Cycles lease_len, bool is_write,
+                      bool need_data, LeaseDone done);
+
+    /**
+     * Dirty-line writeback from an L0X self-downgrade. Unlocks the
+     * line and wakes stalled requests. (The data message itself is
+     * booked by the L0X.)
+     */
+    void writeback(AccelId who, Addr vline, Pid pid);
+
+    /**
+     * FUSION-Dx lease transfer: the producer forwarded the dirty
+     * line directly to a consumer L0X whose implicit write epoch
+     * ends at @p new_end; the L1X only extends the lease (it "is
+     * not concerned with the owner of the lease", Section 3.2).
+     */
+    void leaseTransfer(Addr vline, Pid pid, Tick new_end,
+                       bool dirty);
+
+    /** Write-through store from an L0X (Table 4 ablation). */
+    void writeThroughStore(AccelId who, Addr vline, Pid pid);
+
+    // CoherentAgent interface (host-forwarded demands).
+    void handleFwd(Addr pa, coherence::FwdKind kind,
+                   FwdDone done) override;
+    const std::string &name() const override { return _name; }
+
+    Cycles latency() const { return _fig.latency; }
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+
+    /** Flush every line to the host (end-of-program barrier). */
+    void flushAll();
+
+  private:
+    struct WbBufEntry
+    {
+        std::uint64_t id = 0;
+        Addr pline = 0;
+        Addr vline = 0;
+        Pid pid = 0;
+        bool dirty = false;
+        bool awaitingL0xWb = false;
+        Tick readyAt = 0;
+        FwdDone done;
+    };
+
+    static std::uint64_t
+    stallKey(Addr vline, Pid pid)
+    {
+        return vline ^ (static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(pid))
+                        << 48);
+    }
+
+    void bookAccess(bool is_write);
+    /** Main lease state machine, post bank-access latency. */
+    void processLease(AccelId who, Addr vline, Pid pid,
+                      Cycles lease_len, bool is_write,
+                      bool need_data, LeaseDone done,
+                      bool is_retry = false);
+    void grant(mem::CacheLine &line, Cycles lease_len, bool is_write,
+               bool need_data, LeaseDone done);
+    /** Miss path: translate, fetch exclusively, install. */
+    void startFill(Addr vline, Pid pid);
+    void finishFill(Addr vline, Pid pid, Addr pline);
+    /** Allocate a frame, evicting an expired victim. */
+    void allocateFrame(Addr vline, Pid pid, Addr pline,
+                       std::function<void()> installed);
+    void wakeStalled(Addr vline, Pid pid);
+    void tryRespondWbBuf(std::uint64_t id);
+
+    SimContext &_ctx;
+    std::string _name;
+    host::Llc &_llc;
+    interconnect::Link *_tileLink;
+    interconnect::Link *_llcLink;
+    vm::AxTlb &_tlb;
+    vm::AxRmap &_rmap;
+    mem::CacheArray _tags;
+    mem::BankScheduler _banks;
+    mem::MshrFile _mshrs; ///< keyed by stallKey(vline, pid)
+    energy::SramFigures _fig;
+    int _agentId = -1;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::unordered_map<std::uint64_t, std::deque<std::function<void()>>>
+        _stalled;
+    std::list<WbBufEntry> _wbBuffer;
+    std::uint64_t _nextWbId = 1;
+    stats::Group *_stats;
+};
+
+} // namespace fusion::accel
+
+#endif // FUSION_ACCEL_L1X_HH

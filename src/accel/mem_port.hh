@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The memory interface an accelerator core issues through. Each
+ * system organization plugs a different implementation behind it:
+ * a scratchpad frontend (SCRATCH), the shared L1X (SHARED), or a
+ * private L0X (FUSION / FUSION-Dx).
+ */
+
+#ifndef FUSION_ACCEL_MEM_PORT_HH
+#define FUSION_ACCEL_MEM_PORT_HH
+
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace fusion::accel
+{
+
+/** Completion callback for one memory operation. */
+using PortDone = std::function<void()>;
+
+/** Non-blocking memory port (Section 4: "aggressive non-blocking
+ *  interface to memory"). */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /**
+     * Issue one memory operation at virtual address @p va.
+     * @p done fires when the operation commits.
+     */
+    virtual void access(Addr va, std::uint32_t size, bool is_write,
+                        PortDone done) = 0;
+};
+
+} // namespace fusion::accel
+
+#endif // FUSION_ACCEL_MEM_PORT_HH

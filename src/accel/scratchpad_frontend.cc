@@ -1,0 +1,33 @@
+#include "accel/scratchpad_frontend.hh"
+
+#include "sim/logging.hh"
+
+namespace fusion::accel
+{
+
+ScratchpadFrontend::ScratchpadFrontend(SimContext &ctx,
+                                       mem::Scratchpad &spm)
+    : _ctx(ctx), _spm(spm)
+{
+}
+
+void
+ScratchpadFrontend::setResidentLines(
+    const std::unordered_set<Addr> &lines)
+{
+    _resident = &lines;
+}
+
+void
+ScratchpadFrontend::access(Addr va, std::uint32_t size,
+                           bool is_write, PortDone done)
+{
+    (void)size;
+    fusion_assert(_resident && _resident->count(lineAlign(va)),
+                  "scratchpad access outside resident window: va=",
+                  va);
+    Cycles lat = _spm.access(is_write);
+    _ctx.eq.scheduleIn(lat, [done = std::move(done)] { done(); });
+}
+
+} // namespace fusion::accel

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * MemPort adapter exposing a scratchpad to an accelerator core
+ * (SCRATCH baseline). Validates that every access falls inside the
+ * DMA-resident window — a violation means the oracle windowing is
+ * broken, which is a simulator bug.
+ */
+
+#ifndef FUSION_ACCEL_SCRATCHPAD_FRONTEND_HH
+#define FUSION_ACCEL_SCRATCHPAD_FRONTEND_HH
+
+#include <unordered_set>
+
+#include "accel/mem_port.hh"
+#include "mem/scratchpad.hh"
+#include "sim/sim_context.hh"
+
+namespace fusion::accel
+{
+
+/** Scratchpad-backed memory port. */
+class ScratchpadFrontend : public MemPort
+{
+  public:
+    ScratchpadFrontend(SimContext &ctx, mem::Scratchpad &spm);
+
+    /** Declare the lines resident for the current window. */
+    void setResidentLines(const std::unordered_set<Addr> &lines);
+
+    void access(Addr va, std::uint32_t size, bool is_write,
+                PortDone done) override;
+
+  private:
+    SimContext &_ctx;
+    mem::Scratchpad &_spm;
+    const std::unordered_set<Addr> *_resident = nullptr;
+};
+
+} // namespace fusion::accel
+
+#endif // FUSION_ACCEL_SCRATCHPAD_FRONTEND_HH

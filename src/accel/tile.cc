@@ -1,0 +1,95 @@
+#include "accel/tile.hh"
+
+#include "sim/logging.hh"
+
+namespace fusion::accel
+{
+
+FusionTile::FusionTile(SimContext &ctx, const TileParams &p,
+                       host::Llc &llc, const vm::PageTable &pt)
+    : _ctx(ctx), _p(p)
+{
+    fusion_assert(p.numAccels > 0, "tile needs accelerators");
+
+    _tileLink = std::make_unique<interconnect::Link>(
+        ctx, interconnect::LinkParams{
+                 "l0x_l1x", energy::LinkClass::AxcToL1x,
+                 p.tileLinkLatency, energy::comp::kLinkL0xL1xMsg,
+                 energy::comp::kLinkL0xL1xData});
+    _llcLink = std::make_unique<interconnect::Link>(
+        ctx, interconnect::LinkParams{
+                 "l1x_l2", energy::LinkClass::L1xToL2,
+                 p.llcLinkLatency, energy::comp::kLinkL1xL2Msg,
+                 energy::comp::kLinkL1xL2Data});
+    _fwdLink = std::make_unique<interconnect::Link>(
+        ctx, interconnect::LinkParams{
+                 "l0x_l0x", energy::LinkClass::L0xToL0x, 1,
+                 energy::comp::kLinkL0xL0x,
+                 energy::comp::kLinkL0xL0x});
+
+    _plans.resize(p.numAccels);
+    _earlyPlans.resize(p.numAccels);
+    _tlb = std::make_unique<vm::AxTlb>(ctx, p.tlb, pt);
+    _rmap = std::make_unique<vm::AxRmap>(ctx, vm::AxRmapParams{});
+    _l1x = std::make_unique<L1xAcc>(ctx, p.l1x, llc, _tileLink.get(),
+                                    _llcLink.get(), *_tlb, *_rmap);
+
+    for (std::uint32_t a = 0; a < p.numAccels; ++a) {
+        L0xParams lp;
+        lp.name = "axc" + std::to_string(a) + ".l0x";
+        lp.capacityBytes = p.l0xBytes;
+        lp.assoc = p.l0xAssoc;
+        lp.repl = p.l0xRepl;
+        lp.writeThrough = p.writeThrough;
+        lp.accel = static_cast<AccelId>(a);
+        _l0xs.push_back(std::make_unique<L0x>(
+            ctx, lp, *_l1x, _tileLink.get(),
+            p.enableDx ? _fwdLink.get() : nullptr));
+    }
+}
+
+void
+FusionTile::installForwardPlan(
+    AccelId producer,
+    const std::unordered_map<Addr, trace::ForwardHint> &plan)
+{
+    if (!_p.enableDx)
+        return;
+    auto &plan_map = _plans[static_cast<std::size_t>(producer)];
+    auto &early_map =
+        _earlyPlans[static_cast<std::size_t>(producer)];
+    plan_map.clear();
+    early_map.clear();
+    for (const auto &[line, hint] : plan) {
+        fusion_assert(hint.consumer >= 0 &&
+                          hint.consumer <
+                              static_cast<AccelId>(_p.numAccels),
+                      "bad forward consumer");
+        L0x *target =
+            _l0xs[static_cast<std::size_t>(hint.consumer)].get();
+        plan_map[line] = target;
+        if (hint.earlyOk)
+            early_map[line] = target;
+    }
+    l0x(producer).setForwardTargets(&plan_map, &early_map);
+}
+
+void
+FusionTile::finishInvocation(AccelId producer)
+{
+    if (!_p.enableDx)
+        return;
+    l0x(producer).forwardPlannedLines();
+    l0x(producer).setForwardTargets(nullptr, nullptr);
+    _plans[static_cast<std::size_t>(producer)].clear();
+    _earlyPlans[static_cast<std::size_t>(producer)].clear();
+}
+
+void
+FusionTile::drainAll()
+{
+    for (auto &l0 : _l0xs)
+        l0->drainDirty();
+}
+
+} // namespace fusion::accel

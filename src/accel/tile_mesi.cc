@@ -1,0 +1,628 @@
+#include "accel/tile_mesi.hh"
+
+#include "sim/logging.hh"
+
+namespace fusion::accel
+{
+
+using coherence::CoherenceReq;
+using coherence::FwdKind;
+using interconnect::MsgClass;
+using mem::MesiState;
+
+namespace
+{
+constexpr double kWordAccessScale = 0.5;
+} // namespace
+
+// ---------------------------------------------------------------
+// L0xMesi
+// ---------------------------------------------------------------
+
+L0xMesi::L0xMesi(SimContext &ctx, std::string name,
+                 std::uint64_t bytes, std::uint32_t assoc,
+                 AccelId id, L1xMesi &l1x,
+                 interconnect::Link *tile_link)
+    : _ctx(ctx), _name(std::move(name)), _id(id), _l1x(l1x),
+      _tileLink(tile_link),
+      _tags(mem::CacheGeometry{bytes, assoc, kLineBytes})
+{
+    energy::SramParams sp;
+    sp.capacityBytes = bytes;
+    sp.assoc = assoc;
+    sp.banks = 1;
+    sp.kind = energy::SramKind::Cache; // no timestamp field
+    _fig = energy::evaluateSram(sp);
+    _stats = &ctx.stats.root().child(_name);
+}
+
+void
+L0xMesi::bookAccess(bool is_write, bool line_granular)
+{
+    double pj = is_write ? _fig.writePj : _fig.readPj;
+    if (!line_granular)
+        pj *= kWordAccessScale;
+    _ctx.energy.add(energy::comp::kL0x, pj);
+    _stats->scalar(is_write ? "writes" : "reads") += 1;
+}
+
+void
+L0xMesi::access(Addr va, std::uint32_t size, bool is_write,
+                PortDone done)
+{
+    (void)size;
+    Addr vline = lineAlign(va);
+    bookAccess(is_write, false);
+    _ctx.eq.scheduleIn(_fig.latency,
+                       [this, vline, is_write,
+                        done = std::move(done)]() mutable {
+                           lookup(vline, is_write, std::move(done),
+                                  false);
+                       });
+}
+
+void
+L0xMesi::lookup(Addr vline, bool is_write, PortDone done,
+                bool is_retry)
+{
+    mem::CacheLine *line = _tags.find(vline, _pid);
+    if (line) {
+        bool hit = !is_write || line->mesi == MesiState::M ||
+                   line->mesi == MesiState::E;
+        if (hit) {
+            if (!is_retry) {
+                ++_hits;
+                _stats->scalar("hits") += 1;
+            }
+            _tags.touch(*line);
+            if (is_write) {
+                line->mesi = MesiState::M;
+                line->dirty = true;
+            }
+            done();
+            return;
+        }
+    }
+    // Miss or upgrade.
+    if (!is_retry) {
+        ++_misses;
+        _stats->scalar(is_write ? "store_misses" : "load_misses") +=
+            1;
+    }
+    bool primary = _mshrs.allocate(
+        vline, [this, vline, is_write, done = std::move(done)]() {
+            lookup(vline, is_write, std::move(done), true);
+        });
+    if (primary) {
+        CoherenceReq kind =
+            !is_write ? CoherenceReq::GetS
+                      : (line ? CoherenceReq::Upgrade
+                              : CoherenceReq::GetX);
+        // Request message.
+        _tileLink->book(MsgClass::Control);
+        _ctx.eq.scheduleIn(
+            _tileLink->latency(),
+            [this, vline, is_write, kind] {
+                _l1x.request(_id, vline, _pid, kind,
+                             [this, vline,
+                              is_write](bool exclusive) {
+                                 fillDone(vline, is_write,
+                                          exclusive);
+                             });
+            });
+    }
+}
+
+void
+L0xMesi::fillDone(Addr vline, bool is_write, bool exclusive)
+{
+    mem::CacheLine *line = _tags.find(vline, _pid);
+    if (!line) {
+        mem::CacheLine *way = _tags.victim(vline);
+        fusion_assert(way, "L0xMesi victim selection failed");
+        if (way->valid) {
+            _stats->scalar("evictions") += 1;
+            if (way->dirty || way->mesi == MesiState::M) {
+                ++_writebacks;
+                _tileLink->book(MsgClass::Data);
+                Addr wb = way->lineAddr;
+                Pid pid = way->pid;
+                _ctx.eq.scheduleIn(_tileLink->latency(),
+                                   [this, wb, pid] {
+                                       _l1x.writeback(_id, wb, pid);
+                                   });
+            } else {
+                _tileLink->book(MsgClass::Control);
+                Addr ev = way->lineAddr;
+                Pid pid = way->pid;
+                _ctx.eq.scheduleIn(_tileLink->latency(),
+                                   [this, ev, pid] {
+                                       _l1x.evictNotice(_id, ev,
+                                                        pid);
+                                   });
+            }
+        }
+        _tags.install(*way, vline, _pid);
+        line = way;
+        ++_fills;
+        _stats->scalar("fills") += 1;
+        bookAccess(true, true);
+    }
+    if (is_write) {
+        line->mesi = MesiState::M;
+        line->dirty = true;
+    } else {
+        line->mesi = exclusive ? MesiState::E : MesiState::S;
+    }
+    _tags.touch(*line);
+    _mshrs.complete(vline);
+}
+
+void
+L0xMesi::handleTileFwd(Addr vline, FwdKind kind,
+                       std::function<void(bool dirty)> done)
+{
+    ++_probes;
+    _stats->scalar("probes") += 1;
+    bookAccess(false, false); // tag probe energy
+    mem::CacheLine *line = _tags.find(lineAlign(vline), _pid);
+    if (!line) {
+        done(false);
+        return;
+    }
+    bool dirty = line->dirty || line->mesi == MesiState::M;
+    switch (kind) {
+      case FwdKind::Inv:
+      case FwdKind::FwdGetX:
+        _tags.invalidate(*line);
+        break;
+      case FwdKind::FwdGetS:
+        line->mesi = MesiState::S;
+        line->dirty = false;
+        break;
+    }
+    done(dirty);
+}
+
+// ---------------------------------------------------------------
+// L1xMesi
+// ---------------------------------------------------------------
+
+L1xMesi::L1xMesi(SimContext &ctx, std::uint64_t bytes,
+                 std::uint32_t assoc, std::uint32_t banks,
+                 std::uint32_t ring_node, host::Llc &llc,
+                 interconnect::Link *tile_link,
+                 interconnect::Link *llc_link, vm::AxTlb &tlb,
+                 vm::AxRmap &rmap)
+    : _ctx(ctx), _llc(llc), _tileLink(tile_link),
+      _llcLink(llc_link), _tlb(tlb), _rmap(rmap),
+      _tags(mem::CacheGeometry{bytes, assoc, kLineBytes}),
+      _banks(banks, 1)
+{
+    energy::SramParams sp;
+    sp.capacityBytes = bytes;
+    sp.assoc = assoc;
+    sp.banks = banks;
+    sp.kind = energy::SramKind::Cache;
+    _fig = energy::evaluateSram(sp);
+    _agentId = llc.registerAgent(this, llc_link, ring_node);
+    _stats = &ctx.stats.root().child("l1x");
+}
+
+int
+L1xMesi::addL0x(L0xMesi *l0x)
+{
+    fusion_assert(_l0xs.size() < 31, "too many L0Xs");
+    _l0xs.push_back(l0x);
+    return static_cast<int>(_l0xs.size()) - 1;
+}
+
+void
+L1xMesi::bookAccess(bool is_write)
+{
+    _ctx.energy.add(energy::comp::kL1x,
+                    is_write ? _fig.writePj : _fig.readPj);
+    _stats->scalar(is_write ? "writes" : "reads") += 1;
+}
+
+void
+L1xMesi::request(int l0x_id, Addr vline, Pid pid,
+                 CoherenceReq kind, GrantDone done)
+{
+    vline = lineAlign(vline);
+    bookAccess(false);
+    Cycles bank_delay = _banks.reserve(vline, _ctx.now());
+    _ctx.eq.scheduleIn(_fig.latency + bank_delay,
+                       [this, l0x_id, vline, pid, kind,
+                        done = std::move(done)]() mutable {
+                           arrive(l0x_id, vline, pid, kind,
+                                  std::move(done));
+                       });
+}
+
+void
+L1xMesi::arrive(int l0x_id, Addr vline, Pid pid, CoherenceReq kind,
+                GrantDone done)
+{
+    DirInfo &d = _dir[key(vline, pid)];
+    if (d.busy) {
+        d.deferred.push_back([this, l0x_id, vline, pid, kind,
+                              done = std::move(done)]() mutable {
+            arrive(l0x_id, vline, pid, kind, std::move(done));
+        });
+        _stats->scalar("deferred") += 1;
+        return;
+    }
+    d.busy = true;
+    if (_tags.find(vline, pid)) {
+        ++_hits;
+        _stats->scalar("hits") += 1;
+        dirAction(l0x_id, vline, pid, kind, std::move(done));
+        return;
+    }
+    ++_misses;
+    _stats->scalar("misses") += 1;
+    std::uint64_t k = key(vline, pid);
+    bool primary = _mshrs.allocate(
+        k, [this, l0x_id, vline, pid, kind,
+            done = std::move(done)]() mutable {
+            dirAction(l0x_id, vline, pid, kind, std::move(done));
+        });
+    if (primary)
+        startFill(vline, pid);
+}
+
+void
+L1xMesi::startFill(Addr vline, Pid pid)
+{
+    // Identical host-side behaviour to ACC: translate on the miss
+    // path, fetch exclusively (tile is M/E/I to the host).
+    _tlb.translate(pid, vline, [this, vline, pid](Addr pa) {
+        Addr pline = lineAlign(pa);
+        if (auto syn = _rmap.probeForSynonym(pline)) {
+            if (syn->vline != vline || syn->pid != pid) {
+                _stats->scalar("synonym_evictions") += 1;
+                mem::CacheLine *dup =
+                    _tags.find(syn->vline, syn->pid);
+                if (dup) {
+                    if (dup->dirty) {
+                        _llc.writebackData(_agentId, dup->pline);
+                    } else {
+                        _llc.evictNotice(_agentId, dup->pline);
+                    }
+                    _rmap.erase(dup->pline);
+                    _tags.invalidate(*dup);
+                }
+            }
+        }
+        _llc.request(_agentId, pline, CoherenceReq::GetX,
+                     [this, vline, pid,
+                      pline](const host::LlcResponse &) {
+                         allocateFrame(vline, pid, pline,
+                                       [this, vline, pid, pline] {
+                                           mem::CacheLine *line =
+                                               _tags.find(vline,
+                                                          pid);
+                                           fusion_assert(
+                                               line,
+                                               "fill lost frame");
+                                           line->mesi =
+                                               MesiState::E;
+                                           line->pline = pline;
+                                           _rmap.insert(pline,
+                                                        vline, pid);
+                                           bookAccess(true);
+                                           _mshrs.complete(
+                                               key(vline, pid));
+                                       });
+                     });
+    });
+}
+
+void
+L1xMesi::allocateFrame(Addr vline, Pid pid, Addr pline,
+                       std::function<void()> installed)
+{
+    mem::CacheLine *victim = _tags.victim(
+        vline, [this](const mem::CacheLine &l) {
+            auto it = _dir.find(key(l.lineAddr, l.pid));
+            if (it == _dir.end())
+                return true;
+            const DirInfo &d = it->second;
+            // Only untracked lines evict without a recall; a busy
+            // or cached-below line is skipped (simple + safe: the
+            // L1X is 16x the L0X, so such sets are rare).
+            return !d.busy && d.owner < 0 && d.sharers == 0;
+        });
+    if (!victim) {
+        _stats->scalar("frame_retries") += 1;
+        _ctx.eq.scheduleIn(16, [this, vline, pid, pline,
+                                installed = std::move(installed)]() {
+            allocateFrame(vline, pid, pline, std::move(installed));
+        });
+        return;
+    }
+    if (victim->valid) {
+        _stats->scalar("evictions") += 1;
+        _rmap.erase(victim->pline);
+        if (victim->dirty) {
+            _llc.writebackData(_agentId, victim->pline);
+        } else {
+            _llc.evictNotice(_agentId, victim->pline);
+        }
+    }
+    _tags.install(*victim, vline, pid);
+    installed();
+}
+
+void
+L1xMesi::dirAction(int l0x_id, Addr vline, Pid pid,
+                   CoherenceReq kind, GrantDone done)
+{
+    DirInfo &d = _dir[key(vline, pid)];
+    mem::CacheLine *line = _tags.find(vline, pid);
+    fusion_assert(line, "dirAction without L1X frame");
+    _tags.touch(*line);
+
+    switch (kind) {
+      case CoherenceReq::GetS: {
+        if (d.owner >= 0 && d.owner != l0x_id) {
+            clearTile(l0x_id, vline, pid, true,
+                      [this, l0x_id, vline, pid,
+                       done = std::move(done)]() mutable {
+                          DirInfo &dd = _dir[key(vline, pid)];
+                          dd.sharers |= bit(l0x_id);
+                          respond(l0x_id, vline, pid, false, true,
+                                  std::move(done));
+                      });
+            return;
+        }
+        bool exclusive = d.sharers == 0 && d.owner < 0;
+        if (exclusive)
+            d.owner = l0x_id;
+        else
+            d.sharers |= bit(l0x_id);
+        respond(l0x_id, vline, pid, exclusive, true,
+                std::move(done));
+        return;
+      }
+      case CoherenceReq::GetX:
+      case CoherenceReq::Upgrade: {
+        bool had_copy = kind == CoherenceReq::Upgrade &&
+                        ((d.sharers & bit(l0x_id)) != 0 ||
+                         d.owner == l0x_id);
+        clearTile(l0x_id, vline, pid, false,
+                  [this, l0x_id, vline, pid, had_copy,
+                   done = std::move(done)]() mutable {
+                      DirInfo &dd = _dir[key(vline, pid)];
+                      dd.owner = l0x_id;
+                      dd.sharers = 0;
+                      respond(l0x_id, vline, pid, true, !had_copy,
+                              std::move(done));
+                  });
+        return;
+      }
+    }
+    fusion_panic("unhandled tile MESI request");
+}
+
+void
+L1xMesi::clearTile(int except, Addr vline, Pid pid,
+                   bool downgrade_to_s, std::function<void()> then)
+{
+    DirInfo &d = _dir[key(vline, pid)];
+    struct Target
+    {
+        int id;
+        FwdKind kind;
+    };
+    std::vector<Target> targets;
+    if (d.owner >= 0 && d.owner != except) {
+        targets.push_back({d.owner, downgrade_to_s
+                                        ? FwdKind::FwdGetS
+                                        : FwdKind::FwdGetX});
+    }
+    for (int i = 0; i < static_cast<int>(_l0xs.size()); ++i) {
+        if (i == except || i == d.owner)
+            continue;
+        if (d.sharers & bit(i))
+            targets.push_back({i, FwdKind::Inv});
+    }
+    if (targets.empty()) {
+        then();
+        return;
+    }
+    auto remaining = std::make_shared<std::size_t>(targets.size());
+    auto cont =
+        std::make_shared<std::function<void()>>(std::move(then));
+    for (const Target &t : targets) {
+        ++_probesSent;
+        _stats->scalar("probes_sent") += 1;
+        // Probe + response cross the tile link (the ACC protocol
+        // never sends these).
+        _tileLink->book(MsgClass::Control);
+        int id = t.id;
+        FwdKind kind = t.kind;
+        _ctx.eq.scheduleIn(
+            _tileLink->latency(),
+            [this, id, kind, vline, pid, remaining, cont] {
+                _l0xs[static_cast<std::size_t>(id)]->handleTileFwd(
+                    vline, kind,
+                    [this, id, kind, vline, pid, remaining,
+                     cont](bool dirty) {
+                        _tileLink->book(dirty ? MsgClass::Data
+                                              : MsgClass::Control);
+                        DirInfo &dd = _dir[key(vline, pid)];
+                        if (dirty) {
+                            bookAccess(true);
+                            mem::CacheLine *l =
+                                _tags.find(vline, pid);
+                            if (l)
+                                l->dirty = true;
+                        }
+                        switch (kind) {
+                          case FwdKind::Inv:
+                          case FwdKind::FwdGetX:
+                            dd.sharers &= ~bit(id);
+                            if (dd.owner == id)
+                                dd.owner = -1;
+                            break;
+                          case FwdKind::FwdGetS:
+                            if (dd.owner == id) {
+                                dd.owner = -1;
+                                dd.sharers |= bit(id);
+                            }
+                            break;
+                        }
+                        _ctx.eq.scheduleIn(
+                            _tileLink->latency(),
+                            [remaining, cont] {
+                                if (--*remaining == 0)
+                                    (*cont)();
+                            });
+                    });
+            });
+    }
+}
+
+void
+L1xMesi::respond(int l0x_id, Addr vline, Pid pid, bool exclusive,
+                 bool with_data, GrantDone done)
+{
+    (void)l0x_id;
+    _tileLink->book(with_data ? MsgClass::Data : MsgClass::Control);
+    finishTransaction(vline, pid);
+    _ctx.eq.scheduleIn(_tileLink->latency(),
+                       [exclusive, done = std::move(done)] {
+                           done(exclusive);
+                       });
+}
+
+void
+L1xMesi::finishTransaction(Addr vline, Pid pid)
+{
+    DirInfo &d = _dir[key(vline, pid)];
+    fusion_assert(d.busy, "finishing idle tile transaction");
+    d.busy = false;
+    if (!d.deferred.empty()) {
+        auto next = std::move(d.deferred.front());
+        d.deferred.pop_front();
+        next();
+    }
+}
+
+void
+L1xMesi::writeback(int l0x_id, Addr vline, Pid pid)
+{
+    vline = lineAlign(vline);
+    bookAccess(true);
+    _stats->scalar("l0x_writebacks") += 1;
+    DirInfo &d = _dir[key(vline, pid)];
+    if (d.owner == l0x_id)
+        d.owner = -1;
+    d.sharers &= ~bit(l0x_id);
+    mem::CacheLine *line = _tags.find(vline, pid);
+    if (line) {
+        line->dirty = true;
+        line->mesi = MesiState::M;
+    }
+}
+
+void
+L1xMesi::evictNotice(int l0x_id, Addr vline, Pid pid)
+{
+    vline = lineAlign(vline);
+    _stats->scalar("evict_notices") += 1;
+    DirInfo &d = _dir[key(vline, pid)];
+    if (d.owner == l0x_id)
+        d.owner = -1;
+    d.sharers &= ~bit(l0x_id);
+}
+
+void
+L1xMesi::handleFwd(Addr pa, FwdKind kind, FwdDone done)
+{
+    (void)kind;
+    _stats->scalar("fwd_recv") += 1;
+    auto entry = _rmap.lookup(pa);
+    if (!entry) {
+        done(false, false);
+        return;
+    }
+    Addr vline = entry->vline;
+    Pid pid = entry->pid;
+    mem::CacheLine *line = _tags.find(vline, pid);
+    if (!line) {
+        done(false, false);
+        return;
+    }
+    auto k = key(vline, pid);
+    DirInfo &d = _dir[k];
+    if (d.busy) {
+        // A tile transaction is mid-flight: retry shortly.
+        _ctx.eq.scheduleIn(4, [this, pa, kind,
+                               done = std::move(done)]() mutable {
+            handleFwd(pa, kind, std::move(done));
+        });
+        return;
+    }
+    d.busy = true;
+    bookAccess(false);
+    // Conventional design: the host demand probes the L0Xs.
+    clearTile(-1, vline, pid, false,
+              [this, vline, pid, k,
+               done = std::move(done)]() mutable {
+                  mem::CacheLine *l = _tags.find(vline, pid);
+                  bool dirty = l && l->dirty;
+                  if (l) {
+                      _rmap.erase(l->pline);
+                      _tags.invalidate(*l);
+                  }
+                  DirInfo &dd = _dir[k];
+                  dd.busy = false;
+                  if (!dd.deferred.empty()) {
+                      auto next = std::move(dd.deferred.front());
+                      dd.deferred.pop_front();
+                      next();
+                  }
+                  done(dirty, false);
+              });
+}
+
+// ---------------------------------------------------------------
+// MesiTile
+// ---------------------------------------------------------------
+
+MesiTile::MesiTile(SimContext &ctx, std::uint32_t num_accels,
+                   std::uint64_t l0x_bytes, std::uint32_t l0x_assoc,
+                   std::uint64_t l1x_bytes, std::uint32_t l1x_assoc,
+                   std::uint32_t l1x_banks, host::Llc &llc,
+                   const vm::PageTable &pt)
+{
+    _tileLink = std::make_unique<interconnect::Link>(
+        ctx, interconnect::LinkParams{
+                 "l0x_l1x", energy::LinkClass::AxcToL1x, 1,
+                 energy::comp::kLinkL0xL1xMsg,
+                 energy::comp::kLinkL0xL1xData});
+    _llcLink = std::make_unique<interconnect::Link>(
+        ctx, interconnect::LinkParams{
+                 "l1x_l2", energy::LinkClass::L1xToL2, 3,
+                 energy::comp::kLinkL1xL2Msg,
+                 energy::comp::kLinkL1xL2Data});
+    _tlb = std::make_unique<vm::AxTlb>(ctx, vm::AxTlbParams{}, pt);
+    _rmap = std::make_unique<vm::AxRmap>(ctx, vm::AxRmapParams{});
+    _l1x = std::make_unique<L1xMesi>(
+        ctx, l1x_bytes, l1x_assoc, l1x_banks, 4, llc,
+        _tileLink.get(), _llcLink.get(), *_tlb, *_rmap);
+    for (std::uint32_t a = 0; a < num_accels; ++a) {
+        _l0xs.push_back(std::make_unique<L0xMesi>(
+            ctx, "axc" + std::to_string(a) + ".l0x", l0x_bytes,
+            l0x_assoc, static_cast<AccelId>(a), *_l1x,
+            _tileLink.get()));
+        int id = _l1x->addL0x(_l0xs.back().get());
+        fusion_assert(id == static_cast<int>(a),
+                      "L0X id mismatch");
+    }
+}
+
+} // namespace fusion::accel

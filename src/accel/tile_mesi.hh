@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The conventional alternative to ACC: a directory MESI protocol
+ * *inside* the accelerator tile.
+ *
+ * The paper argues (Sections 1, 3.2, Lesson "Need to eliminate
+ * request messages") that a conventional invalidation protocol
+ * between the L0Xs would spend energy on probes, invalidations and
+ * acks that ACC's timestamps eliminate. This module implements that
+ * alternative so the claim is measurable: private MESI L0Xs under a
+ * full-map directory at the shared L1X. Everything else — the
+ * host-side MEI integration, AX-TLB/AX-RMAP, link energies, cache
+ * geometries — is identical to the FUSION tile, so any difference
+ * between `SystemKind::Fusion` and `SystemKind::FusionMesi` is the
+ * intra-tile protocol alone.
+ *
+ * Protocol summary (blocking directory, same discipline as the host
+ * LLC's):
+ *  - L0X load miss -> GetS: directory downgrades an M/E owner
+ *    (probe + data) and grants S (or E when sole).
+ *  - L0X store miss/upgrade -> GetX: directory invalidates every
+ *    other copy (probe + ack per sharer) before granting M.
+ *  - L0X evictions send PutX (dirty) or an eviction notice (clean),
+ *    keeping the directory precise.
+ *  - Host-forwarded demands recall tile copies with probes — unlike
+ *    ACC, the L0Xs *are* probed, which is exactly the message/energy
+ *    cost being measured.
+ */
+
+#ifndef FUSION_ACCEL_TILE_MESI_HH
+#define FUSION_ACCEL_TILE_MESI_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/mem_port.hh"
+#include "coherence/protocol.hh"
+#include "energy/sram_model.hh"
+#include "host/llc.hh"
+#include "interconnect/link.hh"
+#include "mem/bank_scheduler.hh"
+#include "mem/cache_array.hh"
+#include "mem/mshr.hh"
+#include "vm/ax_rmap.hh"
+#include "vm/ax_tlb.hh"
+#include "vm/page_table.hh"
+
+namespace fusion::accel
+{
+
+class L1xMesi;
+
+/** A private MESI L0X cache (the conventional design point). */
+class L0xMesi : public MemPort
+{
+  public:
+    L0xMesi(SimContext &ctx, std::string name, std::uint64_t bytes,
+            std::uint32_t assoc, AccelId id, L1xMesi &l1x,
+            interconnect::Link *tile_link);
+
+    void setPid(Pid pid) { _pid = pid; }
+
+    // MemPort.
+    void access(Addr va, std::uint32_t size, bool is_write,
+                PortDone done) override;
+
+    /** Directory demand from the L1X (probe). kind as in MESI. */
+    void handleTileFwd(Addr vline, coherence::FwdKind kind,
+                       std::function<void(bool dirty)> done);
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t probes() const { return _probes; }
+    std::uint64_t fills() const { return _fills; }
+    std::uint64_t writebacks() const { return _writebacks; }
+    AccelId id() const { return _id; }
+
+  private:
+    void lookup(Addr vline, bool is_write, PortDone done,
+                bool is_retry);
+    void fillDone(Addr vline, bool is_write, bool exclusive);
+    void bookAccess(bool is_write, bool line_granular);
+
+    SimContext &_ctx;
+    std::string _name;
+    AccelId _id;
+    L1xMesi &_l1x;
+    interconnect::Link *_tileLink;
+    mem::CacheArray _tags;
+    mem::MshrFile _mshrs;
+    energy::SramFigures _fig;
+    Pid _pid = 1;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _probes = 0;
+    std::uint64_t _fills = 0;
+    std::uint64_t _writebacks = 0;
+    stats::Group *_stats;
+};
+
+/**
+ * The shared L1X with an embedded full-map directory over the
+ * tile's L0Xs; an M/E/I agent of the host LLC (like ACC's L1X).
+ */
+class L1xMesi : public coherence::CoherentAgent
+{
+  public:
+    using GrantDone = std::function<void(bool exclusive)>;
+
+    L1xMesi(SimContext &ctx, std::uint64_t bytes,
+            std::uint32_t assoc, std::uint32_t banks,
+            std::uint32_t ring_node, host::Llc &llc,
+            interconnect::Link *tile_link,
+            interconnect::Link *llc_link, vm::AxTlb &tlb,
+            vm::AxRmap &rmap);
+
+    /** Register one L0X; returns its directory id. */
+    int addL0x(L0xMesi *l0x);
+
+    /** MESI request from an L0X (post tile-link latency). */
+    void request(int l0x_id, Addr vline, Pid pid,
+                 coherence::CoherenceReq kind, GrantDone done);
+
+    /** Dirty writeback from an L0X. */
+    void writeback(int l0x_id, Addr vline, Pid pid);
+    /** Clean eviction notice from an L0X. */
+    void evictNotice(int l0x_id, Addr vline, Pid pid);
+
+    // Host-side CoherentAgent.
+    void handleFwd(Addr pa, coherence::FwdKind kind,
+                   FwdDone done) override;
+    const std::string &name() const override { return _name; }
+
+    Cycles latency() const { return _fig.latency; }
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t probesSent() const { return _probesSent; }
+
+  private:
+    struct DirInfo
+    {
+        int owner = -1;
+        std::uint32_t sharers = 0;
+        bool busy = false;
+        std::deque<std::function<void()>> deferred;
+    };
+
+    static std::uint64_t
+    key(Addr vline, Pid pid)
+    {
+        return vline ^ (static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(pid))
+                        << 48);
+    }
+    static std::uint32_t bit(int id)
+    {
+        return 1u << static_cast<std::uint32_t>(id);
+    }
+
+    void bookAccess(bool is_write);
+    void arrive(int l0x_id, Addr vline, Pid pid,
+                coherence::CoherenceReq kind, GrantDone done);
+    void dirAction(int l0x_id, Addr vline, Pid pid,
+                   coherence::CoherenceReq kind, GrantDone done);
+    /** Probe tile holders (downgrade or invalidate), then @p then. */
+    void clearTile(int except, Addr vline, Pid pid,
+                   bool downgrade_to_s, std::function<void()> then);
+    void respond(int l0x_id, Addr vline, Pid pid, bool exclusive,
+                 bool with_data, GrantDone done);
+    void finishTransaction(Addr vline, Pid pid);
+    void startFill(Addr vline, Pid pid);
+    void allocateFrame(Addr vline, Pid pid, Addr pline,
+                       std::function<void()> installed);
+
+    SimContext &_ctx;
+    std::string _name = "l1x";
+    host::Llc &_llc;
+    interconnect::Link *_tileLink;
+    interconnect::Link *_llcLink;
+    vm::AxTlb &_tlb;
+    vm::AxRmap &_rmap;
+    mem::CacheArray _tags;
+    mem::BankScheduler _banks;
+    mem::MshrFile _mshrs;
+    energy::SramFigures _fig;
+    int _agentId = -1;
+    std::vector<L0xMesi *> _l0xs;
+    std::unordered_map<std::uint64_t, DirInfo> _dir;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _probesSent = 0;
+    stats::Group *_stats;
+};
+
+/** Assembled MESI-protocol tile (the FUSION-MESI design point). */
+class MesiTile
+{
+  public:
+    MesiTile(SimContext &ctx, std::uint32_t num_accels,
+             std::uint64_t l0x_bytes, std::uint32_t l0x_assoc,
+             std::uint64_t l1x_bytes, std::uint32_t l1x_assoc,
+             std::uint32_t l1x_banks, host::Llc &llc,
+             const vm::PageTable &pt);
+
+    L0xMesi &l0x(AccelId a)
+    {
+        return *_l0xs[static_cast<std::size_t>(a)];
+    }
+    L1xMesi &l1x() { return *_l1x; }
+    vm::AxTlb &tlb() { return *_tlb; }
+    vm::AxRmap &rmap() { return *_rmap; }
+    std::uint32_t numAccels() const
+    {
+        return static_cast<std::uint32_t>(_l0xs.size());
+    }
+
+  private:
+    std::unique_ptr<interconnect::Link> _tileLink;
+    std::unique_ptr<interconnect::Link> _llcLink;
+    std::unique_ptr<vm::AxTlb> _tlb;
+    std::unique_ptr<vm::AxRmap> _rmap;
+    std::unique_ptr<L1xMesi> _l1x;
+    std::vector<std::unique_ptr<L0xMesi>> _l0xs;
+};
+
+} // namespace fusion::accel
+
+#endif // FUSION_ACCEL_TILE_MESI_HH

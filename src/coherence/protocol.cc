@@ -1,0 +1,34 @@
+#include "coherence/protocol.hh"
+
+namespace fusion::coherence
+{
+
+const char *
+reqName(CoherenceReq r)
+{
+    switch (r) {
+      case CoherenceReq::GetS:
+        return "GetS";
+      case CoherenceReq::GetX:
+        return "GetX";
+      case CoherenceReq::Upgrade:
+        return "Upgrade";
+    }
+    return "?";
+}
+
+const char *
+fwdName(FwdKind f)
+{
+    switch (f) {
+      case FwdKind::Inv:
+        return "Inv";
+      case FwdKind::FwdGetS:
+        return "FwdGetS";
+      case FwdKind::FwdGetX:
+        return "FwdGetX";
+    }
+    return "?";
+}
+
+} // namespace fusion::coherence

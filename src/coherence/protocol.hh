@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Directory MESI protocol types shared between the LLC directory and
+ * the coherent agents (host L1 and the accelerator tile's shared
+ * L1X).
+ *
+ * The protocol is a 3-hop full-map directory MESI (Section 4: "We
+ * have implemented a directory based 3-hop MESI protocol"). The
+ * directory at the LLC serializes transactions per line; owners
+ * receive forwarded requests (FwdGetS / FwdGetX) and sharers receive
+ * invalidations.
+ */
+
+#ifndef FUSION_COHERENCE_PROTOCOL_HH
+#define FUSION_COHERENCE_PROTOCOL_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace fusion::coherence
+{
+
+/** Requests an agent can make to the directory. */
+enum class CoherenceReq
+{
+    GetS,   ///< read: shared (or exclusive-clean if sole) copy
+    GetX,   ///< write: exclusive copy, others invalidated
+    Upgrade ///< S->M: invalidate other sharers, no data needed
+};
+
+/** Demands the directory forwards to caching agents. */
+enum class FwdKind
+{
+    Inv,     ///< drop a shared copy
+    FwdGetS, ///< owner: supply data, downgrade M/E -> S
+    FwdGetX  ///< owner: supply data, invalidate
+};
+
+/** Human-readable names (debug traces). */
+const char *reqName(CoherenceReq r);
+const char *fwdName(FwdKind f);
+
+/**
+ * Interface implemented by every cache that participates in MESI.
+ *
+ * The directory calls handleFwd() when it needs the agent to give up
+ * or downgrade a line. The agent *must* eventually invoke @p done,
+ * passing whether it is returning dirty data; the accelerator tile
+ * uses this hook to stall the response until the line's GTIME lease
+ * expires (Section 3.2, "Integrating ACC with MESI").
+ */
+class CoherentAgent
+{
+  public:
+    virtual ~CoherentAgent() = default;
+
+    /**
+     * Completion callback.
+     * @p dirty    modified data supplied with the response
+     * @p retained the agent kept a shared copy (host caches
+     *             downgrade on FwdGetS; the accelerator tile always
+     *             relinquishes, Section 3.2)
+     */
+    using FwdDone = std::function<void(bool dirty, bool retained)>;
+
+    /**
+     * Handle a forwarded coherence demand for physical line @p pa.
+     */
+    virtual void handleFwd(Addr pa, FwdKind kind, FwdDone done) = 0;
+
+    /** Agent name for traces and stats. */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace fusion::coherence
+
+#endif // FUSION_COHERENCE_PROTOCOL_HH

@@ -1,0 +1,123 @@
+#include "core/reporters.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "energy/energy_ledger.hh"
+
+namespace fusion::core
+{
+
+double
+RunResult::component(const std::string &name) const
+{
+    auto it = energyPj.find(name);
+    return it == energyPj.end() ? 0.0 : it->second;
+}
+
+double
+RunResult::axcCachePj() const
+{
+    return component(energy::comp::kL0x) +
+           component(energy::comp::kScratchpad) +
+           component(energy::comp::kL1x);
+}
+
+double
+RunResult::axcLinkPj() const
+{
+    return component(energy::comp::kLinkL0xL1xMsg) +
+           component(energy::comp::kLinkL0xL1xData) +
+           component(energy::comp::kLinkL0xL0x);
+}
+
+double
+RunResult::totalPj() const
+{
+    double t = 0.0;
+    for (const auto &[k, v] : energyPj)
+        t += v;
+    return t;
+}
+
+double
+RunResult::hierarchyPj() const
+{
+    return totalPj() - component(energy::comp::kDram) -
+           component(energy::comp::kLinkLlcDram);
+}
+
+TableWriter::TableWriter(std::ostream &os,
+                         std::vector<std::string> headers,
+                         std::vector<int> widths)
+    : _os(os), _widths(std::move(widths))
+{
+    row(headers);
+    rule();
+}
+
+void
+TableWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        int w = i < _widths.size() ? _widths[i] : 12;
+        _os << std::left << std::setw(w) << cells[i]
+            << (i + 1 < cells.size() ? " " : "");
+    }
+    _os << "\n";
+}
+
+void
+TableWriter::rule()
+{
+    int total = 0;
+    for (int w : _widths)
+        total += w + 1;
+    _os << std::string(static_cast<std::size_t>(total), '-') << "\n";
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+fmtRatio(double v)
+{
+    return fmt(v, 2) + "x";
+}
+
+double
+EnergyStack::total() const
+{
+    return axcComputePj + localStorePj + l1xPj + llcPj +
+           tileLinkPj + hostLinkPj + dramPj + otherPj;
+}
+
+EnergyStack
+energyStack(const RunResult &r)
+{
+    namespace c = energy::comp;
+    EnergyStack s;
+    s.axcComputePj = r.component(c::kAxcCompute);
+    s.localStorePj =
+        r.component(c::kL0x) + r.component(c::kScratchpad);
+    s.l1xPj = r.component(c::kL1x);
+    s.llcPj = r.component(c::kLlc);
+    s.tileLinkPj = r.component(c::kLinkL0xL1xMsg) +
+                   r.component(c::kLinkL0xL1xData) +
+                   r.component(c::kLinkL0xL0x);
+    s.hostLinkPj = r.component(c::kLinkL1xL2Msg) +
+                   r.component(c::kLinkL1xL2Data);
+    s.dramPj = r.component(c::kDram) +
+               r.component(c::kLinkLlcDram);
+    s.otherPj = r.component(c::kAxTlb) + r.component(c::kAxRmap) +
+                r.component(c::kHostL1) +
+                r.component(c::kLinkHostL1L2);
+    return s;
+}
+
+} // namespace fusion::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table/figure formatting for the benchmark harnesses: fixed-width
+ * column printing plus the RunResult aggregate helpers.
+ */
+
+#ifndef FUSION_CORE_REPORTERS_HH
+#define FUSION_CORE_REPORTERS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/results.hh"
+
+namespace fusion::core
+{
+
+/** Simple fixed-width table writer. */
+class TableWriter
+{
+  public:
+    TableWriter(std::ostream &os, std::vector<std::string> headers,
+                std::vector<int> widths);
+
+    /** Print one row; cells are pre-formatted strings. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Print a separator line. */
+    void rule();
+
+  private:
+    std::ostream &_os;
+    std::vector<int> _widths;
+};
+
+/** Format a double with @p decimals digits. */
+std::string fmt(double v, int decimals = 2);
+
+/** Format a ratio "x.xx x". */
+std::string fmtRatio(double v);
+
+/** Energy of the Figure 6a stack categories, in display order. */
+struct EnergyStack
+{
+    double axcComputePj = 0;
+    double localStorePj = 0; ///< L0X or scratchpad
+    double l1xPj = 0;
+    double llcPj = 0;
+    double tileLinkPj = 0;   ///< L0X<->L1X + L0X<->L0X
+    double hostLinkPj = 0;   ///< L1X/DMA <-> L2
+    double dramPj = 0;
+    double otherPj = 0;      ///< TLB/RMAP/host L1/etc.
+
+    double total() const;
+};
+
+/** Split a result's ledger into the Figure 6a categories. */
+EnergyStack energyStack(const RunResult &r);
+
+} // namespace fusion::core
+
+#endif // FUSION_CORE_REPORTERS_HH

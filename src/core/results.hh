@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Result records produced by one end-to-end simulation run: every
+ * number the paper's tables and figures are built from.
+ */
+
+#ifndef FUSION_CORE_RESULTS_HH
+#define FUSION_CORE_RESULTS_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+#include <string>
+
+#include "core/system_config.hh"
+#include "sim/types.hh"
+
+namespace fusion::core
+{
+
+/** Everything measured over one (workload, system) run. */
+struct RunResult
+{
+    std::string workload;
+    SystemKind kind = SystemKind::Fusion;
+
+    /** Full program duration (host init -> host final done). */
+    Tick totalCycles = 0;
+    /** Accelerated-region duration (first invocation start ->
+     *  last invocation end), the Figure 6b metric. */
+    Tick accelCycles = 0;
+    /** Cycles the accelerators sat waiting on DMA fill/drain. */
+    Tick dmaCycles = 0;
+
+    /** Dynamic energy by ledger component (pJ). */
+    std::map<std::string, double> energyPj;
+
+    /** Per-function accelerated cycles (Table 3 KCyc). */
+    std::map<std::string, std::uint64_t> funcCycles;
+    /** Per-invocation durations, in program order (timestamp-width
+     *  study: Section 4 sizes the ACC timestamps by invocation
+     *  length). */
+    std::vector<std::uint64_t> invocationCycles;
+    /** Per-function dynamic energy, measured as whole-ledger
+     *  deltas across each invocation (Table 3 %En). */
+    std::map<std::string, double> funcEnergyPj;
+
+    // Link traffic (Figure 6c / Table 4).
+    std::uint64_t l0xL1xCtrlMsgs = 0;
+    std::uint64_t l0xL1xDataMsgs = 0;
+    std::uint64_t l0xL1xFlits = 0;
+    std::uint64_t l1xL2CtrlMsgs = 0;
+    std::uint64_t l1xL2DataMsgs = 0;
+    std::uint64_t l0xL0xDataMsgs = 0;
+
+    // Virtual memory (Table 6).
+    std::uint64_t axTlbLookups = 0;
+    std::uint64_t axRmapLookups = 0;
+    /** Host->tile forwarded MESI demands (Section 3.2). */
+    std::uint64_t fwdsToTile = 0;
+
+    // DMA (Table 6d).
+    std::uint64_t dmaOps = 0;
+    std::uint64_t dmaBytes = 0;
+    /** Accelerator working set (unique lines * 64 B). */
+    std::uint64_t workingSetBytes = 0;
+
+    // L0X behaviour (Tables 4 & 5).
+    std::uint64_t l0xFills = 0;
+    std::uint64_t l0xWritebacks = 0;
+    std::uint64_t l0xForwards = 0;
+    std::uint64_t l1xHits = 0;
+    std::uint64_t l1xMisses = 0;
+
+    /** Total accelerator-side cache energy (L0X/SPM + L1X), the
+     *  Table 5 "AXC Cache" column. */
+    double axcCachePj() const;
+    /** Total tile link energy (L0X-L1X + L0X-L0X), the Table 5
+     *  "AXC Link" column. */
+    double axcLinkPj() const;
+    /** Whole-system dynamic energy (including DRAM). */
+    double totalPj() const;
+    /** Cache-hierarchy + interconnect energy only — the scope of
+     *  the paper's Figure 6a stacks (DRAM cold-miss energy is the
+     *  same across systems and would dilute the ratios). */
+    double hierarchyPj() const;
+    /** Energy of one component (0 when absent). */
+    double component(const std::string &name) const;
+};
+
+} // namespace fusion::core
+
+#endif // FUSION_CORE_RESULTS_HH

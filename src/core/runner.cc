@@ -1,0 +1,79 @@
+#include "core/runner.hh"
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+namespace fusion::core
+{
+
+RunResult
+runProgram(const SystemConfig &cfg, const trace::Program &prog)
+{
+    System sys(cfg, prog);
+    return sys.run();
+}
+
+std::vector<RunResult>
+runBaselineSystems(const trace::Program &prog)
+{
+    std::vector<RunResult> out;
+    for (SystemKind k : {SystemKind::Scratch, SystemKind::Shared,
+                         SystemKind::Fusion}) {
+        out.push_back(
+            runProgram(SystemConfig::paperDefault(k), prog));
+    }
+    return out;
+}
+
+std::map<std::string, std::uint64_t>
+hostProfile(const trace::Program &prog)
+{
+    // Replay every invocation on a host-only system; attribute
+    // cycles per function.
+    SystemConfig cfg = SystemConfig::paperDefault(
+        SystemKind::Shared); // host side only is used
+    SimContext ctx;
+    vm::PageTable pt;
+    for (const auto &inv : prog.invocations) {
+        for (const auto &op : inv.ops) {
+            if (op.kind != trace::OpKind::Compute)
+                pt.ensureMapped(prog.pid, op.addr);
+        }
+    }
+    mem::Dram dram(ctx, cfg.dram);
+    host::Llc llc(ctx, cfg.llc, dram);
+    interconnect::Link link(
+        ctx, interconnect::LinkParams{
+                 "hostl1_l2", energy::LinkClass::HostL1ToL2, 2,
+                 energy::comp::kLinkHostL1L2,
+                 energy::comp::kLinkHostL1L2});
+    host::HostL1Params hp;
+    hp.name = "host.l1";
+    hp.capacityBytes = cfg.hostL1Bytes;
+    hp.assoc = cfg.hostL1Assoc;
+    host::HostL1 l1(ctx, hp, llc, &link);
+    host::HostCore hc(ctx, cfg.hostCore, l1, pt);
+
+    std::map<std::string, std::uint64_t> cycles;
+    for (const auto &inv : prog.invocations) {
+        const auto &meta =
+            prog.functions[static_cast<std::size_t>(inv.func)];
+        Tick t0 = ctx.now();
+        bool done = false;
+        hc.run(inv.ops, prog.pid, [&done] { done = true; });
+        ctx.eq.run();
+        fusion_assert(done, "host profile replay hung");
+        cycles[meta.name] += ctx.now() - t0;
+    }
+    return cycles;
+}
+
+trace::Program
+buildProgram(const std::string &workload, workloads::Scale scale)
+{
+    auto w = workloads::makeWorkload(workload);
+    fusion_assert(w, "unknown workload: ", workload);
+    return w->build(scale);
+}
+
+} // namespace fusion::core

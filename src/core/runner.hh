@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Experiment runner: the highest-level public API. Builds a
+ * workload's traced Program once, then simulates it on any of the
+ * four systems; also provides the host-only profile used for
+ * Table 1's %Time column.
+ */
+
+#ifndef FUSION_CORE_RUNNER_HH
+#define FUSION_CORE_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/results.hh"
+#include "core/system_config.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace fusion::core
+{
+
+/** Simulate @p prog on a system configured by @p cfg. */
+RunResult runProgram(const SystemConfig &cfg,
+                     const trace::Program &prog);
+
+/** Simulate @p prog on SCRATCH, SHARED and FUSION (paper defaults),
+ *  in that order. */
+std::vector<RunResult> runBaselineSystems(const trace::Program &prog);
+
+/**
+ * Replay every invocation on the host core ("un-accelerated"
+ * execution) and return per-function cycle totals — the paper's
+ * gprof-style profile behind Table 1's %Time.
+ */
+std::map<std::string, std::uint64_t>
+hostProfile(const trace::Program &prog);
+
+/** Build one workload by name (panics on unknown names). */
+trace::Program buildProgram(const std::string &workload,
+                            workloads::Scale scale);
+
+} // namespace fusion::core
+
+#endif // FUSION_CORE_RUNNER_HH

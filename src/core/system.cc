@@ -1,0 +1,544 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fusion::core
+{
+
+/**
+ * Translates virtual accelerator accesses for the SHARED L1X and
+ * books the per-access AXC<->L1X link traffic (request message +
+ * word response) that makes SHARED expensive in link energy
+ * (Section 5.2; Figure 6c's "L0X->L1X MSG" / "L1X->L0X DATA" for
+ * the SHARED design).
+ */
+class System::SharedFrontend : public accel::MemPort
+{
+  public:
+    SharedFrontend(SimContext &ctx, host::HostL1 &l1x,
+                   interconnect::Link &link,
+                   const vm::PageTable &pt, Pid pid)
+        : _ctx(ctx), _l1x(l1x), _link(link), _pt(pt), _pid(pid)
+    {
+    }
+
+    void
+    access(Addr va, std::uint32_t size, bool is_write,
+           accel::PortDone done) override
+    {
+        (void)size;
+        Addr pa = _pt.translate(_pid, va);
+        // Request: 1 flit (+ the store's word payload).
+        _link.book(is_write ? interconnect::MsgClass::Word
+                            : interconnect::MsgClass::Control);
+        _ctx.eq.scheduleIn(
+            _link.latency(),
+            [this, pa, is_write, done = std::move(done)]() mutable {
+                _l1x.access(pa, is_write,
+                            [this, is_write,
+                             done = std::move(done)]() mutable {
+                                // Response: word payload for loads,
+                                // ack for stores.
+                                _link.book(
+                                    is_write
+                                        ? interconnect::MsgClass::
+                                              Control
+                                        : interconnect::MsgClass::
+                                              Word);
+                                _ctx.eq.scheduleIn(
+                                    _link.latency(),
+                                    [done = std::move(
+                                         done)]() mutable {
+                                        done();
+                                    });
+                            });
+            });
+    }
+
+  private:
+    SimContext &_ctx;
+    host::HostL1 &_l1x;
+    interconnect::Link &_link;
+    const vm::PageTable &_pt;
+    Pid _pid;
+};
+
+System::System(const SystemConfig &cfg, const trace::Program &prog)
+    : _cfg(cfg), _prog(prog)
+{
+    // Map every traced virtual page up front (the OS would have
+    // faulted them in during the original execution).
+    auto map_ops = [this](const std::vector<trace::TraceOp> &ops) {
+        for (const auto &op : ops) {
+            if (op.kind != trace::OpKind::Compute)
+                _pt.ensureMapped(_prog.pid, op.addr);
+        }
+    };
+    map_ops(prog.hostInit);
+    map_ops(prog.hostFinal);
+    for (const auto &inv : prog.invocations)
+        map_ops(inv.ops);
+
+    // Host tile.
+    _dram = std::make_unique<mem::Dram>(_ctx, cfg.dram);
+    _llc = std::make_unique<host::Llc>(_ctx, cfg.llc, *_dram);
+    _hostL1Link = std::make_unique<interconnect::Link>(
+        _ctx, interconnect::LinkParams{
+                  "hostl1_l2", energy::LinkClass::HostL1ToL2, 2,
+                  energy::comp::kLinkHostL1L2,
+                  energy::comp::kLinkHostL1L2});
+    host::HostL1Params hp;
+    hp.name = "host.l1";
+    hp.capacityBytes = cfg.hostL1Bytes;
+    hp.assoc = cfg.hostL1Assoc;
+    hp.ringNode = 0;
+    _hostL1 = std::make_unique<host::HostL1>(_ctx, hp, *_llc,
+                                             _hostL1Link.get());
+    _hostCore = std::make_unique<host::HostCore>(_ctx, cfg.hostCore,
+                                                 *_hostL1, _pt);
+
+    // Accelerator cores.
+    std::uint32_t num_accels = std::max(1u, prog.accelCount());
+    accel::AccelCoreParams ap;
+    ap.datapathWidth = cfg.datapathWidth;
+    ap.storeBuffer = cfg.accelStoreBuffer;
+    for (std::uint32_t a = 0; a < num_accels; ++a) {
+        _cores.push_back(std::make_unique<accel::AccelCore>(
+            _ctx, ap, static_cast<AccelId>(a)));
+    }
+
+    switch (cfg.kind) {
+      case SystemKind::Scratch: {
+        for (std::uint32_t a = 0; a < num_accels; ++a) {
+            _spms.push_back(std::make_unique<mem::Scratchpad>(
+                _ctx, cfg.scratchpadBytes,
+                "axc" + std::to_string(a) + ".spm"));
+            _spmPorts.push_back(
+                std::make_unique<accel::ScratchpadFrontend>(
+                    _ctx, *_spms.back()));
+        }
+        // The DMA engine resides at the LLC; its transfer path to
+        // the tile is the same physical link class as L1X<->L2 and
+        // books against the same components so energy stacks are
+        // comparable across systems. Latency includes the average
+        // ring traversal.
+        _dmaLink = std::make_unique<interconnect::Link>(
+            _ctx, interconnect::LinkParams{
+                      "dma", energy::LinkClass::L1xToL2, 7,
+                      energy::comp::kLinkL1xL2Msg,
+                      energy::comp::kLinkL1xL2Data});
+        accel::DmaParams dp;
+        dp.maxOutstanding = cfg.dmaMaxOutstanding;
+        _dma = std::make_unique<accel::DmaEngine>(
+            _ctx, dp, *_llc, _dmaLink.get(), _pt);
+        _windows.resize(prog.invocations.size());
+        break;
+      }
+      case SystemKind::Shared: {
+        _sharedTileLink = std::make_unique<interconnect::Link>(
+            _ctx, interconnect::LinkParams{
+                      "l0x_l1x", energy::LinkClass::AxcToL1x, 1,
+                      energy::comp::kLinkL0xL1xMsg,
+                      energy::comp::kLinkL0xL1xData});
+        _sharedLlcLink = std::make_unique<interconnect::Link>(
+            _ctx, interconnect::LinkParams{
+                      "l1x_l2", energy::LinkClass::L1xToL2, 3,
+                      energy::comp::kLinkL1xL2Msg,
+                      energy::comp::kLinkL1xL2Data});
+        host::HostL1Params sp;
+        sp.name = "l1x";
+        sp.capacityBytes = cfg.l1xBytes;
+        sp.assoc = cfg.l1xAssoc;
+        sp.banks = cfg.l1xBanks;
+        sp.energyComponent = energy::comp::kL1x;
+        sp.ringNode = 4; // the tile sits across the ring
+        sp.wordAccessScale = 0.5;
+        _sharedL1x = std::make_unique<host::HostL1>(
+            _ctx, sp, *_llc, _sharedLlcLink.get());
+        _sharedPort = std::make_unique<SharedFrontend>(
+            _ctx, *_sharedL1x, *_sharedTileLink, _pt, prog.pid);
+        break;
+      }
+      case SystemKind::FusionMesi: {
+        _mesiTile = std::make_unique<accel::MesiTile>(
+            _ctx, num_accels, cfg.l0xBytes, cfg.l0xAssoc,
+            cfg.l1xBytes, cfg.l1xAssoc, cfg.l1xBanks, *_llc, _pt);
+        for (std::uint32_t a = 0; a < num_accels; ++a)
+            _mesiTile->l0x(static_cast<AccelId>(a))
+                .setPid(prog.pid);
+        break;
+      }
+      case SystemKind::Fusion:
+      case SystemKind::FusionDx: {
+        std::uint32_t num_tiles =
+            std::min(std::max(1u, cfg.numTiles), num_accels);
+        // Block-partition accelerators over the tiles.
+        std::uint32_t per =
+            (num_accels + num_tiles - 1) / num_tiles;
+        _tileOf.resize(num_accels);
+        _localId.resize(num_accels);
+        for (std::uint32_t t = 0; t < num_tiles; ++t) {
+            std::uint32_t lo = t * per;
+            std::uint32_t hi =
+                std::min(num_accels, (t + 1) * per);
+            if (lo >= hi)
+                break;
+            accel::TileParams tp;
+            tp.numAccels = hi - lo;
+            tp.l0xBytes = cfg.l0xBytes;
+            tp.l0xAssoc = cfg.l0xAssoc;
+            tp.l0xRepl = cfg.l0xRepl;
+            tp.writeThrough = cfg.l0xWriteThrough;
+            tp.enableDx = cfg.kind == SystemKind::FusionDx;
+            tp.l1x.capacityBytes = cfg.l1xBytes;
+            tp.l1x.assoc = cfg.l1xAssoc;
+            tp.l1x.banks = cfg.l1xBanks;
+            tp.l1x.name = num_tiles == 1
+                              ? std::string("l1x")
+                              : "l1x" + std::to_string(t);
+            // Spread tiles over the far side of the ring.
+            tp.l1x.ringNode = 4 + t;
+            _tiles.push_back(std::make_unique<accel::FusionTile>(
+                _ctx, tp, *_llc, _pt));
+            for (std::uint32_t a = lo; a < hi; ++a) {
+                _tileOf[a] = t;
+                _localId[a] = static_cast<AccelId>(a - lo);
+            }
+        }
+        if (cfg.kind == SystemKind::FusionDx)
+            _fwdPlan = trace::planForwarding(prog);
+        // Lease lengths are per accelerated function; prime each
+        // L0X with its function's LT so Dx pushes landing before
+        // the consumer's first invocation carry the right lease.
+        for (const auto &f : _prog.functions) {
+            tileFor(f.accel)
+                .l0x(_localId[static_cast<std::size_t>(f.accel)])
+                .setFunction(f.leaseTime, prog.pid);
+        }
+        break;
+      }
+    }
+}
+
+System::~System() = default;
+
+RunResult
+System::run()
+{
+    bool finished = false;
+
+    _ctx.eq.scheduleIn(0, [this, &finished] {
+        _hostCore->run(_prog.hostInit, _prog.pid, [this, &finished] {
+            _accelStart = _ctx.now();
+            auto run_all = [this](std::function<void()> then) {
+                if (_cfg.overlapInvocations &&
+                    _cfg.kind != SystemKind::Scratch) {
+                    runOverlapped(std::move(then));
+                } else {
+                    runInvocation(0, std::move(then));
+                }
+            };
+            run_all([this, &finished] {
+                _accelEnd = _ctx.now();
+                _hostCore->run(_prog.hostFinal, _prog.pid,
+                               [this, &finished] {
+                                   finished = true;
+                               });
+            });
+        });
+    });
+
+    // Drain: completion plus any outstanding lease-expiry
+    // housekeeping (self-downgrades schedule into the future).
+    Tick finish_tick = 0;
+    while (!_ctx.eq.empty()) {
+        _ctx.eq.step();
+        if (finished && finish_tick == 0)
+            finish_tick = _ctx.now();
+    }
+    fusion_assert(finished, "simulation deadlocked: ",
+                  _ctx.eq.pending(), " events pending");
+
+    RunResult r;
+    r.workload = _prog.name;
+    r.kind = _cfg.kind;
+    r.totalCycles = finish_tick;
+    r.accelCycles = _accelEnd - _accelStart;
+    r.dmaCycles = _dmaWait;
+    r.funcCycles = _funcCycles;
+    r.invocationCycles = _invCycles;
+    collect(r);
+    return r;
+}
+
+void
+System::runInvocation(std::size_t idx, std::function<void()> then)
+{
+    if (idx >= _prog.invocations.size()) {
+        then();
+        return;
+    }
+    launchInvocation(idx, [this, idx,
+                           then = std::move(then)]() mutable {
+        runInvocation(idx + 1, std::move(then));
+    });
+}
+
+void
+System::launchInvocation(std::size_t idx,
+                         std::function<void()> completion_cb)
+{
+    const trace::Invocation &inv = _prog.invocations[idx];
+    const trace::FunctionMeta &meta =
+        _prog.functions[static_cast<std::size_t>(inv.func)];
+    accel::AccelCore &core =
+        *_cores[static_cast<std::size_t>(meta.accel)];
+    Tick t0 = _ctx.now();
+    double e0 = _ctx.energy.grandTotal();
+
+    auto completion = [this, idx, name = meta.name, t0, e0,
+                       cb = std::move(completion_cb)]() mutable {
+        _funcCycles[name] += _ctx.now() - t0;
+        // Energy attribution per function (Table 3 %En). Under
+        // overlapped execution concurrent invocations share the
+        // window, so this is approximate there; exact when serial.
+        _funcEnergyPj[name] += _ctx.energy.grandTotal() - e0;
+        if (_invCycles.size() < _prog.invocations.size())
+            _invCycles.resize(_prog.invocations.size(), 0);
+        _invCycles[idx] = _ctx.now() - t0;
+        cb();
+    };
+
+    switch (_cfg.kind) {
+      case SystemKind::Scratch:
+        runScratchWindows(idx, 0, std::move(completion));
+        return;
+      case SystemKind::Shared:
+        core.run(inv, meta.mlp, *_sharedPort, std::move(completion));
+        return;
+      case SystemKind::FusionMesi:
+        core.run(inv, meta.mlp, _mesiTile->l0x(meta.accel),
+                 std::move(completion));
+        return;
+      case SystemKind::Fusion:
+      case SystemKind::FusionDx: {
+        accel::FusionTile &tile = tileFor(meta.accel);
+        AccelId local =
+            _localId[static_cast<std::size_t>(meta.accel)];
+        accel::L0x &l0 = tile.l0x(local);
+        l0.setFunction(meta.leaseTime, _prog.pid);
+        if (_cfg.kind == SystemKind::FusionDx) {
+            auto it = _fwdPlan.find(static_cast<std::uint32_t>(idx));
+            // Only consumers on the *same* tile can receive pushes
+            // (the L0X-L0X link is intra-tile); remap their ids to
+            // tile-local indices.
+            std::unordered_map<Addr, trace::ForwardHint> local_plan;
+            if (it != _fwdPlan.end()) {
+                std::uint32_t my_tile =
+                    _tileOf[static_cast<std::size_t>(meta.accel)];
+                for (const auto &[line, hint] : it->second) {
+                    auto ci = static_cast<std::size_t>(
+                        hint.consumer);
+                    if (_tileOf[ci] == my_tile) {
+                        local_plan[line] = trace::ForwardHint{
+                            _localId[ci], hint.earlyOk};
+                    }
+                }
+            }
+            tile.installForwardPlan(local, local_plan);
+        }
+        core.run(inv, meta.mlp, l0,
+                 [this, &tile, local,
+                  completion = std::move(completion)]() mutable {
+                     tile.finishInvocation(local);
+                     completion();
+                 });
+        return;
+      }
+    }
+    fusion_panic("unhandled system kind");
+}
+
+void
+System::runOverlapped(std::function<void()> then)
+{
+    std::size_t n = _prog.invocations.size();
+    if (n == 0) {
+        then();
+        return;
+    }
+    _invDeps = trace::invocationDependences(_prog);
+    _invDone.assign(n, false);
+    _invLaunched.assign(n, false);
+    _accelBusy.assign(_cores.size(), false);
+    _invRemaining = n;
+    _overlapThen = std::move(then);
+    pumpOverlap();
+}
+
+void
+System::pumpOverlap()
+{
+    if (_invRemaining == 0) {
+        if (!_overlapThen)
+            return; // completion already delivered reentrantly
+        auto then = std::move(_overlapThen);
+        _overlapThen = nullptr;
+        then();
+        return;
+    }
+    for (std::size_t j = 0; j < _prog.invocations.size(); ++j) {
+        if (_invLaunched[j])
+            continue;
+        auto accel = static_cast<std::size_t>(
+            _prog.functions[static_cast<std::size_t>(
+                                _prog.invocations[j].func)]
+                .accel);
+        if (_accelBusy[accel])
+            continue;
+        bool ready = true;
+        for (std::uint32_t d : _invDeps[j]) {
+            if (!_invDone[d]) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready)
+            continue;
+        _invLaunched[j] = true;
+        _accelBusy[accel] = true;
+        _ctx.stats.root().child("scheduler").scalar(
+            "overlap_launches") += 1;
+        launchInvocation(j, [this, j, accel] {
+            _invDone[j] = true;
+            _accelBusy[accel] = false;
+            --_invRemaining;
+            pumpOverlap();
+        });
+    }
+}
+
+void
+System::runScratchWindows(std::size_t inv_idx, std::size_t widx,
+                          std::function<void()> then)
+{
+    const trace::Invocation &inv = _prog.invocations[inv_idx];
+    const trace::FunctionMeta &meta =
+        _prog.functions[static_cast<std::size_t>(inv.func)];
+    auto &wins = _windows[inv_idx];
+    if (widx == 0 && wins.empty()) {
+        wins = trace::segmentWindows(
+            inv, _cfg.scratchpadBytes / kLineBytes);
+    }
+    if (widx >= wins.size()) {
+        then();
+        return;
+    }
+    const trace::DmaWindow &w = wins[widx];
+    auto spm_idx = static_cast<std::size_t>(meta.accel);
+    mem::Scratchpad &spm = *_spms[spm_idx];
+    accel::ScratchpadFrontend &port = *_spmPorts[spm_idx];
+    accel::AccelCore &core = *_cores[spm_idx];
+
+    Tick fill_start = _ctx.now();
+    _dma->fill(w.readLines, _prog.pid, spm,
+               [this, inv_idx, widx, &inv, &w, &spm, &port, &core,
+                meta, fill_start, then = std::move(then)]() mutable {
+        _dmaWait += _ctx.now() - fill_start;
+        _residentLines.clear();
+        _residentLines.insert(w.readLines.begin(),
+                              w.readLines.end());
+        _residentLines.insert(w.dirtyLines.begin(),
+                              w.dirtyLines.end());
+        port.setResidentLines(_residentLines);
+        core.run(inv, meta.mlp, port, w.beginOp, w.endOp,
+                 [this, inv_idx, widx, &w, &spm,
+                  then = std::move(then)]() mutable {
+            Tick drain_start = _ctx.now();
+            _dma->drain(w.dirtyLines, _prog.pid, spm,
+                        [this, inv_idx, widx, drain_start,
+                         then = std::move(then)]() mutable {
+                _dmaWait += _ctx.now() - drain_start;
+                runScratchWindows(inv_idx, widx + 1,
+                                  std::move(then));
+            });
+        });
+    });
+}
+
+void
+System::collect(RunResult &r) const
+{
+    r.energyPj = _ctx.energy.components();
+    r.workingSetBytes = trace::footprintLines(_prog) * kLineBytes;
+
+    const stats::Group &root = _ctx.stats.root();
+    auto link_scalar = [&root](const char *link,
+                               const char *stat) -> std::uint64_t {
+        auto it = root.children().find("links");
+        if (it == root.children().end())
+            return 0;
+        auto jt = it->second.children().find(link);
+        if (jt == it->second.children().end())
+            return 0;
+        if (!jt->second.hasScalar(stat))
+            return 0;
+        return static_cast<std::uint64_t>(
+            jt->second.scalarValue(stat));
+    };
+    r.l0xL1xCtrlMsgs = link_scalar("l0x_l1x", "ctrl_msgs");
+    r.l0xL1xDataMsgs = link_scalar("l0x_l1x", "data_msgs");
+    r.l0xL1xFlits = link_scalar("l0x_l1x", "flits");
+    // SCRATCH's DMA link books to the same ledger components but a
+    // distinct stats group; fold both into the L1X<->L2 counters.
+    r.l1xL2CtrlMsgs = link_scalar("l1x_l2", "ctrl_msgs") +
+                      link_scalar("dma", "ctrl_msgs");
+    r.l1xL2DataMsgs = link_scalar("l1x_l2", "data_msgs") +
+                      link_scalar("dma", "data_msgs");
+    r.l0xL0xDataMsgs = link_scalar("l0x_l0x", "data_msgs");
+
+    for (std::size_t t = 0; t < _tiles.size(); ++t) {
+        accel::FusionTile *tile = _tiles[t].get();
+        r.axTlbLookups += tile->tlb().lookups();
+        r.axRmapLookups += tile->rmap().lookups();
+        r.l1xHits += tile->l1x().hits();
+        r.l1xMisses += tile->l1x().misses();
+        for (std::uint32_t a = 0; a < tile->numAccels(); ++a) {
+            const accel::L0x &l0 =
+                tile->l0x(static_cast<AccelId>(a));
+            r.l0xFills += l0.fills();
+            r.l0xWritebacks += l0.writebacksSent();
+            r.l0xForwards += l0.forwardsOut();
+        }
+        // Host L1 is agent 0; tiles follow in construction order.
+        r.fwdsToTile += _llc->fwdsToAgent(static_cast<int>(1 + t));
+    }
+    if (_sharedL1x) {
+        r.l1xHits = _sharedL1x->hits();
+        r.l1xMisses = _sharedL1x->misses();
+        r.fwdsToTile = _llc->fwdsToAgent(1);
+    }
+    if (_mesiTile) {
+        r.axTlbLookups = _mesiTile->tlb().lookups();
+        r.axRmapLookups = _mesiTile->rmap().lookups();
+        r.l1xHits = _mesiTile->l1x().hits();
+        r.l1xMisses = _mesiTile->l1x().misses();
+        for (std::uint32_t a = 0; a < _mesiTile->numAccels(); ++a) {
+            const accel::L0xMesi &l0 =
+                _mesiTile->l0x(static_cast<AccelId>(a));
+            r.l0xFills += l0.fills();
+            r.l0xWritebacks += l0.writebacks();
+        }
+        r.fwdsToTile = _llc->fwdsToAgent(1);
+    }
+    if (_dma) {
+        r.dmaOps = _dma->dmaOps();
+        r.dmaBytes = _dma->bytesTransferred();
+    }
+
+    r.funcEnergyPj = _funcEnergyPj;
+}
+
+} // namespace fusion::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The top-level simulated system: one host tile (core, L1, NUCA LLC
+ * with directory MESI, DRAM) plus the accelerator organization the
+ * SystemConfig selects — scratchpads + oracle DMA, a shared MESI
+ * L1X, or the FUSION tile (L0Xs + ACC L1X, optionally with Dx
+ * forwarding).
+ *
+ * System::run() executes a whole captured Program: the host writes
+ * the inputs, the accelerated invocations run in program order
+ * (sequential-program offload semantics, Section 1), and the host
+ * consumes the outputs — which is what generates the host-tile
+ * forwarded requests of Table 6.
+ */
+
+#ifndef FUSION_CORE_SYSTEM_HH
+#define FUSION_CORE_SYSTEM_HH
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "accel/accel_core.hh"
+#include "accel/dma_engine.hh"
+#include "accel/scratchpad_frontend.hh"
+#include "accel/tile.hh"
+#include "accel/tile_mesi.hh"
+#include "core/results.hh"
+#include "core/system_config.hh"
+#include "host/host_core.hh"
+#include "host/host_l1.hh"
+#include "host/llc.hh"
+#include "mem/dram.hh"
+#include "mem/scratchpad.hh"
+#include "trace/analysis.hh"
+#include "trace/trace.hh"
+#include "vm/page_table.hh"
+
+namespace fusion::core
+{
+
+/** A fully assembled simulated system bound to one Program. */
+class System
+{
+  public:
+    System(const SystemConfig &cfg, const trace::Program &prog);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run the whole program to completion and collect results. */
+    RunResult run();
+
+    /** Simulation services (tests poke at stats/energy). */
+    SimContext &ctx() { return _ctx; }
+    const SystemConfig &config() const { return _cfg; }
+    /** The first FUSION tile (null for SCRATCH/SHARED). */
+    accel::FusionTile *tile()
+    {
+        return _tiles.empty() ? nullptr : _tiles.front().get();
+    }
+    /** All FUSION tiles. */
+    std::vector<std::unique_ptr<accel::FusionTile>> &tiles()
+    {
+        return _tiles;
+    }
+    host::Llc &llc() { return *_llc; }
+    vm::PageTable &pageTable() { return _pt; }
+
+  private:
+    /** MemPort adapter for the SHARED organization. */
+    class SharedFrontend;
+
+    void runInvocation(std::size_t idx, std::function<void()> then);
+    void runScratchWindows(std::size_t inv_idx, std::size_t widx,
+                           std::function<void()> then);
+    /** Dependence-driven overlapped execution (cached systems). */
+    void runOverlapped(std::function<void()> then);
+    void pumpOverlap();
+    void launchInvocation(std::size_t idx,
+                          std::function<void()> completion);
+    void collect(RunResult &r) const;
+
+    SystemConfig _cfg;
+    const trace::Program &_prog;
+    SimContext _ctx;
+    vm::PageTable _pt;
+
+    // Host tile.
+    std::unique_ptr<mem::Dram> _dram;
+    std::unique_ptr<host::Llc> _llc;
+    std::unique_ptr<interconnect::Link> _hostL1Link;
+    std::unique_ptr<host::HostL1> _hostL1;
+    std::unique_ptr<host::HostCore> _hostCore;
+
+    // Accelerator cores (all organizations).
+    std::vector<std::unique_ptr<accel::AccelCore>> _cores;
+
+    // SCRATCH organization.
+    std::vector<std::unique_ptr<mem::Scratchpad>> _spms;
+    std::vector<std::unique_ptr<accel::ScratchpadFrontend>>
+        _spmPorts;
+    std::unique_ptr<interconnect::Link> _dmaLink;
+    std::unique_ptr<accel::DmaEngine> _dma;
+    /// Per-invocation window decomposition (lazy).
+    mutable std::vector<std::vector<trace::DmaWindow>> _windows;
+    std::unordered_set<Addr> _residentLines;
+
+    // SHARED organization.
+    std::unique_ptr<interconnect::Link> _sharedTileLink;
+    std::unique_ptr<interconnect::Link> _sharedLlcLink;
+    std::unique_ptr<host::HostL1> _sharedL1x;
+    std::unique_ptr<SharedFrontend> _sharedPort;
+
+    // FUSION organizations. Accelerators are block-partitioned
+    // over the tiles; _tileOf/_localId map a global AccelId to its
+    // tile and the L0X index within it.
+    std::vector<std::unique_ptr<accel::FusionTile>> _tiles;
+    std::vector<std::uint32_t> _tileOf;
+    std::vector<AccelId> _localId;
+    trace::ForwardPlan _fwdPlan;
+    /// FUSION-MESI: the conventional intra-tile protocol.
+    std::unique_ptr<accel::MesiTile> _mesiTile;
+
+    accel::FusionTile &tileFor(AccelId a)
+    {
+        return *_tiles[_tileOf[static_cast<std::size_t>(a)]];
+    }
+
+    // Overlap scheduling state.
+    std::vector<std::vector<std::uint32_t>> _invDeps;
+    std::vector<bool> _invDone;
+    std::vector<bool> _invLaunched;
+    std::vector<bool> _accelBusy;
+    std::size_t _invRemaining = 0;
+    std::function<void()> _overlapThen;
+
+    // Phase bookkeeping.
+    Tick _accelStart = 0;
+    Tick _accelEnd = 0;
+    Tick _dmaWait = 0;
+    std::map<std::string, std::uint64_t> _funcCycles;
+    std::map<std::string, double> _funcEnergyPj;
+    std::vector<std::uint64_t> _invCycles;
+};
+
+} // namespace fusion::core
+
+#endif // FUSION_CORE_SYSTEM_HH

@@ -1,0 +1,61 @@
+#include "core/system_config.hh"
+
+namespace fusion::core
+{
+
+const char *
+systemKindShortName(SystemKind k)
+{
+    switch (k) {
+      case SystemKind::Scratch:
+        return "SC";
+      case SystemKind::Shared:
+        return "SH";
+      case SystemKind::Fusion:
+        return "FU";
+      case SystemKind::FusionDx:
+        return "FU-Dx";
+      case SystemKind::FusionMesi:
+        return "FU-M";
+    }
+    return "?";
+}
+
+const char *
+systemKindName(SystemKind k)
+{
+    switch (k) {
+      case SystemKind::Scratch:
+        return "SCRATCH";
+      case SystemKind::Shared:
+        return "SHARED";
+      case SystemKind::Fusion:
+        return "FUSION";
+      case SystemKind::FusionDx:
+        return "FUSION-Dx";
+      case SystemKind::FusionMesi:
+        return "FUSION-MESI";
+    }
+    return "?";
+}
+
+SystemConfig
+SystemConfig::paperDefault(SystemKind kind)
+{
+    SystemConfig c;
+    c.kind = kind;
+    return c;
+}
+
+SystemConfig
+SystemConfig::axcLarge(SystemKind kind)
+{
+    SystemConfig c;
+    c.kind = kind;
+    c.scratchpadBytes = 8 * 1024;
+    c.l0xBytes = 8 * 1024;
+    c.l1xBytes = 256 * 1024;
+    return c;
+}
+
+} // namespace fusion::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Public configuration of the four systems the paper compares
+ * (Section 4, "Systems compared"), with defaults from Table 2.
+ */
+
+#ifndef FUSION_CORE_SYSTEM_CONFIG_HH
+#define FUSION_CORE_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "host/host_core.hh"
+#include "host/llc.hh"
+#include "mem/cache_array.hh"
+#include "mem/dram.hh"
+#include "sim/types.hh"
+
+namespace fusion::core
+{
+
+/** The four evaluated organizations. */
+enum class SystemKind
+{
+    Scratch,   ///< per-accelerator scratchpads + oracle DMA
+    Shared,    ///< one shared L1X per tile, full MESI participant
+    Fusion,    ///< private L0Xs + shared L1X under ACC
+    FusionDx,  ///< FUSION + direct L0X->L0X write forwarding
+    FusionMesi ///< FUSION geometry with a conventional directory
+               ///< MESI protocol inside the tile (the design ACC
+               ///< is argued against; see docs/PROTOCOL.md)
+};
+
+/** Short display name used in tables ("SC", "SH", "FU", "FU-Dx"). */
+const char *systemKindShortName(SystemKind k);
+/** Full display name ("SCRATCH", ...). */
+const char *systemKindName(SystemKind k);
+
+/** Complete system configuration. */
+struct SystemConfig
+{
+    SystemKind kind = SystemKind::Fusion;
+
+    // Accelerator tile (Table 2, "Accelerator Cache Hierarchy").
+    std::uint64_t scratchpadBytes = 4 * 1024;
+    std::uint64_t l0xBytes = 4 * 1024;
+    std::uint32_t l0xAssoc = 4;
+    mem::ReplPolicy l0xRepl = mem::ReplPolicy::Lru;
+    std::uint64_t l1xBytes = 64 * 1024;
+    std::uint32_t l1xAssoc = 8;
+    std::uint32_t l1xBanks = 16;
+    bool l0xWriteThrough = false;
+
+    // Host side.
+    host::LlcParams llc;
+    mem::DramParams dram;
+    host::HostCoreParams hostCore;
+    std::uint64_t hostL1Bytes = 64 * 1024;
+    std::uint32_t hostL1Assoc = 4;
+
+    // Datapath.
+    std::uint32_t datapathWidth = 4;
+    std::uint32_t accelStoreBuffer = 16;
+    /// Overlap data-independent invocations on different
+    /// accelerators (the concurrency the paper's Figure 5 timeline
+    /// depicts). Dependences come from trace analysis
+    /// (trace::invocationDependences); SCRATCH always runs serial
+    /// (one DMA engine). Off by default: the paper's headline
+    /// numbers assume strictly sequential offload.
+    bool overlapInvocations = false;
+    /// Number of accelerator tiles (FUSION/FUSION-Dx). The paper
+    /// collocates every function of an application on one tile;
+    /// splitting across tiles forces inter-accelerator sharing
+    /// through the host LLC and quantifies the collocation benefit.
+    std::uint32_t numTiles = 1;
+    /// Concurrent line transactions of the coherent DMA engine
+    /// (ACP/PowerBus-style engines pipeline only a couple of
+    /// coherent line transactions).
+    std::uint32_t dmaMaxOutstanding = 2;
+
+    /** The paper's default configuration for @p kind. */
+    static SystemConfig paperDefault(SystemKind kind);
+
+    /**
+     * The Section 5.5 "AXC-Large" variant: 8 KB L0X (and
+     * scratchpad) with a 256 KB L1X.
+     */
+    static SystemConfig axcLarge(SystemKind kind);
+};
+
+} // namespace fusion::core
+
+#endif // FUSION_CORE_SYSTEM_CONFIG_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-component dynamic-energy accounting.
+ *
+ * Every structure and link in the simulated system books the energy
+ * of each access against a named component in one shared Ledger; the
+ * experiment harness then renders the Figure-6a-style stacked
+ * breakdowns from the ledger totals.
+ */
+
+#ifndef FUSION_ENERGY_ENERGY_LEDGER_HH
+#define FUSION_ENERGY_ENERGY_LEDGER_HH
+
+#include <map>
+#include <string>
+
+namespace fusion::energy
+{
+
+/**
+ * Canonical component names used across the simulator so that
+ * results are comparable between system configurations.
+ */
+namespace comp
+{
+inline constexpr const char *kAxcCompute = "axc.compute";
+inline constexpr const char *kL0x = "l0x";
+inline constexpr const char *kScratchpad = "scratchpad";
+inline constexpr const char *kL1x = "l1x";
+inline constexpr const char *kHostL1 = "host.l1";
+inline constexpr const char *kLlc = "llc";
+inline constexpr const char *kDram = "dram";
+inline constexpr const char *kAxTlb = "ax_tlb";
+inline constexpr const char *kAxRmap = "ax_rmap";
+inline constexpr const char *kLinkL0xL1xMsg = "link.l0x_l1x.msg";
+inline constexpr const char *kLinkL0xL1xData = "link.l0x_l1x.data";
+inline constexpr const char *kLinkL1xL2Msg = "link.l1x_l2.msg";
+inline constexpr const char *kLinkL1xL2Data = "link.l1x_l2.data";
+inline constexpr const char *kLinkL0xL0x = "link.l0x_l0x";
+inline constexpr const char *kLinkHostL1L2 = "link.hostl1_l2";
+inline constexpr const char *kLinkLlcDram = "link.llc_dram";
+} // namespace comp
+
+/** Accumulates picojoules per named component. */
+class Ledger
+{
+  public:
+    /** Book @p pj picojoules against @p component. */
+    void
+    add(const std::string &component, double pj)
+    {
+        _pj[component] += pj;
+    }
+
+    /** Total booked against @p component (0 if never seen). */
+    double
+    total(const std::string &component) const
+    {
+        auto it = _pj.find(component);
+        return it == _pj.end() ? 0.0 : it->second;
+    }
+
+    /** Sum over all components. */
+    double
+    grandTotal() const
+    {
+        double t = 0.0;
+        for (const auto &[k, v] : _pj)
+            t += v;
+        return t;
+    }
+
+    /** Sum over all components whose name starts with @p prefix. */
+    double
+    totalWithPrefix(const std::string &prefix) const
+    {
+        double t = 0.0;
+        for (const auto &[k, v] : _pj) {
+            if (k.rfind(prefix, 0) == 0)
+                t += v;
+        }
+        return t;
+    }
+
+    /** All components and their totals. */
+    const std::map<std::string, double> &components() const
+    {
+        return _pj;
+    }
+
+    /** Zero everything. */
+    void reset() { _pj.clear(); }
+
+  private:
+    std::map<std::string, double> _pj;
+};
+
+} // namespace fusion::energy
+
+#endif // FUSION_ENERGY_ENERGY_LEDGER_HH

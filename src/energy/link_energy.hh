@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Link-energy parameters (Table 2, "Link Energy Parameters").
+ *
+ * The paper gives:
+ *   Accelerator (L0X) <-> L1X        : 0.4 pJ/byte
+ *   L1X <-> Host shared L2           : 6 pJ/byte
+ *   L0X <-> L0X direct forward (Dx)  : 0.1 pJ/byte (Section 5.4)
+ *   Generic wire                     : 1 pJ/mm/byte [Dally, IPDPS'11]
+ */
+
+#ifndef FUSION_ENERGY_LINK_ENERGY_HH
+#define FUSION_ENERGY_LINK_ENERGY_HH
+
+namespace fusion::energy
+{
+
+/** Identifies the physical link class a message traverses. */
+enum class LinkClass
+{
+    AxcToL1x,   ///< accelerator/L0X <-> tile shared L1X
+    L1xToL2,    ///< accelerator tile <-> host shared L2 (LLC)
+    L0xToL0x,   ///< direct producer->consumer forward (FUSION-Dx)
+    HostL1ToL2, ///< host core L1 <-> LLC
+    LlcToDram,  ///< LLC <-> memory controller
+};
+
+/** Energy per byte for @p link, in picojoules. */
+constexpr double
+linkPjPerByte(LinkClass link)
+{
+    switch (link) {
+      case LinkClass::AxcToL1x:
+        return 0.4;
+      case LinkClass::L1xToL2:
+        return 6.0;
+      case LinkClass::L0xToL0x:
+        return 0.1;
+      case LinkClass::HostL1ToL2:
+        return 6.0;
+      case LinkClass::LlcToDram:
+        return 10.0;
+    }
+    return 0.0;
+}
+
+/** Generic wire energy in pJ per mm per byte (Dally). */
+constexpr double kWirePjPerMmPerByte = 1.0;
+
+} // namespace fusion::energy
+
+#endif // FUSION_ENERGY_LINK_ENERGY_HH

@@ -1,0 +1,78 @@
+#include "energy/sram_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace fusion::energy
+{
+
+namespace
+{
+
+/// Calibration constant: pJ per sqrt(kB) of bank capacity, 45nm HP.
+constexpr double kDataPjPerSqrtKb = 2.5;
+/// H-tree distribution overhead per doubling of bank count.
+constexpr double kHTreePerLog2Bank = 0.10;
+/// Tag array energy as a fraction of the data-array energy.
+constexpr double kTagFraction = 0.15;
+/// Extra tag energy for the 32-bit ACC timestamp check (Section 4).
+constexpr double kTimestampOverhead = 0.15;
+/// Writes drive bitlines harder than reads at 45nm HP.
+constexpr double kWriteFactor = 1.10;
+/// Area density, mm^2 per kB of SRAM at 45nm (incl. periphery).
+constexpr double kAreaMm2PerKb = 0.0065;
+
+Cycles
+latencyForCapacity(double cap_kb)
+{
+    if (cap_kb <= 4.0)
+        return 1;
+    if (cap_kb <= 16.0)
+        return 2;
+    if (cap_kb <= 64.0)
+        return 3; // Table 2: 64K host L1 D-cache = 3 cycles
+    if (cap_kb <= 256.0)
+        return 5; // Section 5.5: L1X-Large = L1X-Small + 2
+    if (cap_kb <= 1024.0)
+        return 8;
+    return 10; // large NUCA bank, before ring hops
+}
+
+} // namespace
+
+SramFigures
+evaluateSram(const SramParams &p)
+{
+    fusion_assert(p.capacityBytes > 0 && p.banks > 0,
+                  "bad SRAM parameters");
+    double cap_kb = static_cast<double>(p.capacityBytes) / 1024.0;
+    double bank_kb = cap_kb / static_cast<double>(p.banks);
+
+    double htree = 1.0 + kHTreePerLog2Bank *
+                             std::log2(static_cast<double>(p.banks));
+    double data_pj = kDataPjPerSqrtKb * std::sqrt(bank_kb) * htree;
+
+    double tag_pj = 0.0;
+    if (p.kind != SramKind::ScratchpadRam) {
+        tag_pj = kTagFraction * data_pj;
+        if (p.kind == SramKind::TimestampCache)
+            tag_pj *= 1.0 + kTimestampOverhead;
+    }
+
+    SramFigures f;
+    f.readPj = data_pj + tag_pj;
+    f.writePj = data_pj * kWriteFactor + tag_pj;
+    f.tagProbePj = tag_pj;
+    f.latency = latencyForCapacity(cap_kb);
+    f.areaMm2 = kAreaMm2PerKb * cap_kb;
+    return f;
+}
+
+double
+componentWireMm(const SramParams &p)
+{
+    return std::sqrt(evaluateSram(p).areaMm2);
+}
+
+} // namespace fusion::energy

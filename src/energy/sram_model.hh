@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CACTI-style analytical energy/latency model for on-chip SRAM
+ * structures at 45 nm ITRS-HP (the paper's technology point,
+ * Section 4 "Energy Model").
+ *
+ * CACTI itself is not available offline, so we use an analytical fit
+ * of the capacity/banking scaling CACTI 6.0 exhibits at 45 nm:
+ *
+ *   E_data(read)  = k * sqrt(bank_kB) * (1 + hTree * log2(banks)) pJ
+ *   E_tag         = tagFraction * E_data            (caches only)
+ *   E_ts          = +15% of tag energy when a 32-bit timestamp is
+ *                   checked on every tag access (ACC caches,
+ *                   Section 4).
+ *
+ * The constants are calibrated so the relative points the paper
+ * quotes hold: a 4 KB L0X is ~1.5x more energy-efficient than the
+ * 16-bank 64 KB L1X (Lesson 3), and the 256 KB L1X costs ~2x the
+ * 64 KB L1X per access (Lesson 7). Latencies reproduce Table 2
+ * (64 KB host L1 = 3 cycles) and Section 5.5 (L1X-Large = +2 cycles).
+ */
+
+#ifndef FUSION_ENERGY_SRAM_MODEL_HH
+#define FUSION_ENERGY_SRAM_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace fusion::energy
+{
+
+/** Kinds of SRAM structure the model distinguishes. */
+enum class SramKind
+{
+    ScratchpadRam, ///< tagless RAM (data energy only)
+    Cache,         ///< tagged cache (tag + data energy)
+    TimestampCache ///< ACC cache: tag check includes 32b timestamp
+};
+
+/** Static parameters describing one SRAM structure. */
+struct SramParams
+{
+    std::uint64_t capacityBytes = 4096;
+    std::uint32_t assoc = 4;      ///< ignored for scratchpads
+    std::uint32_t lineBytes = 64; ///< access granularity
+    std::uint32_t banks = 1;
+    SramKind kind = SramKind::Cache;
+};
+
+/** Per-access energy/latency figures produced by the model. */
+struct SramFigures
+{
+    double readPj = 0.0;    ///< full line read, tag + data
+    double writePj = 0.0;   ///< full line write, tag + data
+    double tagProbePj = 0.0; ///< tag-only probe (miss detection)
+    Cycles latency = 1;     ///< access latency in cycles
+    double areaMm2 = 0.0;   ///< estimated area (for wire lengths)
+};
+
+/**
+ * Evaluate the analytical model for one structure.
+ *
+ * @param p structure parameters
+ * @return per-access energy and latency figures
+ */
+SramFigures evaluateSram(const SramParams &p);
+
+/**
+ * Estimated wire length for the paper's formula
+ * WireLength = 2 * sum_i sqrt(Component_Area_i) over a dataflow path
+ * (Section 4). @return millimetres for one component.
+ */
+double componentWireMm(const SramParams &p);
+
+} // namespace fusion::energy
+
+#endif // FUSION_ENERGY_SRAM_MODEL_HH

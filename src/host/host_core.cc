@@ -1,0 +1,85 @@
+#include "host/host_core.hh"
+
+#include "sim/logging.hh"
+
+namespace fusion::host
+{
+
+HostCore::HostCore(SimContext &ctx, const HostCoreParams &p,
+                   HostL1 &l1, const vm::PageTable &pt)
+    : _ctx(ctx), _p(p), _l1(l1), _pt(pt)
+{
+}
+
+void
+HostCore::run(const std::vector<trace::TraceOp> &ops, Pid pid,
+              std::function<void()> done)
+{
+    fusion_assert(!_active, "host core already running a stream");
+    _ops = &ops;
+    _pid = pid;
+    _pos = 0;
+    _outstandingLoads = 0;
+    _outstandingStores = 0;
+    _active = true;
+    _done = std::move(done);
+    pump();
+}
+
+void
+HostCore::pump()
+{
+    _pumpScheduled = false;
+    while (_pos < _ops->size()) {
+        const trace::TraceOp &op = (*_ops)[_pos];
+        if (op.kind == trace::OpKind::Compute) {
+            // Issue stalls for the burst's duration at the pipeline
+            // width.
+            Cycles c = (op.intOps + op.fpOps + _p.issueWidth - 1) /
+                       _p.issueWidth;
+            ++_pos;
+            if (c > 0) {
+                _pumpScheduled = true;
+                _ctx.eq.scheduleIn(c, [this] { pump(); });
+                return;
+            }
+            continue;
+        }
+        bool is_store = op.kind == trace::OpKind::Store;
+        if (is_store ? _outstandingStores >= _p.storeQueue
+                     : _outstandingLoads >= _p.maxOutstanding)
+            return; // completion callback re-pumps
+        ++_pos;
+        ++_memOps;
+        if (is_store)
+            ++_outstandingStores;
+        else
+            ++_outstandingLoads;
+        Addr pa = _pt.translate(_pid, op.addr);
+        _l1.access(pa, is_store, [this, is_store] {
+            if (is_store)
+                --_outstandingStores;
+            else
+                --_outstandingLoads;
+            if (!_pumpScheduled) {
+                _pumpScheduled = true;
+                _ctx.eq.scheduleIn(0, [this] { pump(); });
+            }
+        });
+        // One memory issue per cycle.
+        if (_pos < _ops->size()) {
+            _pumpScheduled = true;
+            _ctx.eq.scheduleIn(1, [this] { pump(); });
+        }
+        return;
+    }
+    if (_outstandingLoads == 0 && _outstandingStores == 0 &&
+        _active) {
+        _active = false;
+        auto done = std::move(_done);
+        _done = nullptr;
+        done();
+    }
+}
+
+} // namespace fusion::host

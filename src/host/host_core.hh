@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Trace-driven host core timing model (Table 2: 2 GHz 4-way OOO,
+ * 96-entry ROB, 32-entry load/store queues).
+ *
+ * The model replays a TraceOp stream: compute bursts retire at the
+ * pipeline width per cycle; memory operations issue in program order
+ * at one per cycle with a bounded number outstanding (approximating
+ * the load-queue/ROB limits). This is deliberately simpler than a
+ * full OOO pipeline — the paper's conclusions all live in the memory
+ * system, and the host model only has to (a) produce the host phases
+ * that exercise MESI against the accelerator tile and (b) rank
+ * function weights for Table 1's %Time column.
+ */
+
+#ifndef FUSION_HOST_HOST_CORE_HH
+#define FUSION_HOST_HOST_CORE_HH
+
+#include <functional>
+#include <vector>
+
+#include "host/host_l1.hh"
+#include "sim/sim_context.hh"
+#include "trace/trace.hh"
+#include "vm/page_table.hh"
+
+namespace fusion::host
+{
+
+/** Host core parameters. */
+struct HostCoreParams
+{
+    std::uint32_t issueWidth = 4;      ///< compute ops per cycle
+    std::uint32_t maxOutstanding = 16; ///< in-flight loads
+    std::uint32_t storeQueue = 32;     ///< Table 2 store queue
+};
+
+/** Trace-replay host core. */
+class HostCore
+{
+  public:
+    HostCore(SimContext &ctx, const HostCoreParams &p, HostL1 &l1,
+             const vm::PageTable &pt);
+
+    /**
+     * Replay @p ops; @p done fires when the last op commits.
+     * Only one run() may be active at a time.
+     */
+    void run(const std::vector<trace::TraceOp> &ops, Pid pid,
+             std::function<void()> done);
+
+    /** True while a replay is active. */
+    bool busy() const { return _active; }
+
+    /** Committed memory operations. */
+    std::uint64_t memOps() const { return _memOps; }
+
+  private:
+    void pump();
+
+    SimContext &_ctx;
+    HostCoreParams _p;
+    HostL1 &_l1;
+    const vm::PageTable &_pt;
+
+    const std::vector<trace::TraceOp> *_ops = nullptr;
+    Pid _pid = 0;
+    std::size_t _pos = 0;
+    std::uint32_t _outstandingLoads = 0;
+    std::uint32_t _outstandingStores = 0;
+    bool _active = false;
+    bool _pumpScheduled = false;
+    std::function<void()> _done;
+    std::uint64_t _memOps = 0;
+};
+
+} // namespace fusion::host
+
+#endif // FUSION_HOST_HOST_CORE_HH

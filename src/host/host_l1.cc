@@ -1,0 +1,191 @@
+#include "host/host_l1.hh"
+
+#include "energy/sram_model.hh"
+#include "sim/logging.hh"
+
+namespace fusion::host
+{
+
+using coherence::CoherenceReq;
+using coherence::FwdKind;
+using mem::MesiState;
+
+HostL1::HostL1(SimContext &ctx, const HostL1Params &p, Llc &llc,
+               interconnect::Link *llc_link)
+    : _ctx(ctx), _name(p.name), _llc(llc), _link(llc_link),
+      _tags(mem::CacheGeometry{p.capacityBytes, p.assoc, kLineBytes}),
+      _banks(p.banks, 1),
+      _energyComponent(p.energyComponent.empty()
+                           ? energy::comp::kHostL1
+                           : p.energyComponent)
+{
+    energy::SramParams sp;
+    sp.capacityBytes = p.capacityBytes;
+    sp.assoc = p.assoc;
+    sp.banks = p.banks;
+    sp.kind = energy::SramKind::Cache;
+    _fig = energy::evaluateSram(sp);
+    _wordAccessScale = p.wordAccessScale;
+    _agentId = llc.registerAgent(this, llc_link, p.ringNode);
+    _stats = &ctx.stats.root().child(p.name);
+}
+
+void
+HostL1::bookAccess(bool is_write, double scale)
+{
+    _ctx.energy.add(_energyComponent,
+                    (is_write ? _fig.writePj : _fig.readPj) * scale);
+    _stats->scalar(is_write ? "writes" : "reads") += 1;
+}
+
+void
+HostL1::access(Addr pa, bool is_write, AccessDone done)
+{
+    Addr line_addr = lineAlign(pa);
+    bookAccess(is_write, _wordAccessScale);
+    Cycles bank_delay = _banks.reserve(line_addr, _ctx.now());
+    if (bank_delay > 0)
+        _stats->scalar("bank_conflicts") += 1;
+    _ctx.eq.scheduleIn(_fig.latency + bank_delay,
+                       [this, line_addr, is_write,
+                        done = std::move(done)]() mutable {
+                           lookup(line_addr, is_write,
+                                  std::move(done));
+                       });
+}
+
+void
+HostL1::lookup(Addr line_addr, bool is_write, AccessDone done,
+               bool is_retry)
+{
+    mem::CacheLine *line = _tags.find(line_addr);
+    if (line) {
+        bool hit = !is_write || line->mesi == MesiState::M ||
+                   line->mesi == MesiState::E;
+        if (hit) {
+            if (!is_retry) {
+                ++_hits;
+                _stats->scalar("hits") += 1;
+            }
+            _tags.touch(*line);
+            if (is_write) {
+                line->mesi = MesiState::M;
+                line->dirty = true;
+            }
+            done();
+            return;
+        }
+        // Store to a Shared line: upgrade.
+        if (!is_retry) {
+            ++_misses;
+            _stats->scalar("upgrades") += 1;
+        }
+        if (_mshrs.allocate(line_addr, [this, line_addr, is_write,
+                                        done = std::move(done)]() {
+                // Retry after the upgrade completes.
+                lookup(line_addr, is_write, std::move(done), true);
+            })) {
+            _llc.request(_agentId, line_addr, CoherenceReq::Upgrade,
+                         [this, line_addr](const LlcResponse &) {
+                             fillDone(line_addr, true, true);
+                         });
+        }
+        return;
+    }
+
+    // Miss.
+    if (!is_retry) {
+        ++_misses;
+        _stats->scalar("misses") += 1;
+    }
+    bool primary = _mshrs.allocate(
+        line_addr, [this, line_addr, is_write,
+                    done = std::move(done)]() {
+            lookup(line_addr, is_write, std::move(done), true);
+        });
+    if (primary) {
+        _llc.request(_agentId, line_addr,
+                     is_write ? CoherenceReq::GetX
+                              : CoherenceReq::GetS,
+                     [this, line_addr,
+                      is_write](const LlcResponse &r) {
+                         fillDone(line_addr, is_write, r.exclusive);
+                     });
+    }
+}
+
+mem::CacheLine *
+HostL1::allocateFrame(Addr line_addr)
+{
+    mem::CacheLine *way = _tags.victim(line_addr);
+    fusion_assert(way, "L1 victim selection failed");
+    if (way->valid) {
+        _stats->scalar("evictions") += 1;
+        if (way->dirty || way->mesi == MesiState::M) {
+            _llc.writebackData(_agentId, way->lineAddr);
+        } else {
+            _llc.evictNotice(_agentId, way->lineAddr);
+        }
+    }
+    _tags.install(*way, line_addr);
+    bookAccess(true); // fill writes the array
+    return way;
+}
+
+void
+HostL1::fillDone(Addr line_addr, bool is_write, bool exclusive)
+{
+    mem::CacheLine *line = _tags.find(line_addr);
+    if (!line)
+        line = allocateFrame(line_addr);
+    if (is_write) {
+        line->mesi = MesiState::M;
+        line->dirty = true;
+    } else {
+        line->mesi = exclusive ? MesiState::E : MesiState::S;
+    }
+    _tags.touch(*line);
+    _mshrs.complete(line_addr);
+}
+
+void
+HostL1::handleFwd(Addr pa, FwdKind kind, FwdDone done)
+{
+    mem::CacheLine *line = _tags.find(lineAlign(pa));
+    if (!line) {
+        // Copy already evicted (race with our own writeback).
+        done(false, false);
+        return;
+    }
+    bool was_dirty = line->dirty || line->mesi == MesiState::M;
+    bool retained = false;
+    _stats->scalar("fwd_recv") += 1;
+    bookAccess(false);
+    switch (kind) {
+      case FwdKind::Inv:
+      case FwdKind::FwdGetX:
+        _tags.invalidate(*line);
+        break;
+      case FwdKind::FwdGetS:
+        line->mesi = MesiState::S;
+        line->dirty = false;
+        retained = true;
+        break;
+    }
+    done(was_dirty, retained);
+}
+
+void
+HostL1::flushAll()
+{
+    _tags.forEachValid([this](mem::CacheLine &l) {
+        if (l.dirty || l.mesi == MesiState::M) {
+            _llc.writebackData(_agentId, l.lineAddr);
+        } else {
+            _llc.evictNotice(_agentId, l.lineAddr);
+        }
+        _tags.invalidate(l);
+    });
+}
+
+} // namespace fusion::host

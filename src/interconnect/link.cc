@@ -1,0 +1,44 @@
+#include "interconnect/link.hh"
+
+namespace fusion::interconnect
+{
+
+Link::Link(SimContext &ctx, const LinkParams &p)
+    : _ctx(ctx), _p(p), _pjPerByte(energy::linkPjPerByte(p.cls))
+{
+    _stats = &ctx.stats.root().child("links").child(p.name);
+}
+
+void
+Link::send(MsgClass cls, std::function<void()> deliver)
+{
+    book(cls);
+    if (deliver)
+        _ctx.eq.scheduleIn(_p.latency, std::move(deliver));
+}
+
+void
+Link::book(MsgClass cls, std::uint64_t count)
+{
+    std::uint64_t bytes = messageBytes(cls) * count;
+    std::uint64_t flits = messageFlits(cls) * count;
+    _bytes += bytes;
+    _flits += flits;
+    double pj = _pjPerByte * static_cast<double>(bytes);
+    if (cls == MsgClass::Control) {
+        _ctrlMsgs += count;
+        _stats->scalar("ctrl_msgs") += static_cast<double>(count);
+        if (!_p.ctrlComponent.empty())
+            _ctx.energy.add(_p.ctrlComponent, pj);
+    } else {
+        // Word and full-line payloads both count as data traffic.
+        _dataMsgs += count;
+        _stats->scalar("data_msgs") += static_cast<double>(count);
+        if (!_p.dataComponent.empty())
+            _ctx.energy.add(_p.dataComponent, pj);
+    }
+    _stats->scalar("flits") += static_cast<double>(flits);
+    _stats->scalar("bytes") += static_cast<double>(bytes);
+}
+
+} // namespace fusion::interconnect

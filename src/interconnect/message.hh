@@ -1,0 +1,58 @@
+/**
+ * @file
+ * On-chip message classes and sizes.
+ *
+ * The evaluation accounts traffic in 8-byte flits (Table 4). A
+ * control message (request, ack, eviction notice) is one flit; a
+ * data message carries a 64 B cache line plus an 8 B header, nine
+ * flits.
+ */
+
+#ifndef FUSION_INTERCONNECT_MESSAGE_HH
+#define FUSION_INTERCONNECT_MESSAGE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace fusion::interconnect
+{
+
+/** Broad traffic classes for accounting. */
+enum class MsgClass : std::uint8_t
+{
+    Control, ///< requests, acks, eviction notices (1 flit)
+    Word,    ///< word-granularity payload (header + 8B word):
+             ///< SHARED's per-access L1X responses (Figure 6c)
+    Data     ///< cache-line payloads (header + 64B)
+};
+
+/** Size in bytes of a message of @p cls. */
+constexpr std::uint32_t
+messageBytes(MsgClass cls)
+{
+    switch (cls) {
+      case MsgClass::Control:
+        return kFlitBytes;
+      case MsgClass::Word:
+        return 2 * kFlitBytes;
+      case MsgClass::Data:
+        return kFlitBytes + kLineBytes;
+    }
+    return kFlitBytes;
+}
+
+/** Size in flits of a message of @p cls. */
+constexpr std::uint32_t
+messageFlits(MsgClass cls)
+{
+    return (messageBytes(cls) + kFlitBytes - 1) / kFlitBytes;
+}
+
+static_assert(messageFlits(MsgClass::Control) == 1);
+static_assert(messageFlits(MsgClass::Word) == 2);
+static_assert(messageFlits(MsgClass::Data) == 9);
+
+} // namespace fusion::interconnect
+
+#endif // FUSION_INTERCONNECT_MESSAGE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The 8-node ring connecting the NUCA LLC tiles (Table 2: "4M shared
+ * 16 way, 8 tile NUCA, ring, avg. 20 cycles").
+ *
+ * We model the ring's contribution to LLC access latency: a request
+ * from node s to the bank at node d traverses min(|s-d|, N-|s-d|)
+ * hops each way at a fixed per-hop latency. Combined with the bank
+ * access latency this averages ~20 cycles from the host node.
+ */
+
+#ifndef FUSION_INTERCONNECT_RING_HH
+#define FUSION_INTERCONNECT_RING_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace fusion::interconnect
+{
+
+/** Static ring topology helper. */
+class Ring
+{
+  public:
+    /**
+     * @param nodes number of ring stops (= NUCA banks)
+     * @param hop_latency cycles per hop
+     */
+    Ring(std::uint32_t nodes, Cycles hop_latency)
+        : _nodes(nodes), _hopLatency(hop_latency)
+    {
+    }
+
+    std::uint32_t nodes() const { return _nodes; }
+
+    /** Shortest hop count between two nodes. */
+    std::uint32_t
+    hops(std::uint32_t from, std::uint32_t to) const
+    {
+        std::uint32_t d = from > to ? from - to : to - from;
+        return d < _nodes - d ? d : _nodes - d;
+    }
+
+    /** One-way traversal latency between two nodes. */
+    Cycles
+    latency(std::uint32_t from, std::uint32_t to) const
+    {
+        return static_cast<Cycles>(hops(from, to)) * _hopLatency;
+    }
+
+    /** NUCA bank (ring node) that homes a physical line address. */
+    std::uint32_t
+    homeNode(Addr pa) const
+    {
+        return static_cast<std::uint32_t>(lineNumber(pa) % _nodes);
+    }
+
+  private:
+    std::uint32_t _nodes;
+    Cycles _hopLatency;
+};
+
+} // namespace fusion::interconnect
+
+#endif // FUSION_INTERCONNECT_RING_HH

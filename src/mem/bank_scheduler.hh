@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bank occupancy scheduler for multi-banked SRAMs.
+ *
+ * The shared L1X is 16-banked (Table 2): concurrent accesses to the
+ * same bank serialize. Banks are line-interleaved; each access
+ * occupies its bank for a fixed number of cycles, and a request to
+ * a busy bank is delayed until the bank frees.
+ */
+
+#ifndef FUSION_MEM_BANK_SCHEDULER_HH
+#define FUSION_MEM_BANK_SCHEDULER_HH
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace fusion::mem
+{
+
+/** Tracks per-bank busy-until times. */
+class BankScheduler
+{
+  public:
+    /**
+     * @param banks number of banks (line-interleaved)
+     * @param occupancy cycles one access holds a bank
+     */
+    BankScheduler(std::uint32_t banks, Cycles occupancy)
+        : _busyUntil(banks, 0), _occupancy(occupancy)
+    {
+        fusion_assert(banks > 0, "need at least one bank");
+    }
+
+    /** Bank servicing @p addr. */
+    std::uint32_t
+    bankOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(
+            lineNumber(addr) % _busyUntil.size());
+    }
+
+    /**
+     * Reserve the bank for an access issued at @p now.
+     * @return the extra queueing delay (0 when the bank is idle).
+     */
+    Cycles
+    reserve(Addr addr, Tick now)
+    {
+        Tick &busy = _busyUntil[bankOf(addr)];
+        Tick start = busy > now ? busy : now;
+        busy = start + _occupancy;
+        ++_accesses;
+        if (start > now)
+            ++_conflicts;
+        return start - now;
+    }
+
+    std::uint64_t accesses() const { return _accesses; }
+    std::uint64_t conflicts() const { return _conflicts; }
+
+  private:
+    std::vector<Tick> _busyUntil;
+    Cycles _occupancy;
+    std::uint64_t _accesses = 0;
+    std::uint64_t _conflicts = 0;
+};
+
+} // namespace fusion::mem
+
+#endif // FUSION_MEM_BANK_SCHEDULER_HH

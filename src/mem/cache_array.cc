@@ -1,0 +1,165 @@
+#include "mem/cache_array.hh"
+
+namespace fusion::mem
+{
+
+const char *
+mesiName(MesiState s)
+{
+    switch (s) {
+      case MesiState::I:
+        return "I";
+      case MesiState::S:
+        return "S";
+      case MesiState::E:
+        return "E";
+      case MesiState::M:
+        return "M";
+    }
+    return "?";
+}
+
+CacheArray::CacheArray(const CacheGeometry &geom)
+    : _geom(geom), _numSets(geom.numSets())
+{
+    fusion_assert(_numSets > 0, "cache has zero sets: capacity=",
+                  geom.capacityBytes, " assoc=", geom.assoc);
+    fusion_assert(geom.capacityBytes % (static_cast<std::uint64_t>(
+                      geom.assoc) * geom.lineBytes) == 0,
+                  "capacity not divisible by way size");
+    _lines.resize(static_cast<std::size_t>(_numSets) * geom.assoc);
+}
+
+CacheLine *
+CacheArray::find(Addr line_addr, Pid pid)
+{
+    line_addr = lineAlign(line_addr);
+    CacheLine *base = setBase(setIndex(line_addr));
+    for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
+        CacheLine &l = base[w];
+        if (l.valid && l.lineAddr == line_addr && l.pid == pid)
+            return &l;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(Addr line_addr, Pid pid) const
+{
+    return const_cast<CacheArray *>(this)->find(line_addr, pid);
+}
+
+CacheLine *
+CacheArray::victim(Addr line_addr,
+                   const std::function<bool(const CacheLine &)>
+                       &evictable)
+{
+    CacheLine *base = setBase(setIndex(lineAlign(line_addr)));
+    std::vector<CacheLine *> candidates;
+    for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
+        CacheLine &l = base[w];
+        if (!l.valid)
+            return &l;
+        if (evictable && !evictable(l))
+            continue;
+        candidates.push_back(&l);
+    }
+    if (candidates.empty())
+        return nullptr;
+    switch (_geom.repl) {
+      case ReplPolicy::Lru: {
+        CacheLine *best = candidates[0];
+        for (CacheLine *l : candidates) {
+            if (l->lastUse < best->lastUse)
+                best = l;
+        }
+        return best;
+      }
+      case ReplPolicy::Fifo: {
+        CacheLine *best = candidates[0];
+        for (CacheLine *l : candidates) {
+            if (l->installSeq < best->installSeq)
+                best = l;
+        }
+        return best;
+      }
+      case ReplPolicy::Random: {
+        // Deterministic pseudo-random pick (SplitMix-style hash of
+        // the replacement clock and line address).
+        std::uint64_t h = (_useClock + 1) * 0x9e3779b97f4a7c15ull ^
+                          lineNumber(line_addr);
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+        return candidates[h % candidates.size()];
+      }
+    }
+    return candidates[0];
+}
+
+void
+CacheArray::install(CacheLine &way, Addr line_addr, Pid pid)
+{
+    way.valid = true;
+    way.lineAddr = lineAlign(line_addr);
+    way.pline = 0;
+    way.pid = pid;
+    way.mesi = MesiState::I;
+    way.dirty = false;
+    way.ltime = 0;
+    way.gtime = 0;
+    way.wepochEnd = 0;
+    way.locked = false;
+    way.installSeq = ++_useClock;
+    touch(way);
+}
+
+void
+CacheArray::invalidate(CacheLine &line)
+{
+    line.valid = false;
+    line.mesi = MesiState::I;
+    line.dirty = false;
+    line.locked = false;
+    line.ltime = 0;
+    line.gtime = 0;
+    line.wepochEnd = 0;
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (auto &l : _lines)
+        invalidate(l);
+}
+
+void
+CacheArray::forEachValid(const std::function<void(CacheLine &)> &fn)
+{
+    for (auto &l : _lines) {
+        if (l.valid)
+            fn(l);
+    }
+}
+
+void
+CacheArray::forEachValidInSet(std::uint32_t set,
+                              const std::function<void(CacheLine &)>
+                                  &fn)
+{
+    fusion_assert(set < _numSets, "set out of range");
+    CacheLine *base = setBase(set);
+    for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
+        if (base[w].valid)
+            fn(base[w]);
+    }
+}
+
+std::uint64_t
+CacheArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : _lines)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace fusion::mem

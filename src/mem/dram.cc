@@ -1,0 +1,61 @@
+#include "mem/dram.hh"
+
+#include "energy/energy_ledger.hh"
+#include "sim/logging.hh"
+
+namespace fusion::mem
+{
+
+Dram::Dram(SimContext &ctx, const DramParams &p) : _ctx(ctx), _p(p)
+{
+    fusion_assert(p.channels > 0, "DRAM needs at least one channel");
+    _channels.resize(p.channels);
+    _stats = &ctx.stats.root().child("dram");
+}
+
+void
+Dram::access(Addr pa, bool is_write, DramCallback done)
+{
+    auto ch = static_cast<std::uint32_t>(lineNumber(pa) % _p.channels);
+    Channel &c = _channels[ch];
+    // Admission control: a full command queue delays acceptance; we
+    // model that by simply queueing (the queue in a trace-driven
+    // replay is naturally bounded by requester MLP).
+    (void)is_write;
+    c.queue.emplace_back(pa, std::move(done));
+    _stats->scalar("queued") += 1;
+    if (!c.busy)
+        serviceNext(ch);
+}
+
+void
+Dram::serviceNext(std::uint32_t ch)
+{
+    Channel &c = _channels[ch];
+    if (c.queue.empty()) {
+        c.busy = false;
+        return;
+    }
+    c.busy = true;
+    auto [pa, done] = std::move(c.queue.front());
+    c.queue.pop_front();
+
+    Addr row = pa / _p.rowBytes;
+    bool hit = (row == c.openRow);
+    c.openRow = row;
+    Cycles lat = hit ? _p.rowHitLatency : _p.rowMissLatency;
+
+    ++_accesses;
+    _rowHits += hit ? 1 : 0;
+    _stats->scalar("accesses") += 1;
+    _stats->scalar("row_hits") += hit ? 1 : 0;
+    _ctx.energy.add(energy::comp::kDram, _p.accessPj);
+
+    // Data burst occupies the channel; completion fires after the
+    // full access latency.
+    _ctx.eq.scheduleIn(lat, [cb = std::move(done)] { cb(); });
+    _ctx.eq.scheduleIn(_p.burstCycles,
+                       [this, ch] { serviceNext(ch); });
+}
+
+} // namespace fusion::mem

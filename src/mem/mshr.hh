@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Miss Status Holding Registers: merge concurrent misses to the same
+ * cache line so only one request travels down the hierarchy; later
+ * requesters piggyback on the in-flight fill.
+ */
+
+#ifndef FUSION_MEM_MSHR_HH
+#define FUSION_MEM_MSHR_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace fusion::mem
+{
+
+/**
+ * MSHR file keyed by line address. Template-free: targets are plain
+ * callbacks invoked when the fill completes.
+ */
+class MshrFile
+{
+  public:
+    using Target = std::function<void()>;
+
+    /**
+     * Record a miss to @p line_addr.
+     * @return true if this is the *primary* miss (the caller must
+     *         issue the downstream request); false if merged onto an
+     *         existing entry.
+     */
+    bool
+    allocate(Addr line_addr, Target target)
+    {
+        auto [it, inserted] = _entries.try_emplace(line_addr);
+        it->second.push_back(std::move(target));
+        return inserted;
+    }
+
+    /**
+     * Complete the fill for @p line_addr: pops the entry and invokes
+     * every queued target in arrival order.
+     */
+    void
+    complete(Addr line_addr)
+    {
+        auto it = _entries.find(line_addr);
+        fusion_assert(it != _entries.end(),
+                      "MSHR complete for unknown line ", line_addr);
+        // Move out first: targets may allocate new MSHRs for the
+        // same line (e.g. a write upgrade after a read fill).
+        std::vector<Target> targets = std::move(it->second);
+        _entries.erase(it);
+        for (auto &t : targets)
+            t();
+    }
+
+    /** Is a miss to this line already in flight? */
+    bool
+    pending(Addr line_addr) const
+    {
+        return _entries.count(line_addr) != 0;
+    }
+
+    /** Number of in-flight distinct lines. */
+    std::size_t size() const { return _entries.size(); }
+
+  private:
+    std::unordered_map<Addr, std::vector<Target>> _entries;
+};
+
+} // namespace fusion::mem
+
+#endif // FUSION_MEM_MSHR_HH

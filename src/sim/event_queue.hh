@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * All timing in the FUSION simulator is driven by one EventQueue.
+ * Events scheduled for the same tick fire in (priority, insertion
+ * order), which makes every run bit-reproducible regardless of the
+ * container behaviour of the host standard library.
+ */
+
+#ifndef FUSION_SIM_EVENT_QUEUE_HH
+#define FUSION_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace fusion
+{
+
+/** Callback type for scheduled events. */
+using EventFn = std::function<void()>;
+
+/**
+ * Standard event priorities. Lower values fire first within a tick.
+ * The defaults mirror gem5's convention that state-updating
+ * "maintenance" events precede new work issued in the same cycle.
+ */
+enum class EventPriority : int
+{
+    Maintenance = -10, ///< lease expiry sweeps, unlock processing
+    Default = 0,       ///< ordinary component events
+    Stats = 10,        ///< end-of-cycle accounting
+};
+
+/**
+ * The simulation event queue.
+ *
+ * schedule() enqueues a callback at an absolute tick; run() pops
+ * events in order until the queue drains or a stop condition is hit.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p fn to run at absolute tick @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, EventFn fn,
+             EventPriority pri = EventPriority::Default)
+    {
+        fusion_assert(when >= _now, "schedule in the past: when=", when,
+                      " now=", _now);
+        _heap.push(Entry{when, static_cast<int>(pri), _nextSeq++,
+                         std::move(fn)});
+    }
+
+    /** Schedule @p fn @p delta ticks in the future. */
+    void
+    scheduleIn(Cycles delta, EventFn fn,
+               EventPriority pri = EventPriority::Default)
+    {
+        schedule(_now + delta, std::move(fn), pri);
+    }
+
+    /** True when no events are pending. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _heap.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Run until the queue drains.
+     * @return the tick of the last executed event.
+     */
+    Tick
+    run()
+    {
+        return runUntil(kTickNever);
+    }
+
+    /**
+     * Run until the queue drains or the next event is past @p limit.
+     * Events *at* @p limit still execute.
+     * @return the current tick when stopping.
+     */
+    Tick
+    runUntil(Tick limit)
+    {
+        while (!_heap.empty() && _heap.top().when <= limit) {
+            Entry e = _heap.top();
+            _heap.pop();
+            fusion_assert(e.when >= _now, "event queue went backwards");
+            _now = e.when;
+            ++_executed;
+            e.fn();
+        }
+        return _now;
+    }
+
+    /**
+     * Execute exactly one event if any is pending.
+     * @return true if an event ran.
+     */
+    bool
+    step()
+    {
+        if (_heap.empty())
+            return false;
+        Entry e = _heap.top();
+        _heap.pop();
+        _now = e.when;
+        ++_executed;
+        e.fn();
+        return true;
+    }
+
+    /** Reset time and drop all pending events (for unit tests). */
+    void
+    reset()
+    {
+        _heap = decltype(_heap)();
+        _now = 0;
+        _nextSeq = 0;
+        _executed = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int pri;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.pri != b.pri)
+                return a.pri > b.pri;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace fusion
+
+#endif // FUSION_SIM_EVENT_QUEUE_HH

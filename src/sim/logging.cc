@@ -1,0 +1,100 @@
+#include "sim/logging.hh"
+
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+namespace fusion
+{
+
+namespace
+{
+
+std::set<std::string, std::less<>> &
+categorySet()
+{
+    static std::set<std::string, std::less<>> cats;
+    return cats;
+}
+
+} // namespace
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s @ %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s @ %s:%d\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+void
+Debug::enable(std::string_view category)
+{
+    categorySet().emplace(category);
+}
+
+void
+Debug::disable(std::string_view category)
+{
+    auto it = categorySet().find(category);
+    if (it != categorySet().end())
+        categorySet().erase(it);
+}
+
+bool
+Debug::enabled(std::string_view category)
+{
+    return categorySet().find(category) != categorySet().end();
+}
+
+void
+Debug::initFromEnvironment()
+{
+    const char *env = std::getenv("FUSION_DEBUG");
+    if (!env)
+        return;
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        if (comma > pos)
+            enable(spec.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+}
+
+void
+debugPrint(std::string_view category, const std::string &msg)
+{
+    std::fprintf(stderr, "[%.*s] %s\n",
+                 static_cast<int>(category.size()), category.data(),
+                 msg.c_str());
+}
+
+} // namespace fusion

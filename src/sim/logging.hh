@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Error/status reporting helpers, modelled after gem5's logging.hh.
+ *
+ * panic()  - an internal simulator invariant was violated; aborts.
+ * fatal()  - the user supplied an impossible configuration; exits.
+ * warn()   - something works but is suspicious.
+ * inform() - plain status output.
+ *
+ * Debug tracing is category-based: enable categories by name via
+ * Debug::enable() (or the FUSION_DEBUG environment variable, a
+ * comma-separated list) and instrument code with DTRACE/DPRINTFN.
+ */
+
+#ifndef FUSION_SIM_LOGGING_HH
+#define FUSION_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fusion
+{
+
+namespace detail
+{
+
+/** Format the variadic tail into a string using iostreams. */
+inline void
+streamAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamAll(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    streamAll(os, rest...);
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Debug-trace category registry. */
+class Debug
+{
+  public:
+    /** Enable one category by name ("ACC", "MESI", "DMA", ...). */
+    static void enable(std::string_view category);
+    /** Disable one category by name. */
+    static void disable(std::string_view category);
+    /** True if the category is enabled. */
+    static bool enabled(std::string_view category);
+    /** Parse FUSION_DEBUG from the environment (comma separated). */
+    static void initFromEnvironment();
+};
+
+/** Emit a debug trace line if @p category is enabled. */
+void debugPrint(std::string_view category, const std::string &msg);
+
+} // namespace fusion
+
+/** Abort: an internal invariant was violated (simulator bug). */
+#define fusion_panic(...)                                                 \
+    do {                                                                  \
+        std::ostringstream os_;                                           \
+        ::fusion::detail::streamAll(os_, __VA_ARGS__);                    \
+        ::fusion::detail::panicImpl(__FILE__, __LINE__, os_.str());       \
+    } while (0)
+
+/** Exit: the simulation cannot continue due to user error. */
+#define fusion_fatal(...)                                                 \
+    do {                                                                  \
+        std::ostringstream os_;                                           \
+        ::fusion::detail::streamAll(os_, __VA_ARGS__);                    \
+        ::fusion::detail::fatalImpl(__FILE__, __LINE__, os_.str());       \
+    } while (0)
+
+/** Non-fatal warning. */
+#define fusion_warn(...)                                                  \
+    do {                                                                  \
+        std::ostringstream os_;                                           \
+        ::fusion::detail::streamAll(os_, __VA_ARGS__);                    \
+        ::fusion::detail::warnImpl(os_.str());                            \
+    } while (0)
+
+/** Status message. */
+#define fusion_inform(...)                                                \
+    do {                                                                  \
+        std::ostringstream os_;                                           \
+        ::fusion::detail::streamAll(os_, __VA_ARGS__);                    \
+        ::fusion::detail::informImpl(os_.str());                          \
+    } while (0)
+
+/** Category-gated debug trace. */
+#define DPRINTFN(category, ...)                                           \
+    do {                                                                  \
+        if (::fusion::Debug::enabled(category)) {                         \
+            std::ostringstream os_;                                       \
+            ::fusion::detail::streamAll(os_, __VA_ARGS__);                \
+            ::fusion::debugPrint(category, os_.str());                    \
+        }                                                                 \
+    } while (0)
+
+/** Assert an invariant with a formatted message on failure. */
+#define fusion_assert(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            fusion_panic("assertion failed: " #cond " ", __VA_ARGS__);    \
+        }                                                                 \
+    } while (0)
+
+#endif // FUSION_SIM_LOGGING_HH

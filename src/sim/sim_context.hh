@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Bundle of the per-system simulation services every component needs:
+ * the event queue (time), the stats registry, and the energy ledger.
+ */
+
+#ifndef FUSION_SIM_SIM_CONTEXT_HH
+#define FUSION_SIM_SIM_CONTEXT_HH
+
+#include "energy/energy_ledger.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace fusion
+{
+
+/**
+ * One SimContext exists per simulated system instance; components
+ * keep a reference and never outlive it.
+ */
+struct SimContext
+{
+    EventQueue eq;
+    stats::Registry stats;
+    energy::Ledger energy;
+
+    /** Current simulated time. */
+    Tick now() const { return eq.now(); }
+};
+
+} // namespace fusion
+
+#endif // FUSION_SIM_SIM_CONTEXT_HH

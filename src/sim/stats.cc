@@ -1,0 +1,26 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace fusion::stats
+{
+
+void
+Group::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[k, s] : _scalars) {
+        os << base << "." << k << " " << std::setprecision(12)
+           << s.value() << "\n";
+    }
+    for (const auto &[k, h] : _histograms) {
+        os << base << "." << k << ".samples " << h.samples() << "\n";
+        os << base << "." << k << ".mean " << h.mean() << "\n";
+        os << base << "." << k << ".min " << h.minValue() << "\n";
+        os << base << "." << k << ".max " << h.maxValue() << "\n";
+    }
+    for (const auto &[k, g] : _children)
+        g.dump(os, base);
+}
+
+} // namespace fusion::stats

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components own Scalar / Histogram statistics registered in a
+ * StatGroup tree; Registry::dump() renders the whole tree. The design
+ * follows the gem5 stats package in miniature: stats are named,
+ * hierarchical, and cheap to update on the hot path.
+ */
+
+#ifndef FUSION_SIM_STATS_HH
+#define FUSION_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace fusion::stats
+{
+
+/** A monotonically accumulating scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator++() { _value += 1.0; return *this; }
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+    void reset() { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** A fixed-bucket histogram over a linear range with overflow bins. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 1) {}
+
+    /** Buckets span [lo, hi) in @p buckets equal steps. */
+    Histogram(double lo, double hi, std::size_t buckets)
+        : _lo(lo), _hi(hi), _counts(buckets, 0)
+    {
+        fusion_assert(hi > lo && buckets > 0, "bad histogram range");
+    }
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++_samples;
+        _sum += v;
+        _min = _samples == 1 ? v : std::min(_min, v);
+        _max = _samples == 1 ? v : std::max(_max, v);
+        if (v < _lo) {
+            ++_underflow;
+        } else if (v >= _hi) {
+            ++_overflow;
+        } else {
+            auto idx = static_cast<std::size_t>(
+                (v - _lo) / (_hi - _lo) * _counts.size());
+            ++_counts[std::min(idx, _counts.size() - 1)];
+        }
+    }
+
+    std::uint64_t samples() const { return _samples; }
+    double sum() const { return _sum; }
+    double mean() const { return _samples ? _sum / _samples : 0.0; }
+    double minValue() const { return _samples ? _min : 0.0; }
+    double maxValue() const { return _samples ? _max : 0.0; }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    const std::vector<std::uint64_t> &buckets() const { return _counts; }
+    double bucketLow() const { return _lo; }
+    double bucketHigh() const { return _hi; }
+
+    void
+    reset()
+    {
+        _samples = 0;
+        _sum = 0.0;
+        _min = _max = 0.0;
+        _underflow = _overflow = 0;
+        std::fill(_counts.begin(), _counts.end(), 0);
+    }
+
+  private:
+    double _lo;
+    double _hi;
+    std::uint64_t _samples = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::vector<std::uint64_t> _counts;
+};
+
+/**
+ * A named group of statistics. Groups nest; the full name of a stat
+ * is the dot-joined path of its ancestors.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : _name(std::move(name)) {}
+
+    /** Create (or fetch) a child group. */
+    Group &
+    child(const std::string &name)
+    {
+        auto [it, inserted] = _children.try_emplace(name, name);
+        return it->second;
+    }
+
+    /** Create (or fetch) a named scalar. */
+    Scalar &
+    scalar(const std::string &name)
+    {
+        return _scalars[name];
+    }
+
+    /** Create (or fetch) a named histogram; shape set on creation. */
+    Histogram &
+    histogram(const std::string &name, double lo = 0.0, double hi = 1.0,
+              std::size_t buckets = 16)
+    {
+        auto it = _histograms.find(name);
+        if (it == _histograms.end())
+            it = _histograms.emplace(name, Histogram(lo, hi, buckets))
+                     .first;
+        return it->second;
+    }
+
+    /** Read a scalar by name; panics if absent (test helper). */
+    double
+    scalarValue(const std::string &name) const
+    {
+        auto it = _scalars.find(name);
+        fusion_assert(it != _scalars.end(), "no scalar ", _name, ".",
+                      name);
+        return it->second.value();
+    }
+
+    bool hasScalar(const std::string &name) const
+    {
+        return _scalars.count(name) != 0;
+    }
+
+    const std::string &name() const { return _name; }
+    const std::map<std::string, Scalar> &scalars() const
+    {
+        return _scalars;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return _histograms;
+    }
+    const std::map<std::string, Group> &children() const
+    {
+        return _children;
+    }
+
+    /** Zero every stat in this group and all descendants. */
+    void
+    reset()
+    {
+        for (auto &[k, s] : _scalars)
+            s.reset();
+        for (auto &[k, h] : _histograms)
+            h.reset();
+        for (auto &[k, g] : _children)
+            g.reset();
+    }
+
+    /** Render this subtree, one "path value" line per stat. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::string _name;
+    std::map<std::string, Scalar> _scalars;
+    std::map<std::string, Histogram> _histograms;
+    std::map<std::string, Group> _children;
+};
+
+/** The root of the stats tree for one simulated system. */
+class Registry
+{
+  public:
+    Registry() : _root("sim") {}
+
+    Group &root() { return _root; }
+    const Group &root() const { return _root; }
+
+    void reset() { _root.reset(); }
+    void dump(std::ostream &os) const { _root.dump(os); }
+
+  private:
+    Group _root;
+};
+
+} // namespace fusion::stats
+
+#endif // FUSION_SIM_STATS_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every FUSION module.
+ *
+ * The simulator is cycle-level: one Tick is one clock cycle of the
+ * 2 GHz chip clock (host core, accelerator tile and uncore share one
+ * clock domain, as in the paper's Table 2 configuration).
+ */
+
+#ifndef FUSION_SIM_TYPES_HH
+#define FUSION_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace fusion
+{
+
+/** Simulated time, in clock cycles of the 2 GHz chip clock. */
+using Tick = std::uint64_t;
+
+/** A duration measured in clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/**
+ * A memory address. The accelerator tile operates on virtual
+ * addresses; the host tile operates on physical addresses. Both are
+ * carried in this type; the vm module performs the translation at the
+ * tile boundary (Section 3.2, Virtual Memory).
+ */
+using Addr = std::uint64_t;
+
+/** Identifier of an accelerator (AXC) within a tile. */
+using AccelId = std::int32_t;
+
+/** Identifier of an accelerated function within a workload. */
+using FuncId = std::int32_t;
+
+/** Process identifier used to tag L0X/L1X lines (Section 3.2). */
+using Pid = std::int32_t;
+
+/** Sentinel ids. */
+constexpr AccelId kNoAccel = -1;
+constexpr FuncId kNoFunc = -1;
+
+/** Cache line size used throughout the chip (bytes). */
+constexpr std::uint32_t kLineBytes = 64;
+
+/** log2 of the cache line size. */
+constexpr std::uint32_t kLineShift = 6;
+
+/** Size of one interconnect flit in bytes (Section 5.3, Table 4). */
+constexpr std::uint32_t kFlitBytes = 8;
+
+/** Align an address down to its cache-line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Line number of an address (address divided by line size). */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> kLineShift;
+}
+
+/** Offset of an address within its cache line. */
+constexpr std::uint32_t
+lineOffset(Addr a)
+{
+    return static_cast<std::uint32_t>(a & (kLineBytes - 1));
+}
+
+} // namespace fusion
+
+#endif // FUSION_SIM_TYPES_HH

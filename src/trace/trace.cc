@@ -1,0 +1,26 @@
+#include "trace/trace.hh"
+
+namespace fusion::trace
+{
+
+std::uint64_t
+Program::memOpCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &inv : invocations) {
+        for (const auto &op : inv.ops)
+            n += op.kind != OpKind::Compute ? 1 : 0;
+    }
+    return n;
+}
+
+std::uint64_t
+Program::opCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &inv : invocations)
+        n += inv.ops.size();
+    return n;
+}
+
+} // namespace fusion::trace

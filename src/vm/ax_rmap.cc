@@ -1,0 +1,51 @@
+#include "vm/ax_rmap.hh"
+
+#include "energy/energy_ledger.hh"
+#include "sim/logging.hh"
+
+namespace fusion::vm
+{
+
+AxRmap::AxRmap(SimContext &ctx, const AxRmapParams &p)
+    : _ctx(ctx), _p(p)
+{
+    _stats = &ctx.stats.root().child("ax_rmap");
+}
+
+void
+AxRmap::insert(Addr pline, Addr vline, Pid pid)
+{
+    _map[lineAlign(pline)] = RmapEntry{lineAlign(vline), pid};
+    _stats->scalar("inserts") += 1;
+}
+
+void
+AxRmap::erase(Addr pline)
+{
+    _map.erase(lineAlign(pline));
+}
+
+std::optional<RmapEntry>
+AxRmap::lookup(Addr pline)
+{
+    ++_lookups;
+    _stats->scalar("lookups") += 1;
+    _ctx.energy.add(energy::comp::kAxRmap, _p.lookupPj);
+    auto it = _map.find(lineAlign(pline));
+    if (it == _map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<RmapEntry>
+AxRmap::probeForSynonym(Addr pline)
+{
+    _stats->scalar("synonym_probes") += 1;
+    _ctx.energy.add(energy::comp::kAxRmap, _p.lookupPj);
+    auto it = _map.find(lineAlign(pline));
+    if (it == _map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace fusion::vm

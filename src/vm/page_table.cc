@@ -1,0 +1,53 @@
+#include "vm/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace fusion::vm
+{
+
+Addr
+PageTable::ensureMapped(Pid pid, Addr va)
+{
+    Key k{pid, pageNumber(va)};
+    auto it = _map.find(k);
+    if (it == _map.end())
+        it = _map.emplace(k, _nextPpage++).first;
+    return it->second << kPageShift;
+}
+
+void
+PageTable::ensureMappedRange(Pid pid, Addr va, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    Addr first = pageNumber(va);
+    Addr last = pageNumber(va + bytes - 1);
+    for (Addr p = first; p <= last; ++p)
+        ensureMapped(pid, p << kPageShift);
+}
+
+void
+PageTable::alias(Pid pid, Addr synonym_va, Addr canonical_va)
+{
+    Key canon{pid, pageNumber(canonical_va)};
+    auto it = _map.find(canon);
+    fusion_assert(it != _map.end(),
+                  "alias target not mapped: va=", canonical_va);
+    _map[Key{pid, pageNumber(synonym_va)}] = it->second;
+}
+
+Addr
+PageTable::translate(Pid pid, Addr va) const
+{
+    auto it = _map.find(Key{pid, pageNumber(va)});
+    fusion_assert(it != _map.end(), "unmapped va=", va, " pid=", pid);
+    return (it->second << kPageShift) | pageOffset(va);
+}
+
+bool
+PageTable::mapped(Pid pid, Addr va) const
+{
+    return _map.count(Key{pid, pageNumber(va)}) != 0;
+}
+
+} // namespace fusion::vm

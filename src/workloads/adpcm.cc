@@ -1,0 +1,220 @@
+/**
+ * @file
+ * ADPCM benchmark (MachSuite): IMA ADPCM coder and decoder over a
+ * smooth synthetic signal. The encoded stream produced by the coder
+ * is consumed by the decoder and both share the quantizer tables,
+ * giving the ~99% sharing degree of Table 1 with an even 50/50 time
+ * split between the two accelerated functions.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "trace/recorder.hh"
+#include "workloads/workload.hh"
+
+namespace fusion::workloads
+{
+
+namespace
+{
+
+const int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                             -1, -1, -1, -1, 2, 4, 6, 8};
+
+const int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,
+    17,    19,    21,    23,    25,    28,    31,    34,    37,
+    41,    45,    50,    55,    60,    66,    73,    80,    88,
+    97,    107,   118,   130,   143,   157,   173,   190,   209,
+    230,   253,   279,   307,   337,   371,   408,   449,   494,
+    544,   598,   658,   724,   796,   876,   963,   1060,  1166,
+    1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749,
+    3024,  3327,  3660,  4026,  4428,  4871,  5358,  5894,  6484,
+    7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+int
+clampInt(int v, int lo, int hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+class AdpcmWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "adpcm"; }
+    std::string displayName() const override { return "ADPCM"; }
+
+    trace::Program
+    build(Scale scale) const override
+    {
+        const std::size_t n = scaled(scale, 512, 8192, 32768);
+
+        trace::Recorder rec("adpcm");
+        trace::FunctionMeta metas[2] = {{"coder", 0, 2, 1400},
+                                        {"decoder", 1, 2, 1400}};
+        FuncId fc = rec.addFunction(metas[0]);
+        FuncId fd = rec.addFunction(metas[1]);
+
+        trace::VaAllocator va;
+        // The decoder reconstructs *in place* over the sample
+        // buffer (as MachSuite does), so coder and decoder share
+        // nearly their entire working sets (Table 1: %SHR ~99).
+        trace::Traced<std::int16_t> pcm(rec, va, n);
+        trace::Traced<std::uint8_t> enc(rec, va, n / 2);
+        trace::Traced<int> step_tab(rec, va, 89);
+        trace::Traced<int> idx_tab(rec, va, 16);
+
+        // Smooth two-tone input (ADPCM tracks smooth signals).
+        std::vector<std::int16_t> ref(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            double t = static_cast<double>(i);
+            double v = 8000.0 * std::sin(t * 0.031) +
+                       3000.0 * std::sin(t * 0.0071);
+            ref[i] = static_cast<std::int16_t>(v);
+            pcm.poke(i, ref[i]);
+        }
+        for (int i = 0; i < 89; ++i)
+            step_tab.poke(static_cast<std::size_t>(i),
+                          kStepTable[i]);
+        for (int i = 0; i < 16; ++i)
+            idx_tab.poke(static_cast<std::size_t>(i),
+                         kIndexTable[i]);
+
+        rec.beginHostInit();
+        hostTouchArray(rec, pcm, true);
+        hostTouchArray(rec, step_tab, true);
+        hostTouchArray(rec, idx_tab, true);
+        rec.end();
+
+        // coder.
+        rec.beginInvocation(fc);
+        {
+            int valpred = 0, index = 0;
+            std::uint8_t pending = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                int sample = pcm[i];
+                int step = step_tab[static_cast<std::size_t>(index)];
+                int delta = encodeOne(sample, valpred, step);
+                index = clampInt(
+                    index +
+                        idx_tab[static_cast<std::size_t>(delta)],
+                    0, 88);
+                rec.intOps(26);
+                if (i % 2 == 0) {
+                    pending = static_cast<std::uint8_t>(delta);
+                } else {
+                    enc[i / 2] = static_cast<std::uint8_t>(
+                        pending | (delta << 4));
+                }
+            }
+        }
+        rec.end();
+
+        // decoder.
+        rec.beginInvocation(fd);
+        {
+            int valpred = 0, index = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint8_t byte = enc[i / 2];
+                int delta = (i % 2 == 0) ? (byte & 0xF)
+                                         : ((byte >> 4) & 0xF);
+                int step = step_tab[static_cast<std::size_t>(index)];
+                decodeOne(delta, valpred, step);
+                index = clampInt(
+                    index +
+                        idx_tab[static_cast<std::size_t>(delta)],
+                    0, 88);
+                pcm[i] = static_cast<std::int16_t>(valpred);
+                rec.intOps(20);
+            }
+        }
+        rec.end();
+
+        rec.beginHostFinal();
+        hostTouchArray(rec, pcm, false);
+        rec.end();
+
+        verify(ref, pcm);
+        return rec.take();
+    }
+
+  private:
+    /** One IMA encode step; updates valpred, returns the nibble. */
+    static int
+    encodeOne(int sample, int &valpred, int step)
+    {
+        int diff = sample - valpred;
+        int sign = diff < 0 ? 8 : 0;
+        if (sign)
+            diff = -diff;
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 1;
+            vpdiff += step;
+        }
+        valpred = sign ? valpred - vpdiff : valpred + vpdiff;
+        valpred = clampInt(valpred, -32768, 32767);
+        return delta | sign;
+    }
+
+    /** One IMA decode step; updates valpred. */
+    static void
+    decodeOne(int delta, int &valpred, int step)
+    {
+        int sign = delta & 8;
+        int mag = delta & 7;
+        int vpdiff = step >> 3;
+        if (mag & 4)
+            vpdiff += step;
+        if (mag & 2)
+            vpdiff += step >> 1;
+        if (mag & 1)
+            vpdiff += step >> 2;
+        valpred = sign ? valpred - vpdiff : valpred + vpdiff;
+        valpred = clampInt(valpred, -32768, 32767);
+    }
+
+    static void
+    verify(const std::vector<std::int16_t> &ref,
+           const trace::Traced<std::int16_t> &out)
+    {
+        // Reconstruction error of a smooth signal must stay small
+        // relative to the signal swing (~11000 peak).
+        double err = 0.0;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            err += std::abs(static_cast<double>(ref[i]) -
+                            static_cast<double>(out.peek(i)));
+        }
+        err /= static_cast<double>(ref.size());
+        fusion_assert(err < 500.0,
+                      "ADPCM golden check failed: mean abs err=",
+                      err);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeAdpcm()
+{
+    return std::make_unique<AdpcmWorkload>();
+}
+
+} // namespace fusion::workloads

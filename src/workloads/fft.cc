@@ -1,0 +1,190 @@
+/**
+ * @file
+ * FFT benchmark (MachSuite "fft/strided" style): an in-place
+ * radix-2 DIT FFT whose bit-reversal and butterfly stages are split
+ * across six accelerated step functions (Table 1). Every stage is a
+ * full strided pass over the signal arrays, which is what produces
+ * the pathological DMA-to-working-set ratio of the SCRATCH baseline
+ * (Section 5.2).
+ */
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "trace/recorder.hh"
+#include "workloads/workload.hh"
+
+namespace fusion::workloads
+{
+
+namespace
+{
+
+std::size_t
+bitReverse(std::size_t x, unsigned bits)
+{
+    std::size_t r = 0;
+    for (unsigned b = 0; b < bits; ++b) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+class FftWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "fft"; }
+    std::string displayName() const override { return "FFT"; }
+
+    trace::Program
+    build(Scale scale) const override
+    {
+        const std::size_t n = scaled(scale, 256, 2048, 8192);
+        const unsigned bits =
+            static_cast<unsigned>(std::round(std::log2(n)));
+
+        trace::Recorder rec("fft");
+        // Per-function MLP from Table 1, lease times from Table 3.
+        trace::FunctionMeta metas[6] = {
+            {"step1", 0, 5, 500}, {"step2", 1, 4, 700},
+            {"step3", 2, 4, 200}, {"step4", 3, 3, 700},
+            {"step5", 4, 3, 700}, {"step6", 5, 4, 500}};
+        FuncId fid[6];
+        for (int i = 0; i < 6; ++i)
+            fid[i] = rec.addFunction(metas[i]);
+
+        trace::VaAllocator va;
+        trace::Traced<float> re(rec, va, n);
+        trace::Traced<float> im(rec, va, n);
+        trace::Traced<float> wr(rec, va, n / 2);
+        trace::Traced<float> wi(rec, va, n / 2);
+
+        // Deterministic input signal + twiddle factors.
+        Rng rng(0xFF7u);
+        std::vector<std::complex<double>> input(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            double v = rng.uniform() * 2.0 - 1.0;
+            re.poke(i, static_cast<float>(v));
+            im.poke(i, 0.0f);
+            input[i] = {v, 0.0};
+        }
+        for (std::size_t k = 0; k < n / 2; ++k) {
+            double ang = -2.0 * M_PI * static_cast<double>(k) /
+                         static_cast<double>(n);
+            wr.poke(k, static_cast<float>(std::cos(ang)));
+            wi.poke(k, static_cast<float>(std::sin(ang)));
+        }
+
+        rec.beginHostInit();
+        hostTouchArray(rec, re, true);
+        hostTouchArray(rec, im, true);
+        hostTouchArray(rec, wr, true);
+        hostTouchArray(rec, wi, true);
+        rec.end();
+
+        // step1: bit-reversal permutation (integer dominated).
+        rec.beginInvocation(fid[0]);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t j = bitReverse(i, bits);
+            rec.intOps(static_cast<std::uint32_t>(bits + 4));
+            if (i < j) {
+                float tr = re[i];
+                float ti = im[i];
+                float ur = re[j];
+                float ui = im[j];
+                re[i] = ur;
+                im[i] = ui;
+                re[j] = tr;
+                im[j] = ti;
+            }
+        }
+        rec.end();
+
+        // Butterfly stages, grouped into step2..step6.
+        auto step_for_stage = [bits](unsigned s) -> int {
+            // Spread the stages evenly over the five butterfly
+            // steps (step2..step6).
+            unsigned idx = s * 5u / bits;
+            return static_cast<int>(idx > 4 ? 4 : idx) + 1;
+        };
+        for (unsigned s = 0; s < bits; ++s) {
+            rec.beginInvocation(fid[step_for_stage(s)]);
+            std::size_t len = 1ull << (s + 1);
+            std::size_t half = len / 2;
+            for (std::size_t base = 0; base < n; base += len) {
+                for (std::size_t k = 0; k < half; ++k) {
+                    std::size_t tw = k * (n / len);
+                    float wr_v = wr[tw];
+                    float wi_v = wi[tw];
+                    float xr = re[base + k + half];
+                    float xi = im[base + k + half];
+                    float tr = wr_v * xr - wi_v * xi;
+                    float ti = wr_v * xi + wi_v * xr;
+                    float ur = re[base + k];
+                    float ui = im[base + k];
+                    re[base + k] = ur + tr;
+                    im[base + k] = ui + ti;
+                    re[base + k + half] = ur - tr;
+                    im[base + k + half] = ui - ti;
+                    rec.fpOps(10);
+                    rec.intOps(6);
+                }
+            }
+            rec.end();
+        }
+
+        rec.beginHostFinal();
+        hostTouchArray(rec, re, false);
+        hostTouchArray(rec, im, false);
+        rec.end();
+
+        verify(input, re, im);
+        return rec.take();
+    }
+
+  private:
+    /** Golden check against a naive DFT in double precision. */
+    static void
+    verify(const std::vector<std::complex<double>> &input,
+           const trace::Traced<float> &re,
+           const trace::Traced<float> &im)
+    {
+        std::size_t n = input.size();
+        double tol = 2e-3 * std::sqrt(static_cast<double>(n)) + 1e-3;
+        // Check a deterministic sample of bins (full DFT at small
+        // n, strided sample at large n to keep build fast).
+        std::size_t stride = n > 512 ? 37 : 1;
+        for (std::size_t k = 0; k < n; k += stride) {
+            std::complex<double> acc{0.0, 0.0};
+            for (std::size_t j = 0; j < n; ++j) {
+                double ang = -2.0 * M_PI * static_cast<double>(j) *
+                             static_cast<double>(k) /
+                             static_cast<double>(n);
+                acc += input[j] *
+                       std::complex<double>(std::cos(ang),
+                                            std::sin(ang));
+            }
+            double dr = std::abs(acc.real() -
+                                 static_cast<double>(re.peek(k)));
+            double di = std::abs(acc.imag() -
+                                 static_cast<double>(im.peek(k)));
+            fusion_assert(dr < tol && di < tol,
+                          "FFT golden check failed at bin ", k,
+                          ": err=(", dr, ",", di, ") tol=", tol);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFft()
+{
+    return std::make_unique<FftWorkload>();
+}
+
+} // namespace fusion::workloads

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Histogram benchmark (the paper's running image-processing
+ * example, Figure 1): rgb2hsl converts the image to HSL (FP heavy),
+ * histogram bins the lightness channel, equalize builds the CDF
+ * remap table and applies it, and hsl2rgb converts back. The L
+ * plane and the histogram/LUT tables are the shared intermediates.
+ * The working set (~1.2 MB at Paper scale) deliberately overflows
+ * the 64 KB L1X, reproducing HIST's L1X->L2 coherence-message
+ * penalty (Section 5.2, Lesson 4).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "trace/recorder.hh"
+#include "workloads/workload.hh"
+
+namespace fusion::workloads
+{
+
+namespace
+{
+
+struct Hsl
+{
+    double h, s, l;
+};
+
+/** Reference RGB -> HSL in double precision (r,g,b in [0,1]). */
+Hsl
+refRgbToHsl(double r, double g, double b)
+{
+    double mx = std::max(r, std::max(g, b));
+    double mn = std::min(r, std::min(g, b));
+    double l = (mx + mn) / 2.0;
+    double d = mx - mn;
+    double s = 0.0, h = 0.0;
+    if (d > 1e-12) {
+        s = d / (1.0 - std::abs(2.0 * l - 1.0));
+        if (mx == r)
+            h = std::fmod((g - b) / d + 6.0, 6.0);
+        else if (mx == g)
+            h = (b - r) / d + 2.0;
+        else
+            h = (r - g) / d + 4.0;
+    }
+    return {h, s, l};
+}
+
+class HistogramWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "histogram"; }
+    std::string displayName() const override { return "HIST."; }
+
+    trace::Program
+    build(Scale scale) const override
+    {
+        const std::size_t W = scaled(scale, 32, 224, 448);
+        const std::size_t N = W * W;
+
+        trace::Recorder rec("histogram");
+        trace::FunctionMeta metas[4] = {{"rgb2hsl", 0, 4, 500},
+                                        {"histogram", 1, 1, 500},
+                                        {"equalize", 2, 1, 500},
+                                        {"hsl2rgb", 3, 3, 500}};
+        FuncId fid[4];
+        for (int i = 0; i < 4; ++i)
+            fid[i] = rec.addFunction(metas[i]);
+
+        trace::VaAllocator va;
+        trace::Traced<float> r(rec, va, N), g(rec, va, N),
+            b(rec, va, N);
+        trace::Traced<float> hch(rec, va, N), sch(rec, va, N),
+            lch(rec, va, N);
+        trace::Traced<int> hist(rec, va, 256);
+        trace::Traced<float> lut(rec, va, 256);
+
+        Rng rng(0x4157u);
+        std::vector<double> rr(N), gg(N), bb(N);
+        for (std::size_t i = 0; i < N; ++i) {
+            // Low-contrast image: equalization must stretch it.
+            rr[i] = 0.3 + 0.2 * rng.uniform();
+            gg[i] = 0.35 + 0.2 * rng.uniform();
+            bb[i] = 0.25 + 0.2 * rng.uniform();
+            r.poke(i, static_cast<float>(rr[i]));
+            g.poke(i, static_cast<float>(gg[i]));
+            b.poke(i, static_cast<float>(bb[i]));
+        }
+
+        rec.beginHostInit();
+        hostTouchArray(rec, r, true);
+        hostTouchArray(rec, g, true);
+        hostTouchArray(rec, b, true);
+        rec.end();
+
+        // rgb2hsl.
+        rec.beginInvocation(fid[0]);
+        for (std::size_t i = 0; i < N; ++i) {
+            float rv = r[i], gv = g[i], bv = b[i];
+            float mx = std::max(rv, std::max(gv, bv));
+            float mn = std::min(rv, std::min(gv, bv));
+            float l = (mx + mn) * 0.5f;
+            float d = mx - mn;
+            float s = 0.0f, h = 0.0f;
+            if (d > 1e-12f) {
+                s = d / (1.0f - std::abs(2.0f * l - 1.0f));
+                if (mx == rv)
+                    h = std::fmod((gv - bv) / d + 6.0f, 6.0f);
+                else if (mx == gv)
+                    h = (bv - rv) / d + 2.0f;
+                else
+                    h = (rv - gv) / d + 4.0f;
+            }
+            hch[i] = h;
+            sch[i] = s;
+            lch[i] = l;
+            rec.fpOps(22);
+            rec.intOps(6);
+        }
+        rec.end();
+
+        // histogram of the lightness channel.
+        rec.beginInvocation(fid[1]);
+        for (int bin = 0; bin < 256; ++bin)
+            hist[static_cast<std::size_t>(bin)] = 0;
+        for (std::size_t i = 0; i < N; ++i) {
+            float l = lch[i];
+            int bin = static_cast<int>(l * 255.0f);
+            bin = bin < 0 ? 0 : (bin > 255 ? 255 : bin);
+            hist[static_cast<std::size_t>(bin)] += 1;
+            rec.intOps(5);
+            rec.fpOps(1);
+        }
+        rec.end();
+
+        // equalize: CDF -> remap LUT -> apply to L.
+        rec.beginInvocation(fid[2]);
+        {
+            long cdf = 0;
+            for (int bin = 0; bin < 256; ++bin) {
+                cdf += hist[static_cast<std::size_t>(bin)];
+                lut[static_cast<std::size_t>(bin)] =
+                    static_cast<float>(cdf) /
+                    static_cast<float>(N);
+                rec.intOps(4);
+                rec.fpOps(1);
+            }
+            for (std::size_t i = 0; i < N; ++i) {
+                float l = lch[i];
+                int bin = static_cast<int>(l * 255.0f);
+                bin = bin < 0 ? 0 : (bin > 255 ? 255 : bin);
+                lch[i] = lut[static_cast<std::size_t>(bin)];
+                rec.intOps(5);
+                rec.fpOps(1);
+            }
+        }
+        rec.end();
+
+        // hsl2rgb.
+        rec.beginInvocation(fid[3]);
+        for (std::size_t i = 0; i < N; ++i) {
+            float h = hch[i], s = sch[i], l = lch[i];
+            float c = (1.0f - std::abs(2.0f * l - 1.0f)) * s;
+            float hm = std::fmod(h, 2.0f);
+            float x = c * (1.0f - std::abs(hm - 1.0f));
+            float m = l - c * 0.5f;
+            float rv = 0, gv = 0, bv = 0;
+            int sect = static_cast<int>(h);
+            switch (sect) {
+              case 0: rv = c; gv = x; break;
+              case 1: rv = x; gv = c; break;
+              case 2: gv = c; bv = x; break;
+              case 3: gv = x; bv = c; break;
+              case 4: rv = x; bv = c; break;
+              default: rv = c; bv = x; break;
+            }
+            r[i] = rv + m;
+            g[i] = gv + m;
+            b[i] = bv + m;
+            rec.fpOps(25);
+            rec.intOps(8);
+        }
+        rec.end();
+
+        rec.beginHostFinal();
+        hostTouchArray(rec, r, false);
+        hostTouchArray(rec, g, false);
+        hostTouchArray(rec, b, false);
+        rec.end();
+
+        verify(rr, gg, bb, r, g, b, hist, N);
+        return rec.take();
+    }
+
+  private:
+    static void
+    verify(const std::vector<double> &rr,
+           const std::vector<double> &gg,
+           const std::vector<double> &bb,
+           const trace::Traced<float> &r,
+           const trace::Traced<float> &g,
+           const trace::Traced<float> &b,
+           const trace::Traced<int> &hist, std::size_t N)
+    {
+        // Histogram mass must equal the pixel count.
+        long total = 0;
+        for (int bin = 0; bin < 256; ++bin)
+            total += hist.peek(static_cast<std::size_t>(bin));
+        fusion_assert(static_cast<std::size_t>(total) == N,
+                      "histogram mass mismatch: ", total);
+
+        // Equalization changes only L: hue and saturation of the
+        // output must match the input (sampled).
+        double worst_h = 0.0, worst_s = 0.0;
+        double lo = 1.0, hi = 0.0;
+        for (std::size_t i = 0; i < N; i += 17) {
+            Hsl in = refRgbToHsl(rr[i], gg[i], bb[i]);
+            Hsl out = refRgbToHsl(r.peek(i), g.peek(i), b.peek(i));
+            double dh = std::abs(in.h - out.h);
+            if (dh > 3.0)
+                dh = std::abs(dh - 6.0); // circular hue
+            worst_h = std::max(worst_h, dh);
+            worst_s = std::max(worst_s, std::abs(in.s - out.s));
+            lo = std::min(lo, out.l);
+            hi = std::max(hi, out.l);
+        }
+        fusion_assert(worst_h < 0.05 && worst_s < 0.08,
+                      "hsl roundtrip check failed: dh=", worst_h,
+                      " ds=", worst_s);
+        // The low-contrast input must be stretched to (near) full
+        // range by equalization.
+        fusion_assert(hi - lo > 0.8,
+                      "equalization did not stretch contrast: ",
+                      hi - lo);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHistogram()
+{
+    return std::make_unique<HistogramWorkload>();
+}
+
+} // namespace fusion::workloads

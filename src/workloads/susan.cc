@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Susan benchmark (smart smallest-univalue-segment corner/edge
+ * detection): bright builds the brightness-similarity LUT (tiny,
+ * FP-heavy), smooth performs USAN-weighted smoothing over a 5x5
+ * mask (the dominant function, 66% of time in Table 1), and corners
+ * / edges compute thresholded USAN responses over 3x3 masks.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "trace/recorder.hh"
+#include "workloads/workload.hh"
+
+namespace fusion::workloads
+{
+
+namespace
+{
+
+class SusanWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "susan"; }
+    std::string displayName() const override { return "SUSAN"; }
+
+    trace::Program
+    build(Scale scale) const override
+    {
+        const std::size_t W = scaled(scale, 24, 80, 160);
+        const std::size_t H = W;
+
+        trace::Recorder rec("susan");
+        trace::FunctionMeta metas[4] = {{"bright", 0, 2, 1000},
+                                        {"smooth", 1, 2, 1700},
+                                        {"corners", 2, 2, 1200},
+                                        {"edges", 3, 2, 1700}};
+        FuncId fid[4];
+        for (int i = 0; i < 4; ++i)
+            fid[i] = rec.addFunction(metas[i]);
+
+        trace::VaAllocator va;
+        trace::Traced<std::uint8_t> img(rec, va, W * H);
+        trace::Traced<int> lut(rec, va, 516);
+        trace::Traced<std::uint8_t> smoothed(rec, va, W * H);
+        trace::Traced<std::uint8_t> corner_map(rec, va, W * H);
+        trace::Traced<std::uint8_t> edge_map(rec, va, W * H);
+
+        // Input: dark background with a planted bright square.
+        Rng rng(0x5005u);
+        std::vector<std::uint8_t> ref(W * H);
+        std::size_t sq_lo = W / 4, sq_hi = 3 * W / 4;
+        for (std::size_t y = 0; y < H; ++y) {
+            for (std::size_t x = 0; x < W; ++x) {
+                bool in_sq = y >= sq_lo && y < sq_hi &&
+                             x >= sq_lo && x < sq_hi;
+                std::uint8_t v = static_cast<std::uint8_t>(
+                    (in_sq ? 200 : 40) +
+                    static_cast<int>(rng.below(8)));
+                ref[y * W + x] = v;
+                img.poke(y * W + x, v);
+            }
+        }
+
+        rec.beginHostInit();
+        hostTouchArray(rec, img, true);
+        rec.end();
+
+        // bright: similarity LUT, c = 100*exp(-((d/t)^6)).
+        const double t = 27.0;
+        rec.beginInvocation(fid[0]);
+        for (int d = -257; d <= 257; d += 2) {
+            double z = static_cast<double>(d) / t;
+            double c = 100.0 * std::exp(-(z * z * z * z * z * z));
+            lut[static_cast<std::size_t>((d + 257) / 2)] =
+                static_cast<int>(c);
+            rec.fpOps(9);
+            rec.intOps(4);
+        }
+        rec.end();
+
+        auto lut_at = [&lut](int diff) -> int {
+            return lut[static_cast<std::size_t>((diff + 257) / 2)];
+        };
+
+        // smooth: USAN-weighted 5x5 smoothing.
+        rec.beginInvocation(fid[1]);
+        for (std::size_t y = 0; y < H; ++y) {
+            for (std::size_t x = 0; x < W; ++x) {
+                int center = img[y * W + x];
+                long num = 0, den = 0;
+                for (int j = -2; j <= 2; ++j) {
+                    for (int i = -2; i <= 2; ++i) {
+                        if (i == 0 && j == 0)
+                            continue;
+                        long yy = static_cast<long>(y) + j;
+                        long xx = static_cast<long>(x) + i;
+                        if (yy < 0 || xx < 0 ||
+                            yy >= static_cast<long>(H) ||
+                            xx >= static_cast<long>(W))
+                            continue;
+                        int v = img[static_cast<std::size_t>(yy) * W
+                                    + static_cast<std::size_t>(xx)];
+                        int c = lut_at(v - center);
+                        num += static_cast<long>(c) * v;
+                        den += c;
+                        rec.intOps(8);
+                    }
+                }
+                smoothed[y * W + x] = static_cast<std::uint8_t>(
+                    den > 0 ? num / den : center);
+                rec.intOps(6);
+            }
+        }
+        rec.end();
+
+        // corners / edges: thresholded 3x3 USAN area on smoothed.
+        for (int pass = 0; pass < 2; ++pass) {
+            rec.beginInvocation(fid[2 + pass]);
+            // Geometric thresholds: corners need a small USAN,
+            // edges a medium one.
+            long gmax = 8L * 100L;
+            long g = pass == 0 ? gmax / 2 : (3 * gmax) / 4;
+            for (std::size_t y = 1; y + 1 < H; ++y) {
+                for (std::size_t x = 1; x + 1 < W; ++x) {
+                    int center = smoothed[y * W + x];
+                    long usan = 0;
+                    for (int j = -1; j <= 1; ++j) {
+                        for (int i = -1; i <= 1; ++i) {
+                            if (i == 0 && j == 0)
+                                continue;
+                            int v = smoothed[
+                                (y + static_cast<std::size_t>(j + 1)
+                                 - 1) * W +
+                                (x + static_cast<std::size_t>(i + 1)
+                                 - 1)];
+                            usan += lut_at(v - center);
+                            rec.intOps(6);
+                        }
+                    }
+                    std::uint8_t r = static_cast<std::uint8_t>(
+                        usan < g ? (g - usan) * 255 / (g ? g : 1)
+                                 : 0);
+                    rec.intOps(8);
+                    if (pass == 0)
+                        corner_map[y * W + x] = r;
+                    else
+                        edge_map[y * W + x] = r;
+                }
+            }
+            rec.end();
+        }
+
+        rec.beginHostFinal();
+        hostTouchArray(rec, corner_map, false);
+        hostTouchArray(rec, edge_map, false);
+        rec.end();
+
+        verify(corner_map, edge_map, W, H, sq_lo, sq_hi);
+        return rec.take();
+    }
+
+  private:
+    static void
+    verify(const trace::Traced<std::uint8_t> &corner_map,
+           const trace::Traced<std::uint8_t> &edge_map,
+           std::size_t W, std::size_t H, std::size_t sq_lo,
+           std::size_t sq_hi)
+    {
+        // The planted square's corners must respond in the corner
+        // map and its sides in the edge map; the flat interior must
+        // stay quiet.
+        auto corner_near = [&](std::size_t cy, std::size_t cx) {
+            for (long j = -2; j <= 2; ++j) {
+                for (long i = -2; i <= 2; ++i) {
+                    long y = static_cast<long>(cy) + j;
+                    long x = static_cast<long>(cx) + i;
+                    if (y < 0 || x < 0 ||
+                        y >= static_cast<long>(H) ||
+                        x >= static_cast<long>(W))
+                        continue;
+                    if (corner_map.peek(
+                            static_cast<std::size_t>(y) * W +
+                            static_cast<std::size_t>(x)) > 0)
+                        return true;
+                }
+            }
+            return false;
+        };
+        fusion_assert(corner_near(sq_lo, sq_lo) &&
+                          corner_near(sq_lo, sq_hi - 1) &&
+                          corner_near(sq_hi - 1, sq_lo) &&
+                          corner_near(sq_hi - 1, sq_hi - 1),
+                      "susan corner check failed");
+        std::uint64_t edge_hits = 0;
+        for (std::size_t x = sq_lo + 2; x < sq_hi - 2; ++x) {
+            if (edge_map.peek(sq_lo * W + x) > 0)
+                ++edge_hits;
+        }
+        fusion_assert(edge_hits * 2 > (sq_hi - sq_lo - 4),
+                      "susan edge check failed: ", edge_hits);
+        // Flat interior quiet.
+        std::size_t mid = (sq_lo + sq_hi) / 2;
+        fusion_assert(corner_map.peek(mid * W + mid) == 0,
+                      "susan interior should be quiet");
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSusan()
+{
+    return std::make_unique<SusanWorkload>();
+}
+
+} // namespace fusion::workloads

@@ -1,0 +1,56 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace fusion::workloads
+{
+
+// Factories defined in the per-benchmark translation units.
+std::unique_ptr<Workload> makeFft();
+std::unique_ptr<Workload> makeDisparity();
+std::unique_ptr<Workload> makeTracking();
+std::unique_ptr<Workload> makeAdpcm();
+std::unique_ptr<Workload> makeSusan();
+std::unique_ptr<Workload> makeFilter();
+std::unique_ptr<Workload> makeHistogram();
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"fft",   "disparity", "tracking", "adpcm",
+            "susan", "filter",    "histogram"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "fft")
+        return makeFft();
+    if (name == "disparity")
+        return makeDisparity();
+    if (name == "tracking")
+        return makeTracking();
+    if (name == "adpcm")
+        return makeAdpcm();
+    if (name == "susan")
+        return makeSusan();
+    if (name == "filter")
+        return makeFilter();
+    if (name == "histogram")
+        return makeHistogram();
+    return nullptr;
+}
+
+std::vector<trace::Program>
+buildAll(Scale scale)
+{
+    std::vector<trace::Program> out;
+    for (const auto &n : workloadNames()) {
+        auto w = makeWorkload(n);
+        fusion_assert(w, "missing workload ", n);
+        out.push_back(w->build(scale));
+    }
+    return out;
+}
+
+} // namespace fusion::workloads

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The benchmark suite (Section 4, Table 1): seven applications from
+ * SD-VBS and MachSuite in which multiple functions are offloaded to
+ * accelerators and share data.
+ *
+ * SD-VBS / MachSuite sources are not redistributable here, so each
+ * accelerated function is re-implemented from its published
+ * algorithm and executed *for real* over Traced<> arrays on
+ * deterministic synthetic inputs sized to land in the paper's
+ * working-set regime (Table 6d). Every workload self-checks its
+ * numerical results against an independent golden reference before
+ * returning the trace, so the traces are memory behaviour of
+ * genuinely correct executions.
+ *
+ * Per-function MLP and lease-time (LT) metadata follow Table 1 /
+ * Table 3.
+ */
+
+#ifndef FUSION_WORKLOADS_WORKLOAD_HH
+#define FUSION_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace fusion::workloads
+{
+
+/** Workload input-size scale: Paper = Table 6d regime, Small = fast
+ *  CI-size inputs for unit tests, Large = ~4x Paper footprints for
+ *  scaling studies. */
+enum class Scale
+{
+    Small,
+    Paper,
+    Large
+};
+
+/** Pick a dimension for the given scale. */
+constexpr std::size_t
+scaled(Scale s, std::size_t small, std::size_t paper,
+       std::size_t large)
+{
+    switch (s) {
+      case Scale::Small:
+        return small;
+      case Scale::Paper:
+        return paper;
+      case Scale::Large:
+        return large;
+    }
+    return paper;
+}
+
+/** One benchmark application. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Canonical short name ("fft", "disparity", ...). */
+    virtual std::string name() const = 0;
+
+    /** Display name used in paper tables ("FFT", "DISP.", ...). */
+    virtual std::string displayName() const = 0;
+
+    /**
+     * Execute the kernels over instrumented arrays and return the
+     * captured Program. Panics if the golden self-check fails.
+     */
+    virtual trace::Program build(Scale scale) const = 0;
+};
+
+/** All benchmark names in the paper's presentation order. */
+std::vector<std::string> workloadNames();
+
+/** Factory. @return nullptr for unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** Build every workload at @p scale. */
+std::vector<trace::Program> buildAll(Scale scale);
+
+} // namespace fusion::workloads
+
+#endif // FUSION_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for the bank-conflict scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bank_scheduler.hh"
+
+namespace fusion::mem
+{
+namespace
+{
+
+TEST(BankScheduler, IdleBankHasNoDelay)
+{
+    BankScheduler b(16, 1);
+    EXPECT_EQ(b.reserve(0x0, 100), 0u);
+    EXPECT_EQ(b.conflicts(), 0u);
+}
+
+TEST(BankScheduler, SameBankSameTickSerializes)
+{
+    BankScheduler b(16, 1);
+    EXPECT_EQ(b.reserve(0x0, 100), 0u);
+    // Same line -> same bank, still busy this cycle.
+    EXPECT_EQ(b.reserve(0x0, 100), 1u);
+    EXPECT_EQ(b.reserve(0x0, 100), 2u);
+    EXPECT_EQ(b.conflicts(), 2u);
+}
+
+TEST(BankScheduler, DifferentBanksProceedInParallel)
+{
+    BankScheduler b(16, 1);
+    for (Addr line = 0; line < 16; ++line)
+        EXPECT_EQ(b.reserve(line * kLineBytes, 50), 0u);
+    EXPECT_EQ(b.conflicts(), 0u);
+}
+
+TEST(BankScheduler, BankFreesAfterOccupancy)
+{
+    BankScheduler b(4, 3);
+    EXPECT_EQ(b.reserve(0x0, 10), 0u); // busy until 13
+    EXPECT_EQ(b.reserve(0x0, 13), 0u); // free again
+    EXPECT_EQ(b.reserve(0x0, 14), 2u); // busy until 16
+}
+
+TEST(BankScheduler, LineInterleavingWraps)
+{
+    BankScheduler b(4, 1);
+    EXPECT_EQ(b.bankOf(0), 0u);
+    EXPECT_EQ(b.bankOf(kLineBytes), 1u);
+    EXPECT_EQ(b.bankOf(4 * kLineBytes), 0u);
+    EXPECT_EQ(b.bankOf(5 * kLineBytes + 8), 1u);
+}
+
+} // namespace
+} // namespace fusion::mem

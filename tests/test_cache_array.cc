@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit + property tests for the set-associative CacheArray.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/cache_array.hh"
+#include "sim/rng.hh"
+
+namespace fusion::mem
+{
+namespace
+{
+
+CacheArray
+make(std::uint64_t bytes = 4096, std::uint32_t assoc = 4)
+{
+    return CacheArray(CacheGeometry{bytes, assoc, kLineBytes});
+}
+
+TEST(CacheArray, GeometryDerivesSets)
+{
+    auto c = make(4096, 4);
+    EXPECT_EQ(c.numSets(), 16u);
+    EXPECT_EQ(c.assoc(), 4u);
+}
+
+TEST(CacheArray, MissThenInstallThenHit)
+{
+    auto c = make();
+    EXPECT_EQ(c.find(0x1000), nullptr);
+    CacheLine *way = c.victim(0x1000);
+    ASSERT_NE(way, nullptr);
+    c.install(*way, 0x1000);
+    CacheLine *hit = c.find(0x1000);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->lineAddr, 0x1000u);
+}
+
+TEST(CacheArray, SubLineAddressesMatchTheLine)
+{
+    auto c = make();
+    CacheLine *way = c.victim(0x1000);
+    c.install(*way, 0x1000);
+    EXPECT_NE(c.find(0x1004), nullptr);
+    EXPECT_NE(c.find(0x103F), nullptr);
+    EXPECT_EQ(c.find(0x1040), nullptr);
+}
+
+TEST(CacheArray, PidTagsDistinguishProcesses)
+{
+    auto c = make();
+    CacheLine *w1 = c.victim(0x1000);
+    c.install(*w1, 0x1000, /*pid=*/1);
+    EXPECT_NE(c.find(0x1000, 1), nullptr);
+    EXPECT_EQ(c.find(0x1000, 2), nullptr);
+}
+
+TEST(CacheArray, LruVictimIsLeastRecentlyTouched)
+{
+    auto c = make(4 * kLineBytes, 4); // one set
+    Addr lines[4] = {0, 0x100, 0x200, 0x300};
+    // All map to set 0 in a 1-set cache.
+    for (Addr a : lines) {
+        CacheLine *w = c.victim(a);
+        c.install(*w, a);
+    }
+    // Touch all but lines[1].
+    c.touch(*c.find(lines[0]));
+    c.touch(*c.find(lines[2]));
+    c.touch(*c.find(lines[3]));
+    CacheLine *v = c.victim(0x400);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->lineAddr, lines[1]);
+}
+
+TEST(CacheArray, EvictablePredicateFiltersVictims)
+{
+    auto c = make(4 * kLineBytes, 4);
+    for (Addr a : {Addr(0), Addr(0x100), Addr(0x200), Addr(0x300)}) {
+        CacheLine *w = c.victim(a);
+        c.install(*w, a);
+        w->locked = true;
+    }
+    EXPECT_EQ(c.victim(0x400,
+                       [](const CacheLine &l) { return !l.locked; }),
+              nullptr);
+    c.find(0x200)->locked = false;
+    CacheLine *v = c.victim(
+        0x400, [](const CacheLine &l) { return !l.locked; });
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->lineAddr, 0x200u);
+}
+
+TEST(CacheArray, InstallResetsMetadata)
+{
+    auto c = make();
+    CacheLine *w = c.victim(0x1000);
+    c.install(*w, 0x1000);
+    w->dirty = true;
+    w->ltime = 99;
+    w->locked = true;
+    c.install(*w, 0x2000);
+    EXPECT_FALSE(w->dirty);
+    EXPECT_FALSE(w->locked);
+    EXPECT_EQ(w->ltime, 0u);
+    EXPECT_EQ(w->lineAddr, 0x2000u);
+}
+
+TEST(CacheArray, InvalidateAllAndValidCount)
+{
+    auto c = make();
+    for (Addr a = 0; a < 10 * kLineBytes; a += kLineBytes) {
+        CacheLine *w = c.victim(a);
+        c.install(*w, a);
+    }
+    EXPECT_EQ(c.validCount(), 10u);
+    c.invalidateAll();
+    EXPECT_EQ(c.validCount(), 0u);
+}
+
+TEST(CacheArray, ForEachValidInSetVisitsOnlyThatSet)
+{
+    auto c = make(4096, 4); // 16 sets
+    // Set 3 lines: line number % 16 == 3.
+    Addr a1 = 3ull * kLineBytes;
+    Addr a2 = (3ull + 16) * kLineBytes;
+    Addr other = 5ull * kLineBytes;
+    for (Addr a : {a1, a2, other}) {
+        CacheLine *w = c.victim(a);
+        c.install(*w, a);
+    }
+    std::set<Addr> seen;
+    c.forEachValidInSet(3, [&](CacheLine &l) {
+        seen.insert(l.lineAddr);
+    });
+    EXPECT_EQ(seen, (std::set<Addr>{a1, a2}));
+}
+
+TEST(CacheArray, FifoEvictsOldestInstall)
+{
+    CacheArray c(CacheGeometry{4 * kLineBytes, 4, kLineBytes,
+                               ReplPolicy::Fifo});
+    Addr lines[4] = {0, 0x100, 0x200, 0x300};
+    for (Addr a : lines) {
+        CacheLine *w = c.victim(a);
+        c.install(*w, a);
+    }
+    // Touching lines[0] must NOT save it under FIFO.
+    c.touch(*c.find(lines[0]));
+    CacheLine *v = c.victim(0x400);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->lineAddr, lines[0]);
+}
+
+TEST(CacheArray, RandomPolicyIsDeterministicAndValid)
+{
+    auto mk = [] {
+        return CacheArray(CacheGeometry{4 * kLineBytes, 4,
+                                        kLineBytes,
+                                        ReplPolicy::Random});
+    };
+    auto c1 = mk();
+    auto c2 = mk();
+    std::vector<Addr> evicted1, evicted2;
+    auto run = [](CacheArray &c, std::vector<Addr> &evicted) {
+        for (Addr a = 0; a < 32 * 0x100; a += 0x100) {
+            if (c.find(a))
+                continue;
+            CacheLine *w = c.victim(a);
+            ASSERT_NE(w, nullptr);
+            if (w->valid)
+                evicted.push_back(w->lineAddr);
+            c.install(*w, a);
+        }
+    };
+    run(c1, evicted1);
+    run(c2, evicted2);
+    EXPECT_EQ(evicted1, evicted2); // reproducible
+    EXPECT_EQ(evicted1.size(), 28u);
+}
+
+TEST(CacheArray, RandomPolicyRespectsEvictablePredicate)
+{
+    CacheArray c(CacheGeometry{4 * kLineBytes, 4, kLineBytes,
+                               ReplPolicy::Random});
+    for (Addr a : {Addr(0), Addr(0x100), Addr(0x200), Addr(0x300)}) {
+        CacheLine *w = c.victim(a);
+        c.install(*w, a);
+        w->locked = (a != 0x200);
+    }
+    for (int i = 0; i < 16; ++i) {
+        CacheLine *v = c.victim(
+            0x400 + 0x100u * i,
+            [](const CacheLine &l) { return !l.locked; });
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(v->lineAddr, 0x200u);
+    }
+}
+
+/** Property: a direct-mapped cache of N sets keeps exactly the last
+ *  line installed per set, whatever the access sequence. */
+class CacheArrayProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheArrayProperty, RandomizedInstallFindConsistency)
+{
+    Rng rng(GetParam());
+    auto c = make(8192, 2);
+    std::set<Addr> installed;
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = lineAlign(rng.below(1 << 20));
+        if (CacheLine *hit = c.find(a)) {
+            // A hit must match the queried line exactly.
+            EXPECT_EQ(hit->lineAddr, a);
+            c.touch(*hit);
+        } else {
+            CacheLine *w = c.victim(a);
+            ASSERT_NE(w, nullptr);
+            c.install(*w, a);
+        }
+        // The line just accessed is always present afterwards.
+        EXPECT_NE(c.find(a), nullptr);
+        // Valid count never exceeds capacity.
+        EXPECT_LE(c.validCount(),
+                  c.geometry().capacityBytes / kLineBytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheArrayProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+} // namespace
+} // namespace fusion::mem

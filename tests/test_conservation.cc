@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cross-system conservation properties: quantities that must agree
+ * between independent accounting paths (ledger vs link counters vs
+ * stats tree) and across system organizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "energy/link_energy.hh"
+
+namespace fusion::core
+{
+namespace
+{
+
+/** Link energy booked in the ledger must equal bytes x pJ/B from
+ *  the per-link byte counters — two fully independent paths. */
+TEST(Conservation, LinkLedgerMatchesByteCounters)
+{
+    trace::Program p = buildProgram("adpcm", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    System sys(cfg, p);
+    sys.run();
+
+    const auto &links =
+        sys.ctx().stats.root().children().at("links");
+    auto bytes_of = [&](const char *name) {
+        auto it = links.children().find(name);
+        return it == links.children().end()
+                   ? 0.0
+                   : it->second.scalarValue("bytes");
+    };
+    double tile_pj =
+        sys.ctx().energy.total(energy::comp::kLinkL0xL1xMsg) +
+        sys.ctx().energy.total(energy::comp::kLinkL0xL1xData);
+    EXPECT_NEAR(tile_pj,
+                bytes_of("l0x_l1x") *
+                    energy::linkPjPerByte(
+                        energy::LinkClass::AxcToL1x),
+                1e-6);
+    double host_pj =
+        sys.ctx().energy.total(energy::comp::kLinkL1xL2Msg) +
+        sys.ctx().energy.total(energy::comp::kLinkL1xL2Data);
+    EXPECT_NEAR(host_pj,
+                bytes_of("l1x_l2") *
+                    energy::linkPjPerByte(
+                        energy::LinkClass::L1xToL2),
+                1e-6);
+}
+
+/** Cold DRAM traffic is a property of the program, not the
+ *  accelerator organization: every cached system fetches each
+ *  touched line exactly once (footprints fit the 4 MB LLC). */
+TEST(Conservation, DramAccessesMatchAcrossCachedSystems)
+{
+    trace::Program p =
+        buildProgram("filter", workloads::Scale::Small);
+    std::vector<double> accesses;
+    for (auto k : {SystemKind::Shared, SystemKind::Fusion,
+                   SystemKind::FusionDx}) {
+        System sys(SystemConfig::paperDefault(k), p);
+        sys.run();
+        accesses.push_back(sys.ctx()
+                               .stats.root()
+                               .children()
+                               .at("dram")
+                               .scalarValue("accesses"));
+    }
+    EXPECT_DOUBLE_EQ(accesses[0], accesses[1]);
+    EXPECT_DOUBLE_EQ(accesses[1], accesses[2]);
+}
+
+/** The L0X's request counters and the tile link's control-message
+ *  counter describe the same events. */
+TEST(Conservation, TileRequestsMatchLinkMessages)
+{
+    trace::Program p = buildProgram("susan", workloads::Scale::Small);
+    System sys(SystemConfig::paperDefault(SystemKind::Fusion), p);
+    RunResult r = sys.run();
+    const auto &root = sys.ctx().stats.root();
+    double misses = 0;
+    for (const auto &[name, grp] : root.children()) {
+        if (name.find(".l0x") == std::string::npos)
+            continue;
+        misses += grp.hasScalar("load_misses")
+                      ? grp.scalarValue("load_misses")
+                      : 0;
+        misses += grp.hasScalar("store_misses")
+                      ? grp.scalarValue("store_misses")
+                      : 0;
+    }
+    // Each distinct miss sends one request message (merged misses
+    // share one), so requests <= misses; and every control message
+    // on the tile link is either a request or a Dx lease transfer.
+    EXPECT_LE(r.l0xL1xCtrlMsgs, static_cast<std::uint64_t>(misses));
+    EXPECT_GT(r.l0xL1xCtrlMsgs, 0u);
+}
+
+/** Total accelerator memory operations are invariant across
+ *  systems (the trace is the trace). */
+TEST(Conservation, MemOpsSeenEqualTraceLength)
+{
+    trace::Program p = buildProgram("adpcm", workloads::Scale::Small);
+    for (auto k : {SystemKind::Scratch, SystemKind::Shared,
+                   SystemKind::Fusion}) {
+        System sys(SystemConfig::paperDefault(k), p);
+        sys.run();
+        const auto &root = sys.ctx().stats.root();
+        double ops = 0;
+        for (const auto &[name, grp] : root.children()) {
+            if (name.rfind("axc", 0) != 0)
+                continue;
+            auto it = grp.children().find("core");
+            if (it == grp.children().end())
+                continue;
+            ops += it->second.scalarValue("loads") +
+                   it->second.scalarValue("stores");
+        }
+        EXPECT_DOUBLE_EQ(ops,
+                         static_cast<double>(p.memOpCount()))
+            << systemKindName(k);
+    }
+}
+
+/** Energy is monotone in work: Paper-scale inputs cost strictly
+ *  more than Small on every system. */
+TEST(Conservation, EnergyMonotoneInInputScale)
+{
+    trace::Program small =
+        buildProgram("filter", workloads::Scale::Small);
+    trace::Program paper =
+        buildProgram("filter", workloads::Scale::Paper);
+    for (auto k : {SystemKind::Scratch, SystemKind::Fusion}) {
+        RunResult rs =
+            runProgram(SystemConfig::paperDefault(k), small);
+        RunResult rp =
+            runProgram(SystemConfig::paperDefault(k), paper);
+        EXPECT_GT(rp.totalPj(), rs.totalPj());
+        EXPECT_GT(rp.accelCycles, rs.accelCycles);
+    }
+}
+
+} // namespace
+} // namespace fusion::core

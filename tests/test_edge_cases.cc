@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Edge-case battery: degenerate programs and extreme configurations
+ * must neither deadlock nor corrupt accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "trace/analysis.hh"
+#include "trace/recorder.hh"
+
+namespace fusion::core
+{
+namespace
+{
+
+std::vector<SystemKind>
+allKinds()
+{
+    return {SystemKind::Scratch, SystemKind::Shared,
+            SystemKind::Fusion, SystemKind::FusionDx};
+}
+
+trace::Program
+emptyInvocationProgram()
+{
+    trace::Recorder rec("empty");
+    FuncId f = rec.addFunction({"nop", 0, 2, 500});
+    rec.beginInvocation(f);
+    rec.end();
+    return rec.take();
+}
+
+TEST(EdgeCases, EmptyInvocationCompletesEverywhere)
+{
+    trace::Program p = emptyInvocationProgram();
+    for (auto k : allKinds()) {
+        RunResult r = runProgram(SystemConfig::paperDefault(k), p);
+        EXPECT_EQ(r.funcCycles.at("nop"), 0u);
+    }
+}
+
+TEST(EdgeCases, ComputeOnlyInvocation)
+{
+    trace::Recorder rec("compute");
+    FuncId f = rec.addFunction({"calc", 0, 2, 500});
+    rec.beginInvocation(f);
+    rec.intOps(400);
+    rec.fpOps(40);
+    rec.end();
+    trace::Program p = rec.take();
+    for (auto k : allKinds()) {
+        RunResult r = runProgram(SystemConfig::paperDefault(k), p);
+        // 440 ops at width 4 = 110 cycles, identical on every
+        // system (no memory).
+        EXPECT_EQ(r.funcCycles.at("calc"), 110u) << int(k);
+    }
+}
+
+TEST(EdgeCases, StoreOnlyInvocation)
+{
+    trace::Recorder rec("st");
+    FuncId f = rec.addFunction({"wr", 0, 2, 500});
+    rec.beginInvocation(f);
+    for (int i = 0; i < 64; ++i)
+        rec.store(0x1000 + 8u * i, 8);
+    rec.end();
+    trace::Program p = rec.take();
+    for (auto k : allKinds()) {
+        RunResult r = runProgram(SystemConfig::paperDefault(k), p);
+        EXPECT_GT(r.funcCycles.at("wr"), 0u);
+        if (k == SystemKind::Scratch) {
+            // Write-only windows DMA nothing in, everything out.
+            EXPECT_EQ(r.dmaBytes, 8u * kLineBytes);
+        }
+    }
+}
+
+TEST(EdgeCases, SingleAcceleratorProgram)
+{
+    trace::Recorder rec("solo");
+    FuncId f = rec.addFunction({"only", 0, 1, 100});
+    for (int round = 0; round < 3; ++round) {
+        rec.beginInvocation(f);
+        for (int i = 0; i < 32; ++i)
+            rec.load(0x1000 + 8u * i, 8);
+        rec.end();
+    }
+    trace::Program p = rec.take();
+    EXPECT_EQ(p.accelCount(), 1u);
+    for (auto k : allKinds()) {
+        RunResult r = runProgram(SystemConfig::paperDefault(k), p);
+        EXPECT_GT(r.accelCycles, 0u);
+    }
+}
+
+TEST(EdgeCases, DirectMappedTinyL0x)
+{
+    trace::Program p =
+        buildProgram("adpcm", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.l0xBytes = 256; // 4 lines
+    cfg.l0xAssoc = 1;
+    RunResult r = runProgram(cfg, p);
+    EXPECT_GT(r.accelCycles, 0u);
+    EXPECT_GT(r.l0xFills, 100u); // thrashes but stays correct
+}
+
+TEST(EdgeCases, TinyL1xUnderLeasePressure)
+{
+    trace::Program p =
+        buildProgram("adpcm", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.l1xBytes = 1024; // 16 lines, 8-way: 2 sets
+    RunResult r = runProgram(cfg, p);
+    EXPECT_GT(r.accelCycles, 0u);
+    EXPECT_GT(r.l1xMisses, 20u);
+}
+
+TEST(EdgeCases, TinyScratchpadManyWindows)
+{
+    trace::Program p =
+        buildProgram("filter", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::paperDefault(
+        SystemKind::Scratch);
+    cfg.scratchpadBytes = 256; // 4 lines per window
+    RunResult r = runProgram(cfg, p);
+    EXPECT_GT(r.dmaOps, 20u);
+    EXPECT_GT(r.accelCycles, 0u);
+}
+
+TEST(EdgeCases, WriteThroughComposesWithDx)
+{
+    trace::Program p = buildProgram("fft", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::paperDefault(
+        SystemKind::FusionDx);
+    cfg.l0xWriteThrough = true;
+    RunResult r = runProgram(cfg, p);
+    EXPECT_GT(r.accelCycles, 0u);
+    // Write-through leaves nothing dirty to forward.
+    EXPECT_EQ(r.l0xWritebacks, 0u);
+}
+
+TEST(EdgeCases, ExtremeLeaseLengthsComplete)
+{
+    trace::Program p = buildProgram("susan", workloads::Scale::Small);
+    for (Cycles lt : {Cycles(1), Cycles(1u << 20)}) {
+        trace::Program q = p;
+        for (auto &f : q.functions)
+            f.leaseTime = lt;
+        RunResult r = runProgram(
+            SystemConfig::paperDefault(SystemKind::Fusion), q);
+        EXPECT_GT(r.accelCycles, 0u) << lt;
+    }
+}
+
+TEST(EdgeCases, MlpOneIsFullySerial)
+{
+    trace::Program p = buildProgram("adpcm", workloads::Scale::Small);
+    trace::Program serial = p;
+    for (auto &f : serial.functions)
+        f.mlp = 1;
+    RunResult r1 = runProgram(
+        SystemConfig::paperDefault(SystemKind::Fusion), serial);
+    RunResult r8 = runProgram(
+        SystemConfig::paperDefault(SystemKind::Fusion), p);
+    EXPECT_GE(r1.accelCycles, r8.accelCycles);
+}
+
+TEST(EdgeCases, LargeScaleBuildsAndFootprintsGrow)
+{
+    auto w = workloads::makeWorkload("filter");
+    auto small = w->build(workloads::Scale::Small);
+    auto paper = w->build(workloads::Scale::Paper);
+    auto large = w->build(workloads::Scale::Large);
+    EXPECT_LT(trace::footprintLines(small),
+              trace::footprintLines(paper));
+    EXPECT_LT(trace::footprintLines(paper),
+              trace::footprintLines(large));
+}
+
+} // namespace
+} // namespace fusion::core

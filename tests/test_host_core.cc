@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Host core timing model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/host_core.hh"
+#include "test_util.hh"
+
+namespace fusion
+{
+namespace
+{
+
+struct CoreRig : test::L1Rig
+{
+    vm::PageTable pt;
+    host::HostCore core;
+
+    explicit CoreRig(host::HostCoreParams p = {})
+        : core(ctx, p, l1, pt)
+    {
+    }
+
+    Tick
+    runSync(const std::vector<trace::TraceOp> &ops)
+    {
+        pt.ensureMappedRange(1, 0, 1 << 20);
+        Tick t0 = ctx.now();
+        bool done = false;
+        core.run(ops, 1, [&] { done = true; });
+        ctx.eq.run();
+        EXPECT_TRUE(done);
+        return ctx.now() - t0;
+    }
+};
+
+TEST(HostCore, EmptyStreamCompletesImmediately)
+{
+    CoreRig r;
+    EXPECT_EQ(r.runSync({}), 0u);
+    EXPECT_FALSE(r.core.busy());
+}
+
+TEST(HostCore, ComputeBurstTakesWidthScaledCycles)
+{
+    CoreRig r;
+    // 40 int ops at width 4 = 10 cycles.
+    Tick t = r.runSync({trace::TraceOp::compute(40, 0)});
+    EXPECT_EQ(t, 10u);
+}
+
+TEST(HostCore, MemoryOpsPipelineAtOnePerCycle)
+{
+    CoreRig r;
+    std::vector<trace::TraceOp> ops;
+    // Warm one line.
+    ops.push_back(trace::TraceOp::load(0x100, 8));
+    Tick t_one = r.runSync(ops);
+    // 16 more loads to the same (now hot) line.
+    ops.clear();
+    for (int i = 0; i < 16; ++i)
+        ops.push_back(trace::TraceOp::load(0x100, 8));
+    Tick t = r.runSync(ops);
+    // Hits pipeline: far less than 16 serial L1 latencies.
+    EXPECT_LT(t, 16 * 4u);
+    EXPECT_GT(t, 15u);
+    (void)t_one;
+}
+
+TEST(HostCore, StoresDoNotBlockIssue)
+{
+    CoreRig r;
+    // A cold store (long LLC+DRAM miss) followed by hot loads: the
+    // loads must not wait for the store to complete.
+    r.runSync({trace::TraceOp::load(0x200, 8)});
+    std::vector<trace::TraceOp> ops;
+    ops.push_back(trace::TraceOp::store(0x40000, 8)); // cold
+    for (int i = 0; i < 8; ++i)
+        ops.push_back(trace::TraceOp::load(0x200, 8)); // hot
+    Tick t = r.runSync(ops);
+    // Completion still waits for the store, but far less than
+    // 8 serialized misses.
+    EXPECT_LT(t, 2u * 400u);
+    EXPECT_EQ(r.core.memOps(), 10u);
+}
+
+TEST(HostCore, LoadMlpBoundsOutstanding)
+{
+    host::HostCoreParams p;
+    p.maxOutstanding = 1;
+    CoreRig serial(p);
+    host::HostCoreParams p2;
+    p2.maxOutstanding = 8;
+    CoreRig parallel(p2);
+
+    std::vector<trace::TraceOp> ops;
+    for (int i = 0; i < 16; ++i)
+        ops.push_back(
+            trace::TraceOp::load(0x1000 + 0x40u * i, 8)); // misses
+    Tick ts = serial.runSync(ops);
+    Tick tp = parallel.runSync(ops);
+    EXPECT_LT(tp, ts);
+}
+
+TEST(HostCoreDeathTest, OverlappingRunsPanic)
+{
+    CoreRig r;
+    r.pt.ensureMappedRange(1, 0, 1 << 20);
+    std::vector<trace::TraceOp> ops{trace::TraceOp::load(0x100, 8)};
+    r.core.run(ops, 1, [] {});
+    EXPECT_DEATH(r.core.run(ops, 1, [] {}), "already running");
+}
+
+} // namespace
+} // namespace fusion

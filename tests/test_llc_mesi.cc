@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Directory MESI protocol tests at the LLC, using scripted fake
+ * agents to verify the 3-hop flows, invalidation sets, recalls and
+ * DMA coherence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.hh"
+
+namespace fusion
+{
+namespace
+{
+
+using coherence::CoherenceReq;
+using coherence::FwdKind;
+
+/** Scripted coherent agent: records forwarded demands. */
+class FakeAgent : public coherence::CoherentAgent
+{
+  public:
+    explicit FakeAgent(std::string name) : _name(std::move(name)) {}
+
+    struct Fwd
+    {
+        Addr pa;
+        FwdKind kind;
+    };
+
+    void
+    handleFwd(Addr pa, FwdKind kind, FwdDone done) override
+    {
+        fwds.push_back({pa, kind});
+        done(respondDirty, kind == FwdKind::FwdGetS && retainOnGetS);
+    }
+
+    const std::string &name() const override { return _name; }
+
+    std::vector<Fwd> fwds;
+    bool respondDirty = false;
+    bool retainOnGetS = true;
+
+  private:
+    std::string _name;
+};
+
+struct MesiRig : test::HostRig
+{
+    interconnect::Link linkA, linkB;
+    FakeAgent agentA{"A"}, agentB{"B"};
+    int idA, idB;
+
+    MesiRig()
+        : linkA(ctx,
+                interconnect::LinkParams{
+                    "linkA", energy::LinkClass::HostL1ToL2, 2,
+                    "test.a", "test.a"}),
+          linkB(ctx,
+                interconnect::LinkParams{
+                    "linkB", energy::LinkClass::L1xToL2, 3,
+                    "test.b", "test.b"})
+    {
+        idA = llc.registerAgent(&agentA, &linkA, 0);
+        idB = llc.registerAgent(&agentB, &linkB, 4);
+    }
+
+    host::LlcResponse
+    requestSync(int agent, Addr pa, CoherenceReq kind)
+    {
+        host::LlcResponse resp;
+        bool done = false;
+        llc.request(agent, pa, kind,
+                    [&](const host::LlcResponse &r) {
+                        resp = r;
+                        done = true;
+                    });
+        ctx.eq.run();
+        EXPECT_TRUE(done);
+        return resp;
+    }
+};
+
+TEST(LlcMesi, FirstGetSGrantsExclusive)
+{
+    MesiRig r;
+    auto resp = r.requestSync(r.idA, 0x1000, CoherenceReq::GetS);
+    EXPECT_TRUE(resp.exclusive);
+    EXPECT_TRUE(r.llc.isOwner(r.idA, 0x1000));
+}
+
+TEST(LlcMesi, SecondGetSDowngradesOwnerToSharer)
+{
+    MesiRig r;
+    r.requestSync(r.idA, 0x1000, CoherenceReq::GetS);
+    auto resp = r.requestSync(r.idB, 0x1000, CoherenceReq::GetS);
+    EXPECT_FALSE(resp.exclusive);
+    ASSERT_EQ(r.agentA.fwds.size(), 1u);
+    EXPECT_EQ(r.agentA.fwds[0].kind, FwdKind::FwdGetS);
+    EXPECT_TRUE(r.llc.isSharer(r.idA, 0x1000));
+    EXPECT_TRUE(r.llc.isSharer(r.idB, 0x1000));
+    EXPECT_FALSE(r.llc.isOwner(r.idA, 0x1000));
+}
+
+TEST(LlcMesi, GetSFromRelinquishingOwnerLeavesNoSharer)
+{
+    MesiRig r;
+    r.agentA.retainOnGetS = false; // accelerator-tile behaviour
+    r.requestSync(r.idA, 0x1000, CoherenceReq::GetS);
+    r.requestSync(r.idB, 0x1000, CoherenceReq::GetS);
+    EXPECT_FALSE(r.llc.isSharer(r.idA, 0x1000));
+    EXPECT_TRUE(r.llc.isSharer(r.idB, 0x1000));
+}
+
+TEST(LlcMesi, GetXInvalidatesOwnerAndSharers)
+{
+    MesiRig r;
+    r.requestSync(r.idA, 0x1000, CoherenceReq::GetS);
+    r.requestSync(r.idB, 0x1000, CoherenceReq::GetS); // both share
+    r.agentA.fwds.clear();
+    r.agentB.fwds.clear();
+    auto resp = r.requestSync(r.idB, 0x1000, CoherenceReq::Upgrade);
+    EXPECT_TRUE(resp.exclusive);
+    ASSERT_EQ(r.agentA.fwds.size(), 1u);
+    EXPECT_EQ(r.agentA.fwds[0].kind, FwdKind::Inv);
+    EXPECT_TRUE(r.agentB.fwds.empty());
+    EXPECT_TRUE(r.llc.isOwner(r.idB, 0x1000));
+    EXPECT_FALSE(r.llc.isSharer(r.idA, 0x1000));
+}
+
+TEST(LlcMesi, GetXForwardsToDirtyOwner3Hop)
+{
+    MesiRig r;
+    r.requestSync(r.idA, 0x1000, CoherenceReq::GetX);
+    r.agentA.respondDirty = true;
+    auto resp = r.requestSync(r.idB, 0x1000, CoherenceReq::GetX);
+    EXPECT_TRUE(resp.exclusive);
+    ASSERT_EQ(r.agentA.fwds.size(), 1u);
+    EXPECT_EQ(r.agentA.fwds[0].kind, FwdKind::FwdGetX);
+    EXPECT_TRUE(r.llc.isOwner(r.idB, 0x1000));
+    // Dirty data updated the LLC frame.
+    EXPECT_TRUE(r.llc.tags().find(0x1000)->dirty);
+}
+
+TEST(LlcMesi, WritebackClearsOwnership)
+{
+    MesiRig r;
+    r.requestSync(r.idA, 0x1000, CoherenceReq::GetX);
+    r.llc.writebackData(r.idA, 0x1000);
+    r.drain();
+    EXPECT_FALSE(r.llc.isOwner(r.idA, 0x1000));
+    EXPECT_TRUE(r.llc.tags().find(0x1000)->dirty);
+    // After the writeback, a GetS by B forwards nothing to A.
+    r.requestSync(r.idB, 0x1000, CoherenceReq::GetS);
+    EXPECT_TRUE(r.agentA.fwds.empty());
+}
+
+TEST(LlcMesi, EvictNoticeRemovesSharer)
+{
+    MesiRig r;
+    r.requestSync(r.idA, 0x1000, CoherenceReq::GetS);
+    r.requestSync(r.idB, 0x1000, CoherenceReq::GetS);
+    r.llc.evictNotice(r.idA, 0x1000);
+    r.drain();
+    EXPECT_FALSE(r.llc.isSharer(r.idA, 0x1000));
+    // B upgrading now needs no invalidation messages.
+    r.agentA.fwds.clear();
+    r.requestSync(r.idB, 0x1000, CoherenceReq::Upgrade);
+    EXPECT_TRUE(r.agentA.fwds.empty());
+}
+
+TEST(LlcMesi, ConflictingRequestsSerializePerLine)
+{
+    MesiRig r;
+    int completed = 0;
+    r.llc.request(r.idA, 0x1000, CoherenceReq::GetX,
+                  [&](const host::LlcResponse &) { ++completed; });
+    r.llc.request(r.idB, 0x1000, CoherenceReq::GetX,
+                  [&](const host::LlcResponse &) {
+                      ++completed;
+                      // B is second: A must have been invalidated.
+                      EXPECT_EQ(r.agentA.fwds.size(), 1u);
+                  });
+    r.drain();
+    EXPECT_EQ(completed, 2);
+    EXPECT_TRUE(r.llc.isOwner(r.idB, 0x1000));
+}
+
+TEST(LlcMesi, InclusiveRecallOnLlcEviction)
+{
+    // A tiny LLC forces a recall: the victim's remote copy must be
+    // invalidated before the frame is reused.
+    host::LlcParams lp;
+    lp.capacityBytes = 2 * kLineBytes;
+    lp.assoc = 1;
+    lp.nucaBanks = 1;
+    test::HostRig base{lp};
+    interconnect::Link link(
+        base.ctx, interconnect::LinkParams{
+                      "l", energy::LinkClass::HostL1ToL2, 2,
+                      "test.l", "test.l"});
+    FakeAgent agent("A");
+    int id = base.llc.registerAgent(&agent, &link, 0);
+
+    auto sync = [&](Addr pa) {
+        bool done = false;
+        base.llc.request(id, pa, CoherenceReq::GetX,
+                         [&](const host::LlcResponse &) {
+                             done = true;
+                         });
+        base.ctx.eq.run();
+        EXPECT_TRUE(done);
+    };
+    // Two lines mapping to set 0 of a 2-set direct-mapped LLC.
+    sync(0x0);
+    sync(2 * kLineBytes);  // set 0 again -> recalls 0x0
+    EXPECT_EQ(agent.fwds.size(), 1u);
+    EXPECT_EQ(agent.fwds[0].pa, 0x0u);
+    EXPECT_EQ(base.llc.tags().find(0x0), nullptr);
+}
+
+TEST(LlcMesi, DmaReadSnoopsDirtyOwner)
+{
+    MesiRig r;
+    r.requestSync(r.idA, 0x1000, CoherenceReq::GetX);
+    r.agentA.respondDirty = true;
+    bool done = false;
+    r.llc.dmaRead(0x1000, &r.linkB, [&] { done = true; });
+    r.drain();
+    EXPECT_TRUE(done);
+    ASSERT_EQ(r.agentA.fwds.size(), 1u);
+    EXPECT_EQ(r.agentA.fwds[0].kind, FwdKind::FwdGetS);
+    // Owner keeps a shared copy; DMA is not registered as a sharer.
+    EXPECT_TRUE(r.llc.isSharer(r.idA, 0x1000));
+}
+
+TEST(LlcMesi, DmaWriteInvalidatesAllCopies)
+{
+    MesiRig r;
+    r.requestSync(r.idA, 0x1000, CoherenceReq::GetS);
+    r.requestSync(r.idB, 0x1000, CoherenceReq::GetS);
+    bool done = false;
+    r.llc.dmaWrite(0x1000, &r.linkB, [&] { done = true; });
+    r.drain();
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(r.llc.isSharer(r.idA, 0x1000));
+    EXPECT_FALSE(r.llc.isSharer(r.idB, 0x1000));
+    EXPECT_TRUE(r.llc.tags().find(0x1000)->dirty);
+}
+
+TEST(LlcMesi, FwdsToAgentCounter)
+{
+    MesiRig r;
+    r.requestSync(r.idB, 0x1000, CoherenceReq::GetX);
+    r.requestSync(r.idA, 0x1000, CoherenceReq::GetX);
+    r.requestSync(r.idB, 0x2000, CoherenceReq::GetX);
+    EXPECT_EQ(r.llc.fwdsToAgent(r.idB), 1u);
+    EXPECT_EQ(r.llc.fwdsToAgent(r.idA), 0u);
+}
+
+} // namespace
+} // namespace fusion

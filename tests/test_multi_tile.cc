@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Multi-tile tests: accelerators split across tiles keep full
+ * coherence through the host directory; collocation (1 tile) beats
+ * splitting on sharing-heavy programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+
+namespace fusion::core
+{
+namespace
+{
+
+class MultiTile : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(MultiTile, RunsToCompletionOnEveryBenchmark)
+{
+    for (const char *name : {"adpcm", "disparity"}) {
+        trace::Program p =
+            buildProgram(name, workloads::Scale::Small);
+        SystemConfig cfg =
+            SystemConfig::paperDefault(SystemKind::Fusion);
+        cfg.numTiles = GetParam();
+        RunResult r = runProgram(cfg, p);
+        EXPECT_GT(r.accelCycles, 0u) << name;
+        EXPECT_EQ(r.funcCycles.size(), p.functions.size()) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileCounts, MultiTile,
+                         ::testing::Values(1u, 2u, 3u, 8u));
+
+TEST(MultiTileTopology, AcceleratorsArePartitioned)
+{
+    trace::Program p =
+        buildProgram("disparity", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.numTiles = 2;
+    System sys(cfg, p);
+    ASSERT_EQ(sys.tiles().size(), 2u);
+    std::uint32_t total = 0;
+    for (auto &t : sys.tiles())
+        total += t->numAccels();
+    EXPECT_EQ(total, p.accelCount());
+}
+
+TEST(MultiTileTopology, MoreTilesThanAcceleratorsClamps)
+{
+    trace::Program p = buildProgram("adpcm", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.numTiles = 16; // adpcm has 2 accelerators
+    System sys(cfg, p);
+    EXPECT_EQ(sys.tiles().size(), 2u);
+    RunResult r = sys.run();
+    EXPECT_GT(r.accelCycles, 0u);
+}
+
+TEST(MultiTile, SplittingSharersCostsHostTraffic)
+{
+    // ADPCM's coder/decoder share nearly everything: splitting them
+    // across two tiles must push the shared lines through the host
+    // LLC (inter-tile MESI forwards) instead of the tile L1X.
+    trace::Program p = buildProgram("adpcm", workloads::Scale::Small);
+    SystemConfig one = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig two = one;
+    two.numTiles = 2;
+    RunResult r1 = runProgram(one, p);
+    RunResult r2 = runProgram(two, p);
+    // Split tiles exchange data via the directory: strictly more
+    // tile<->L2 messages and more host-forwarded demands.
+    EXPECT_GT(r2.l1xL2CtrlMsgs + r2.l1xL2DataMsgs,
+              r1.l1xL2CtrlMsgs + r1.l1xL2DataMsgs);
+    EXPECT_GE(r2.fwdsToTile, r1.fwdsToTile);
+    // ...and collocation is at least as energy-efficient.
+    EXPECT_LE(r1.hierarchyPj(), r2.hierarchyPj());
+}
+
+TEST(MultiTile, DxForwardingStaysIntraTile)
+{
+    trace::Program p = buildProgram("fft", workloads::Scale::Small);
+    SystemConfig cfg =
+        SystemConfig::paperDefault(SystemKind::FusionDx);
+    cfg.numTiles = 3; // splits the 6 FFT stages 2/2/2
+    RunResult split = runProgram(cfg, p);
+    SystemConfig one = SystemConfig::paperDefault(
+        SystemKind::FusionDx);
+    RunResult coloc = runProgram(one, p);
+    // Cross-tile consumers cannot receive pushes.
+    EXPECT_LE(split.l0xForwards, coloc.l0xForwards);
+}
+
+TEST(MultiTile, OverlapComposesWithTiles)
+{
+    trace::Program p =
+        buildProgram("disparity", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.numTiles = 2;
+    cfg.overlapInvocations = true;
+    RunResult r = runProgram(cfg, p);
+    SystemConfig serial = cfg;
+    serial.overlapInvocations = false;
+    RunResult rs = runProgram(serial, p);
+    EXPECT_GT(r.accelCycles, 0u);
+    EXPECT_LE(r.accelCycles, rs.accelCycles + rs.accelCycles / 50);
+}
+
+} // namespace
+} // namespace fusion::core

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the dependence analysis and the overlapped invocation
+ * scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "trace/analysis.hh"
+#include "trace/recorder.hh"
+
+namespace fusion
+{
+namespace
+{
+
+/** inv0 writes A; inv1 reads A (RAW); inv2 touches B only. */
+trace::Program
+chainAndIndependent()
+{
+    trace::Recorder rec("dep");
+    FuncId f0 = rec.addFunction({"w", 0, 2, 500});
+    FuncId f1 = rec.addFunction({"r", 1, 2, 500});
+    FuncId f2 = rec.addFunction({"x", 2, 2, 500});
+    rec.beginInvocation(f0);
+    for (int i = 0; i < 32; ++i)
+        rec.store(0x1000 + 8u * i, 8);
+    rec.end();
+    rec.beginInvocation(f1);
+    for (int i = 0; i < 32; ++i)
+        rec.load(0x1000 + 8u * i, 8);
+    rec.end();
+    rec.beginInvocation(f2);
+    for (int i = 0; i < 32; ++i)
+        rec.load(0x8000 + 8u * i, 8);
+    rec.end();
+    return rec.take();
+}
+
+TEST(InvocationDeps, RawEdgeAndIndependence)
+{
+    trace::Program p = chainAndIndependent();
+    auto deps = trace::invocationDependences(p);
+    ASSERT_EQ(deps.size(), 3u);
+    EXPECT_TRUE(deps[0].empty());
+    EXPECT_EQ(deps[1], (std::vector<std::uint32_t>{0}));
+    EXPECT_TRUE(deps[2].empty());
+}
+
+TEST(InvocationDeps, WawAndWarEdges)
+{
+    trace::Recorder rec("waw");
+    FuncId f0 = rec.addFunction({"a", 0, 2, 500});
+    FuncId f1 = rec.addFunction({"b", 1, 2, 500});
+    FuncId f2 = rec.addFunction({"c", 2, 2, 500});
+    // a writes X; b reads X; c writes X: c depends on both (WAW on
+    // a, WAR on b).
+    rec.beginInvocation(f0);
+    rec.store(0x1000, 8);
+    rec.end();
+    rec.beginInvocation(f1);
+    rec.load(0x1000, 8);
+    rec.end();
+    rec.beginInvocation(f2);
+    rec.store(0x1000, 8);
+    rec.end();
+    auto deps = trace::invocationDependences(rec.take());
+    EXPECT_EQ(deps[1], (std::vector<std::uint32_t>{0}));
+    EXPECT_EQ(deps[2], (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(InvocationDeps, ReadersDoNotDependOnEachOther)
+{
+    trace::Recorder rec("rr");
+    FuncId f0 = rec.addFunction({"a", 0, 2, 500});
+    FuncId f1 = rec.addFunction({"b", 1, 2, 500});
+    rec.beginInvocation(f0);
+    rec.load(0x1000, 8);
+    rec.end();
+    rec.beginInvocation(f1);
+    rec.load(0x1000, 8);
+    rec.end();
+    auto deps = trace::invocationDependences(rec.take());
+    EXPECT_TRUE(deps[0].empty());
+    EXPECT_TRUE(deps[1].empty());
+}
+
+TEST(InvocationDeps, TransitiveRawThroughReaders)
+{
+    // W(0), R(1), R(2): both readers depend on the writer even
+    // though they are not adjacent in the line's touch sequence.
+    trace::Recorder rec("trans");
+    FuncId f0 = rec.addFunction({"a", 0, 2, 500});
+    FuncId f1 = rec.addFunction({"b", 1, 2, 500});
+    FuncId f2 = rec.addFunction({"c", 2, 2, 500});
+    rec.beginInvocation(f0);
+    rec.store(0x1000, 8);
+    rec.end();
+    for (FuncId f : {f1, f2}) {
+        rec.beginInvocation(f);
+        rec.load(0x1000, 8);
+        rec.end();
+    }
+    auto deps = trace::invocationDependences(rec.take());
+    EXPECT_EQ(deps[1], (std::vector<std::uint32_t>{0}));
+    EXPECT_EQ(deps[2], (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Overlap, IndependentInvocationsRunConcurrently)
+{
+    trace::Program p = chainAndIndependent();
+    core::SystemConfig serial = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    core::SystemConfig overlap = serial;
+    overlap.overlapInvocations = true;
+    core::RunResult rs = core::runProgram(serial, p);
+    core::RunResult ro = core::runProgram(overlap, p);
+    EXPECT_LT(ro.accelCycles, rs.accelCycles);
+    // Every invocation still ran exactly once.
+    ASSERT_EQ(ro.invocationCycles.size(), 3u);
+    for (auto c : ro.invocationCycles)
+        EXPECT_GT(c, 0u);
+}
+
+TEST(Overlap, DependentChainStaysSerial)
+{
+    trace::Recorder rec("chain");
+    FuncId f0 = rec.addFunction({"a", 0, 2, 500});
+    FuncId f1 = rec.addFunction({"b", 1, 2, 500});
+    rec.beginInvocation(f0);
+    for (int i = 0; i < 16; ++i)
+        rec.store(0x1000 + 8u * i, 8);
+    rec.end();
+    rec.beginInvocation(f1);
+    for (int i = 0; i < 16; ++i)
+        rec.load(0x1000 + 8u * i, 8);
+    rec.end();
+    trace::Program p = rec.take();
+
+    core::SystemConfig serial = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    core::SystemConfig overlap = serial;
+    overlap.overlapInvocations = true;
+    core::RunResult rs = core::runProgram(serial, p);
+    core::RunResult ro = core::runProgram(overlap, p);
+    EXPECT_EQ(ro.accelCycles, rs.accelCycles);
+}
+
+TEST(Overlap, SameAcceleratorSerializes)
+{
+    // Two independent invocations on ONE accelerator cannot
+    // overlap: there is only one core.
+    trace::Recorder rec("same");
+    FuncId f0 = rec.addFunction({"a", 0, 2, 500});
+    for (int inv = 0; inv < 2; ++inv) {
+        rec.beginInvocation(f0);
+        for (int i = 0; i < 16; ++i)
+            rec.load(0x1000 + 0x2000u * inv + 8u * i, 8);
+        rec.end();
+    }
+    trace::Program p = rec.take();
+    core::SystemConfig overlap = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    overlap.overlapInvocations = true;
+    core::SystemConfig serial = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    EXPECT_EQ(core::runProgram(overlap, p).accelCycles,
+              core::runProgram(serial, p).accelCycles);
+}
+
+TEST(Overlap, ScratchIgnoresOverlapFlag)
+{
+    trace::Program p = chainAndIndependent();
+    core::SystemConfig cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::Scratch);
+    cfg.overlapInvocations = true;
+    core::SystemConfig serial = core::SystemConfig::paperDefault(
+        core::SystemKind::Scratch);
+    EXPECT_EQ(core::runProgram(cfg, p).accelCycles,
+              core::runProgram(serial, p).accelCycles);
+}
+
+TEST(Overlap, DeterministicAndCompleteOnRealWorkloads)
+{
+    for (const char *name : {"disparity", "susan"}) {
+        trace::Program p = core::buildProgram(
+            name, workloads::Scale::Small);
+        core::SystemConfig cfg = core::SystemConfig::paperDefault(
+            core::SystemKind::Fusion);
+        cfg.overlapInvocations = true;
+        core::RunResult a = core::runProgram(cfg, p);
+        core::RunResult b = core::runProgram(cfg, p);
+        EXPECT_EQ(a.accelCycles, b.accelCycles) << name;
+        EXPECT_EQ(a.invocationCycles.size(),
+                  p.invocations.size())
+            << name;
+        // Overlap never loses work: per-function cycle totals all
+        // positive.
+        for (const auto &[f, c] : a.funcCycles)
+            EXPECT_GT(c, 0u) << name << ":" << f;
+    }
+}
+
+TEST(Overlap, NeverSlowerThanSerial)
+{
+    for (const char *name : {"fft", "disparity", "histogram"}) {
+        trace::Program p = core::buildProgram(
+            name, workloads::Scale::Small);
+        core::SystemConfig serial = core::SystemConfig::paperDefault(
+            core::SystemKind::Fusion);
+        core::SystemConfig overlap = serial;
+        overlap.overlapInvocations = true;
+        core::RunResult rs = core::runProgram(serial, p);
+        core::RunResult ro = core::runProgram(overlap, p);
+        // Tiny protocol-timing differences aside, overlap must not
+        // hurt: allow 2% slack.
+        EXPECT_LE(ro.accelCycles,
+                  rs.accelCycles + rs.accelCycles / 50)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace fusion

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for per-process page tables and synonyms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/page_table.hh"
+
+namespace fusion::vm
+{
+namespace
+{
+
+TEST(PageTable, TranslationPreservesPageOffset)
+{
+    PageTable pt;
+    pt.ensureMapped(1, 0x10000123);
+    Addr pa = pt.translate(1, 0x10000123);
+    EXPECT_EQ(pageOffset(pa), 0x123u);
+}
+
+TEST(PageTable, MappingIsIdempotent)
+{
+    PageTable pt;
+    Addr p1 = pt.ensureMapped(1, 0x10000000);
+    Addr p2 = pt.ensureMapped(1, 0x10000800); // same page
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(pt.pageCount(), 1u);
+}
+
+TEST(PageTable, DistinctPagesGetDistinctFrames)
+{
+    PageTable pt;
+    Addr p1 = pt.ensureMapped(1, 0x10000000);
+    Addr p2 = pt.ensureMapped(1, 0x10001000);
+    EXPECT_NE(p1, p2);
+}
+
+TEST(PageTable, PidsAreIsolated)
+{
+    PageTable pt;
+    Addr p1 = pt.ensureMapped(1, 0x10000000);
+    Addr p2 = pt.ensureMapped(2, 0x10000000);
+    EXPECT_NE(p1, p2);
+    EXPECT_TRUE(pt.mapped(1, 0x10000000));
+    EXPECT_FALSE(pt.mapped(3, 0x10000000));
+}
+
+TEST(PageTable, RangeMappingCoversBothEnds)
+{
+    PageTable pt;
+    pt.ensureMappedRange(1, 0x10000F00, 0x300); // straddles pages
+    EXPECT_TRUE(pt.mapped(1, 0x10000F00));
+    EXPECT_TRUE(pt.mapped(1, 0x10001000));
+}
+
+TEST(PageTable, DeterministicFrameAssignment)
+{
+    PageTable a, b;
+    a.ensureMapped(1, 0x1000);
+    a.ensureMapped(1, 0x5000);
+    b.ensureMapped(1, 0x1000);
+    b.ensureMapped(1, 0x5000);
+    EXPECT_EQ(a.translate(1, 0x5010), b.translate(1, 0x5010));
+}
+
+TEST(PageTable, SynonymsShareThePhysicalPage)
+{
+    PageTable pt;
+    pt.ensureMapped(1, 0x10000000);
+    pt.alias(1, 0x20000000, 0x10000000);
+    EXPECT_EQ(pt.translate(1, 0x20000040),
+              pt.translate(1, 0x10000040));
+}
+
+TEST(PageTableDeathTest, UnmappedTranslationPanics)
+{
+    PageTable pt;
+    EXPECT_DEATH(pt.translate(1, 0xBAD000), "unmapped");
+}
+
+TEST(PageTableDeathTest, AliasToUnmappedPanics)
+{
+    PageTable pt;
+    EXPECT_DEATH(pt.alias(1, 0x2000, 0x1000), "not mapped");
+}
+
+} // namespace
+} // namespace fusion::vm

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the reporting helpers and RunResult aggregates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/reporters.hh"
+#include "energy/energy_ledger.hh"
+
+namespace fusion::core
+{
+namespace
+{
+
+TEST(Fmt, FixedDecimals)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(1.0, 0), "1");
+    EXPECT_EQ(fmtRatio(2.5), "2.50x");
+}
+
+TEST(TableWriter, AlignsColumnsAndRules)
+{
+    std::ostringstream os;
+    TableWriter tw(os, {"a", "b"}, {4, 6});
+    tw.row({"x", "y"});
+    std::string out = os.str();
+    EXPECT_NE(out.find("a    b"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_NE(out.find("x    y"), std::string::npos);
+}
+
+RunResult
+sampleResult()
+{
+    namespace c = energy::comp;
+    RunResult r;
+    r.energyPj[c::kAxcCompute] = 10;
+    r.energyPj[c::kL0x] = 20;
+    r.energyPj[c::kScratchpad] = 5;
+    r.energyPj[c::kL1x] = 30;
+    r.energyPj[c::kLlc] = 40;
+    r.energyPj[c::kLinkL0xL1xMsg] = 1;
+    r.energyPj[c::kLinkL0xL1xData] = 2;
+    r.energyPj[c::kLinkL0xL0x] = 3;
+    r.energyPj[c::kLinkL1xL2Msg] = 4;
+    r.energyPj[c::kLinkL1xL2Data] = 5;
+    r.energyPj[c::kDram] = 100;
+    r.energyPj[c::kLinkLlcDram] = 10;
+    r.energyPj[c::kAxTlb] = 0.5;
+    return r;
+}
+
+TEST(RunResult, ComponentAndTotals)
+{
+    RunResult r = sampleResult();
+    EXPECT_DOUBLE_EQ(r.component(energy::comp::kL0x), 20.0);
+    EXPECT_DOUBLE_EQ(r.component("nope"), 0.0);
+    EXPECT_DOUBLE_EQ(r.totalPj(), 230.5);
+    EXPECT_DOUBLE_EQ(r.hierarchyPj(), 230.5 - 110.0);
+    EXPECT_DOUBLE_EQ(r.axcCachePj(), 20 + 5 + 30);
+    EXPECT_DOUBLE_EQ(r.axcLinkPj(), 1 + 2 + 3);
+}
+
+TEST(EnergyStack, PartitionsEveryComponent)
+{
+    RunResult r = sampleResult();
+    EnergyStack s = energyStack(r);
+    EXPECT_DOUBLE_EQ(s.axcComputePj, 10);
+    EXPECT_DOUBLE_EQ(s.localStorePj, 25);
+    EXPECT_DOUBLE_EQ(s.l1xPj, 30);
+    EXPECT_DOUBLE_EQ(s.llcPj, 40);
+    EXPECT_DOUBLE_EQ(s.tileLinkPj, 6);
+    EXPECT_DOUBLE_EQ(s.hostLinkPj, 9);
+    EXPECT_DOUBLE_EQ(s.dramPj, 110);
+    EXPECT_DOUBLE_EQ(s.otherPj, 0.5);
+    EXPECT_DOUBLE_EQ(s.total(), r.totalPj());
+}
+
+TEST(SystemKindNames, AllDistinct)
+{
+    EXPECT_STREQ(systemKindName(SystemKind::Scratch), "SCRATCH");
+    EXPECT_STREQ(systemKindName(SystemKind::Shared), "SHARED");
+    EXPECT_STREQ(systemKindName(SystemKind::Fusion), "FUSION");
+    EXPECT_STREQ(systemKindName(SystemKind::FusionDx),
+                 "FUSION-Dx");
+    EXPECT_STREQ(systemKindShortName(SystemKind::Scratch), "SC");
+    EXPECT_STREQ(systemKindShortName(SystemKind::FusionDx),
+                 "FU-Dx");
+}
+
+} // namespace
+} // namespace fusion::core

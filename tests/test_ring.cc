@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for the NUCA ring topology helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/ring.hh"
+
+namespace fusion::interconnect
+{
+namespace
+{
+
+TEST(Ring, ShortestPathWrapsAround)
+{
+    Ring r(8, 2);
+    EXPECT_EQ(r.hops(0, 0), 0u);
+    EXPECT_EQ(r.hops(0, 3), 3u);
+    EXPECT_EQ(r.hops(0, 4), 4u);
+    EXPECT_EQ(r.hops(0, 5), 3u); // wraps
+    EXPECT_EQ(r.hops(0, 7), 1u);
+    EXPECT_EQ(r.hops(6, 1), 3u);
+}
+
+TEST(Ring, LatencyIsHopsTimesPerHop)
+{
+    Ring r(8, 2);
+    EXPECT_EQ(r.latency(0, 4), 8u);
+    EXPECT_EQ(r.latency(2, 2), 0u);
+}
+
+TEST(Ring, HomeNodeInterleavesByLine)
+{
+    Ring r(8, 2);
+    EXPECT_EQ(r.homeNode(0), 0u);
+    EXPECT_EQ(r.homeNode(kLineBytes), 1u);
+    EXPECT_EQ(r.homeNode(8 * kLineBytes), 0u);
+}
+
+TEST(Ring, AverageLlcLatencyNearTable2)
+{
+    // Table 2: "avg. 20 cycles" to the NUCA LLC. The ring + bank
+    // composition should land in that neighbourhood from the host
+    // node: bank 12 + avg hops 2*2 + link 2 each way.
+    Ring r(8, 2);
+    double total = 0;
+    for (std::uint32_t b = 0; b < 8; ++b)
+        total += static_cast<double>(r.latency(0, b));
+    double avg_ring = total / 8.0;
+    double avg_llc = 12.0 + avg_ring + 2.0; // bank + ring + link
+    EXPECT_GE(avg_llc, 15.0);
+    EXPECT_LE(avg_llc, 25.0);
+}
+
+} // namespace
+} // namespace fusion::interconnect

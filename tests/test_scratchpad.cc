@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for the scratchpad RAM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/scratchpad.hh"
+
+namespace fusion::mem
+{
+namespace
+{
+
+TEST(Scratchpad, SingleCycleAt4K)
+{
+    SimContext ctx;
+    Scratchpad s(ctx, 4096, "spm");
+    EXPECT_EQ(s.latency(), 1u);
+    EXPECT_EQ(s.capacityLines(), 64u);
+}
+
+TEST(Scratchpad, CountsAccesses)
+{
+    SimContext ctx;
+    Scratchpad s(ctx, 4096, "spm");
+    s.access(false);
+    s.access(false);
+    s.access(true);
+    EXPECT_EQ(s.reads(), 2u);
+    EXPECT_EQ(s.writes(), 1u);
+}
+
+TEST(Scratchpad, WordAccessCheaperThanDmaLine)
+{
+    SimContext ctx;
+    Scratchpad s(ctx, 4096, "spm");
+    s.access(false);
+    double word_pj = ctx.energy.total(energy::comp::kScratchpad);
+    ctx.energy.reset();
+    s.dmaLineAccess(true);
+    double line_pj = ctx.energy.total(energy::comp::kScratchpad);
+    EXPECT_LT(word_pj, line_pj);
+}
+
+TEST(Scratchpad, EightKIsStillFastButCostlier)
+{
+    SimContext c1, c2;
+    Scratchpad small(c1, 4096, "spm");
+    Scratchpad large(c2, 8192, "spm");
+    small.access(false);
+    large.access(false);
+    EXPECT_LT(c1.energy.grandTotal(), c2.energy.grandTotal());
+}
+
+} // namespace
+} // namespace fusion::mem

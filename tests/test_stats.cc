@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace fusion::stats
+{
+namespace
+{
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Scalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAndMoments)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5);
+    EXPECT_EQ(h.samples(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.minValue(), 0.5);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 9.5);
+    for (auto b : h.buckets())
+        EXPECT_EQ(b, 1u);
+}
+
+TEST(Histogram, UnderAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(10.0); // hi is exclusive
+    h.sample(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Group, ChildrenAreStable)
+{
+    Group g("root");
+    Group &a = g.child("a");
+    a.scalar("x") += 1;
+    Group &a2 = g.child("a");
+    EXPECT_EQ(&a, &a2);
+    EXPECT_DOUBLE_EQ(a2.scalarValue("x"), 1.0);
+}
+
+TEST(Group, HasScalarAndPanicOnMissing)
+{
+    Group g("root");
+    g.scalar("present") += 1;
+    EXPECT_TRUE(g.hasScalar("present"));
+    EXPECT_FALSE(g.hasScalar("absent"));
+    EXPECT_DEATH(g.scalarValue("absent"), "no scalar");
+}
+
+TEST(Group, ResetIsRecursive)
+{
+    Group g("root");
+    g.scalar("x") += 5;
+    g.child("c").scalar("y") += 7;
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.scalarValue("x"), 0.0);
+    EXPECT_DOUBLE_EQ(g.child("c").scalarValue("y"), 0.0);
+}
+
+TEST(Registry, DumpContainsDottedPaths)
+{
+    Registry r;
+    r.root().child("llc").scalar("hits") += 42;
+    std::ostringstream os;
+    r.dump(os);
+    EXPECT_NE(os.str().find("sim.llc.hits 42"), std::string::npos);
+}
+
+} // namespace
+} // namespace fusion::stats

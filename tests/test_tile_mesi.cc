@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the conventional intra-tile MESI alternative
+ * (FUSION-MESI): protocol state machine at the tile directory and
+ * end-to-end equivalence of results with the ACC tile.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/tile_mesi.hh"
+#include "core/runner.hh"
+#include "test_util.hh"
+
+namespace fusion
+{
+namespace
+{
+
+struct MesiTileRig : test::HostRig
+{
+    vm::PageTable pt;
+    std::unique_ptr<accel::MesiTile> tile;
+
+    MesiTileRig()
+    {
+        tile = std::make_unique<accel::MesiTile>(
+            ctx, 2, 4096, 4, 64 * 1024, 8, 16, llc, pt);
+        pt.ensureMappedRange(1, 0x10000000, 1 << 20);
+        tile->l0x(0).setPid(1);
+        tile->l0x(1).setPid(1);
+    }
+
+    void
+    accessSync(AccelId a, Addr va, bool is_write)
+    {
+        bool done = false;
+        tile->l0x(a).access(va, 8, is_write, [&] { done = true; });
+        while (!done && ctx.eq.step()) {
+        }
+        EXPECT_TRUE(done);
+    }
+};
+
+TEST(TileMesi, MissThenHitNoLeaseExpiry)
+{
+    MesiTileRig r;
+    r.accessSync(0, 0x10000000, false);
+    EXPECT_EQ(r.tile->l0x(0).misses(), 1u);
+    // Unlike ACC, the copy never self-invalidates: still a hit far
+    // in the future.
+    r.ctx.eq.schedule(r.ctx.now() + 1000000, [] {});
+    r.ctx.eq.run();
+    r.accessSync(0, 0x10000000, false);
+    EXPECT_EQ(r.tile->l0x(0).hits(), 1u);
+    EXPECT_EQ(r.tile->l0x(0).misses(), 1u);
+}
+
+TEST(TileMesi, SecondReaderDowngradesOwner)
+{
+    MesiTileRig r;
+    r.accessSync(0, 0x10000000, true); // M in L0X-0
+    r.accessSync(1, 0x10000000, false);
+    // The conventional protocol PROBED the owner (ACC never does).
+    EXPECT_EQ(r.tile->l0x(0).probes(), 1u);
+    // Both can now read without further traffic.
+    auto msgs = r.tile->l1x().probesSent();
+    r.accessSync(0, 0x10000000, false);
+    r.accessSync(1, 0x10000000, false);
+    EXPECT_EQ(r.tile->l1x().probesSent(), msgs);
+}
+
+TEST(TileMesi, WriterInvalidatesSharers)
+{
+    MesiTileRig r;
+    r.accessSync(0, 0x10000000, false);
+    r.accessSync(1, 0x10000000, false); // both S
+    r.accessSync(0, 0x10000000, true);  // upgrade: invalidate 1
+    EXPECT_GE(r.tile->l0x(1).probes(), 1u);
+    // L0X-1's next read misses again (it was invalidated).
+    auto misses = r.tile->l0x(1).misses();
+    r.accessSync(1, 0x10000000, false);
+    EXPECT_EQ(r.tile->l0x(1).misses(), misses + 1);
+}
+
+TEST(TileMesi, PingPongCostsProbesEveryRound)
+{
+    MesiTileRig r;
+    for (int round = 0; round < 4; ++round) {
+        r.accessSync(0, 0x10000000, true);
+        r.accessSync(1, 0x10000000, true);
+    }
+    // Every ownership handoff probed the previous owner: the
+    // invalidation traffic ACC's leases avoid.
+    EXPECT_GE(r.tile->l1x().probesSent(), 7u);
+}
+
+TEST(TileMesi, HostDemandProbesTheL0xs)
+{
+    MesiTileRig r;
+    interconnect::Link host_link(
+        r.ctx, interconnect::LinkParams{
+                   "hostl1_l2", energy::LinkClass::HostL1ToL2, 2,
+                   "t.h", "t.h"});
+    host::HostL1 host_l1(r.ctx, host::HostL1Params{}, r.llc,
+                         &host_link);
+    r.accessSync(0, 0x10000000, true); // dirty in tile
+    Addr pa = r.pt.translate(1, 0x10000000);
+    bool done = false;
+    host_l1.access(pa, true, [&] { done = true; });
+    r.ctx.eq.run();
+    EXPECT_TRUE(done);
+    // The host demand reached into the L0X (ACC answers from the
+    // L1X's GTIME instead).
+    EXPECT_GE(r.tile->l0x(0).probes(), 1u);
+    EXPECT_TRUE(r.llc.tags().find(pa)->dirty);
+}
+
+TEST(TileMesi, EndToEndAllWorkloads)
+{
+    for (const auto &name : workloads::workloadNames()) {
+        trace::Program p =
+            core::buildProgram(name, workloads::Scale::Small);
+        core::RunResult r = core::runProgram(
+            core::SystemConfig::paperDefault(
+                core::SystemKind::FusionMesi),
+            p);
+        EXPECT_GT(r.accelCycles, 0u) << name;
+        EXPECT_EQ(r.funcCycles.size(), p.functions.size()) << name;
+        EXPECT_GT(r.l0xFills, 0u) << name;
+        EXPECT_EQ(r.axTlbLookups, r.l1xMisses) << name;
+    }
+}
+
+TEST(TileMesi, OverlapAmplifiesMesiTraffic)
+{
+    // Under concurrency, write sharing ping-pongs between L0Xs in
+    // MESI while ACC serializes at the L1X without probes.
+    trace::Program p =
+        core::buildProgram("disparity", workloads::Scale::Small);
+    auto run = [&](core::SystemKind k, bool overlap) {
+        auto cfg = core::SystemConfig::paperDefault(k);
+        cfg.overlapInvocations = overlap;
+        return core::runProgram(cfg, p);
+    };
+    core::RunResult serial =
+        run(core::SystemKind::FusionMesi, false);
+    core::RunResult overlap =
+        run(core::SystemKind::FusionMesi, true);
+    EXPECT_LE(overlap.accelCycles, serial.accelCycles);
+    EXPECT_GT(overlap.accelCycles, 0u);
+}
+
+TEST(TileMesi, DeterministicRuns)
+{
+    trace::Program p =
+        core::buildProgram("adpcm", workloads::Scale::Small);
+    auto cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::FusionMesi);
+    core::RunResult a = core::runProgram(cfg, p);
+    core::RunResult b = core::runProgram(cfg, p);
+    EXPECT_EQ(a.accelCycles, b.accelCycles);
+    EXPECT_DOUBLE_EQ(a.totalPj(), b.totalPj());
+}
+
+} // namespace
+} // namespace fusion

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared fixtures/helpers for the FUSION test suite.
+ */
+
+#ifndef FUSION_TESTS_TEST_UTIL_HH
+#define FUSION_TESTS_TEST_UTIL_HH
+
+#include <memory>
+
+#include "host/host_l1.hh"
+#include "host/llc.hh"
+#include "mem/dram.hh"
+#include "sim/sim_context.hh"
+#include "vm/page_table.hh"
+
+namespace fusion::test
+{
+
+/** A minimal host tile: DRAM + LLC, ready for agents. */
+struct HostRig
+{
+    SimContext ctx;
+    mem::Dram dram;
+    host::Llc llc;
+
+    explicit HostRig(host::LlcParams lp = {},
+                     mem::DramParams dp = {})
+        : dram(ctx, dp), llc(ctx, lp, dram)
+    {
+    }
+
+    /** Run the event queue dry. */
+    void drain() { ctx.eq.run(); }
+};
+
+/** A host rig plus one MESI L1 and its link. */
+struct L1Rig : HostRig
+{
+    interconnect::Link link;
+    host::HostL1 l1;
+
+    explicit L1Rig(host::HostL1Params p = {})
+        : link(ctx,
+               interconnect::LinkParams{
+                   "hostl1_l2", energy::LinkClass::HostL1ToL2, 2,
+                   energy::comp::kLinkHostL1L2,
+                   energy::comp::kLinkHostL1L2}),
+          l1(ctx, p, llc, &link)
+    {
+    }
+
+    /** Blocking access helper: runs the queue until done. */
+    void
+    accessSync(Addr pa, bool is_write)
+    {
+        bool done = false;
+        l1.access(pa, is_write, [&done] { done = true; });
+        ctx.eq.run();
+        EXPECT_TRUE(done);
+    }
+};
+
+} // namespace fusion::test
+
+#endif // FUSION_TESTS_TEST_UTIL_HH
