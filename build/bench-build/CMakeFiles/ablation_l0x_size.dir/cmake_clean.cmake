@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_l0x_size"
+  "../bench/ablation_l0x_size.pdb"
+  "CMakeFiles/ablation_l0x_size.dir/ablation_l0x_size.cc.o"
+  "CMakeFiles/ablation_l0x_size.dir/ablation_l0x_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l0x_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

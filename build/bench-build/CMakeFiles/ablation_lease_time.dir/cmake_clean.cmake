@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lease_time"
+  "../bench/ablation_lease_time.pdb"
+  "CMakeFiles/ablation_lease_time.dir/ablation_lease_time.cc.o"
+  "CMakeFiles/ablation_lease_time.dir/ablation_lease_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lease_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

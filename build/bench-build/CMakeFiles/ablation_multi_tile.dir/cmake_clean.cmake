@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multi_tile"
+  "../bench/ablation_multi_tile.pdb"
+  "CMakeFiles/ablation_multi_tile.dir/ablation_multi_tile.cc.o"
+  "CMakeFiles/ablation_multi_tile.dir/ablation_multi_tile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_overlap"
+  "../bench/ablation_overlap.pdb"
+  "CMakeFiles/ablation_overlap.dir/ablation_overlap.cc.o"
+  "CMakeFiles/ablation_overlap.dir/ablation_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tile_protocol"
+  "../bench/ablation_tile_protocol.pdb"
+  "CMakeFiles/ablation_tile_protocol.dir/ablation_tile_protocol.cc.o"
+  "CMakeFiles/ablation_tile_protocol.dir/ablation_tile_protocol.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tile_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

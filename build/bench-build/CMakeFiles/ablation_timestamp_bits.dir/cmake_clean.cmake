@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_timestamp_bits"
+  "../bench/ablation_timestamp_bits.pdb"
+  "CMakeFiles/ablation_timestamp_bits.dir/ablation_timestamp_bits.cc.o"
+  "CMakeFiles/ablation_timestamp_bits.dir/ablation_timestamp_bits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timestamp_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_energy_breakdown"
+  "../bench/fig6a_energy_breakdown.pdb"
+  "CMakeFiles/fig6a_energy_breakdown.dir/fig6a_energy_breakdown.cc.o"
+  "CMakeFiles/fig6a_energy_breakdown.dir/fig6a_energy_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_performance"
+  "../bench/fig6b_performance.pdb"
+  "CMakeFiles/fig6b_performance.dir/fig6b_performance.cc.o"
+  "CMakeFiles/fig6b_performance.dir/fig6b_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6c_link_traffic"
+  "../bench/fig6c_link_traffic.pdb"
+  "CMakeFiles/fig6c_link_traffic.dir/fig6c_link_traffic.cc.o"
+  "CMakeFiles/fig6c_link_traffic.dir/fig6c_link_traffic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_link_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

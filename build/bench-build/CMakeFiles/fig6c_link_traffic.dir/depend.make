@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6c_link_traffic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_large_vs_small"
+  "../bench/fig7_large_vs_small.pdb"
+  "CMakeFiles/fig7_large_vs_small.dir/fig7_large_vs_small.cc.o"
+  "CMakeFiles/fig7_large_vs_small.dir/fig7_large_vs_small.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_large_vs_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

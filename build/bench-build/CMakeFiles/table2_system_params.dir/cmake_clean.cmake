@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_system_params"
+  "../bench/table2_system_params.pdb"
+  "CMakeFiles/table2_system_params.dir/table2_system_params.cc.o"
+  "CMakeFiles/table2_system_params.dir/table2_system_params.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_system_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

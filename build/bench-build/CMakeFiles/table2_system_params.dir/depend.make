@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_system_params.
+# This may be replaced when dependencies are built.

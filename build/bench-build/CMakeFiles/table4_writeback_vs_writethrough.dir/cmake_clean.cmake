@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_writeback_vs_writethrough"
+  "../bench/table4_writeback_vs_writethrough.pdb"
+  "CMakeFiles/table4_writeback_vs_writethrough.dir/table4_writeback_vs_writethrough.cc.o"
+  "CMakeFiles/table4_writeback_vs_writethrough.dir/table4_writeback_vs_writethrough.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_writeback_vs_writethrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_write_forwarding"
+  "../bench/table5_write_forwarding.pdb"
+  "CMakeFiles/table5_write_forwarding.dir/table5_write_forwarding.cc.o"
+  "CMakeFiles/table5_write_forwarding.dir/table5_write_forwarding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_write_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

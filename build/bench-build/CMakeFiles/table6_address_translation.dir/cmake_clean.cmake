@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_address_translation"
+  "../bench/table6_address_translation.pdb"
+  "CMakeFiles/table6_address_translation.dir/table6_address_translation.cc.o"
+  "CMakeFiles/table6_address_translation.dir/table6_address_translation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_address_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

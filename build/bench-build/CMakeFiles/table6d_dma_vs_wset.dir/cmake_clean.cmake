@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6d_dma_vs_wset"
+  "../bench/table6d_dma_vs_wset.pdb"
+  "CMakeFiles/table6d_dma_vs_wset.dir/table6d_dma_vs_wset.cc.o"
+  "CMakeFiles/table6d_dma_vs_wset.dir/table6d_dma_vs_wset.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6d_dma_vs_wset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

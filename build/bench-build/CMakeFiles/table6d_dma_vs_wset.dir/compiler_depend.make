@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6d_dma_vs_wset.
+# This may be replaced when dependencies are built.

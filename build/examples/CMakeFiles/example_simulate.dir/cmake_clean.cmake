@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_simulate.dir/simulate.cpp.o"
+  "CMakeFiles/example_simulate.dir/simulate.cpp.o.d"
+  "example_simulate"
+  "example_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accel_core.cc" "src/CMakeFiles/fusion.dir/accel/accel_core.cc.o" "gcc" "src/CMakeFiles/fusion.dir/accel/accel_core.cc.o.d"
+  "/root/repo/src/accel/dma_engine.cc" "src/CMakeFiles/fusion.dir/accel/dma_engine.cc.o" "gcc" "src/CMakeFiles/fusion.dir/accel/dma_engine.cc.o.d"
+  "/root/repo/src/accel/l0x.cc" "src/CMakeFiles/fusion.dir/accel/l0x.cc.o" "gcc" "src/CMakeFiles/fusion.dir/accel/l0x.cc.o.d"
+  "/root/repo/src/accel/l1x.cc" "src/CMakeFiles/fusion.dir/accel/l1x.cc.o" "gcc" "src/CMakeFiles/fusion.dir/accel/l1x.cc.o.d"
+  "/root/repo/src/accel/scratchpad_frontend.cc" "src/CMakeFiles/fusion.dir/accel/scratchpad_frontend.cc.o" "gcc" "src/CMakeFiles/fusion.dir/accel/scratchpad_frontend.cc.o.d"
+  "/root/repo/src/accel/tile.cc" "src/CMakeFiles/fusion.dir/accel/tile.cc.o" "gcc" "src/CMakeFiles/fusion.dir/accel/tile.cc.o.d"
+  "/root/repo/src/accel/tile_mesi.cc" "src/CMakeFiles/fusion.dir/accel/tile_mesi.cc.o" "gcc" "src/CMakeFiles/fusion.dir/accel/tile_mesi.cc.o.d"
+  "/root/repo/src/coherence/protocol.cc" "src/CMakeFiles/fusion.dir/coherence/protocol.cc.o" "gcc" "src/CMakeFiles/fusion.dir/coherence/protocol.cc.o.d"
+  "/root/repo/src/core/reporters.cc" "src/CMakeFiles/fusion.dir/core/reporters.cc.o" "gcc" "src/CMakeFiles/fusion.dir/core/reporters.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/fusion.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/fusion.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/fusion.dir/core/system.cc.o" "gcc" "src/CMakeFiles/fusion.dir/core/system.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/CMakeFiles/fusion.dir/core/system_config.cc.o" "gcc" "src/CMakeFiles/fusion.dir/core/system_config.cc.o.d"
+  "/root/repo/src/energy/sram_model.cc" "src/CMakeFiles/fusion.dir/energy/sram_model.cc.o" "gcc" "src/CMakeFiles/fusion.dir/energy/sram_model.cc.o.d"
+  "/root/repo/src/host/host_core.cc" "src/CMakeFiles/fusion.dir/host/host_core.cc.o" "gcc" "src/CMakeFiles/fusion.dir/host/host_core.cc.o.d"
+  "/root/repo/src/host/host_l1.cc" "src/CMakeFiles/fusion.dir/host/host_l1.cc.o" "gcc" "src/CMakeFiles/fusion.dir/host/host_l1.cc.o.d"
+  "/root/repo/src/host/llc.cc" "src/CMakeFiles/fusion.dir/host/llc.cc.o" "gcc" "src/CMakeFiles/fusion.dir/host/llc.cc.o.d"
+  "/root/repo/src/interconnect/link.cc" "src/CMakeFiles/fusion.dir/interconnect/link.cc.o" "gcc" "src/CMakeFiles/fusion.dir/interconnect/link.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/fusion.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/fusion.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/fusion.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/fusion.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/scratchpad.cc" "src/CMakeFiles/fusion.dir/mem/scratchpad.cc.o" "gcc" "src/CMakeFiles/fusion.dir/mem/scratchpad.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/fusion.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/fusion.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/fusion.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/fusion.dir/sim/stats.cc.o.d"
+  "/root/repo/src/trace/analysis.cc" "src/CMakeFiles/fusion.dir/trace/analysis.cc.o" "gcc" "src/CMakeFiles/fusion.dir/trace/analysis.cc.o.d"
+  "/root/repo/src/trace/recorder.cc" "src/CMakeFiles/fusion.dir/trace/recorder.cc.o" "gcc" "src/CMakeFiles/fusion.dir/trace/recorder.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/fusion.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/fusion.dir/trace/trace.cc.o.d"
+  "/root/repo/src/vm/ax_rmap.cc" "src/CMakeFiles/fusion.dir/vm/ax_rmap.cc.o" "gcc" "src/CMakeFiles/fusion.dir/vm/ax_rmap.cc.o.d"
+  "/root/repo/src/vm/ax_tlb.cc" "src/CMakeFiles/fusion.dir/vm/ax_tlb.cc.o" "gcc" "src/CMakeFiles/fusion.dir/vm/ax_tlb.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/fusion.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/fusion.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/workloads/adpcm.cc" "src/CMakeFiles/fusion.dir/workloads/adpcm.cc.o" "gcc" "src/CMakeFiles/fusion.dir/workloads/adpcm.cc.o.d"
+  "/root/repo/src/workloads/disparity.cc" "src/CMakeFiles/fusion.dir/workloads/disparity.cc.o" "gcc" "src/CMakeFiles/fusion.dir/workloads/disparity.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/CMakeFiles/fusion.dir/workloads/fft.cc.o" "gcc" "src/CMakeFiles/fusion.dir/workloads/fft.cc.o.d"
+  "/root/repo/src/workloads/filter.cc" "src/CMakeFiles/fusion.dir/workloads/filter.cc.o" "gcc" "src/CMakeFiles/fusion.dir/workloads/filter.cc.o.d"
+  "/root/repo/src/workloads/histogram.cc" "src/CMakeFiles/fusion.dir/workloads/histogram.cc.o" "gcc" "src/CMakeFiles/fusion.dir/workloads/histogram.cc.o.d"
+  "/root/repo/src/workloads/susan.cc" "src/CMakeFiles/fusion.dir/workloads/susan.cc.o" "gcc" "src/CMakeFiles/fusion.dir/workloads/susan.cc.o.d"
+  "/root/repo/src/workloads/tracking.cc" "src/CMakeFiles/fusion.dir/workloads/tracking.cc.o" "gcc" "src/CMakeFiles/fusion.dir/workloads/tracking.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/fusion.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/fusion.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

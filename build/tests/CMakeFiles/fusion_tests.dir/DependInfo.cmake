@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acc_protocol.cc" "tests/CMakeFiles/fusion_tests.dir/test_acc_protocol.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_acc_protocol.cc.o.d"
+  "/root/repo/tests/test_accel_core.cc" "tests/CMakeFiles/fusion_tests.dir/test_accel_core.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_accel_core.cc.o.d"
+  "/root/repo/tests/test_ax_rmap.cc" "tests/CMakeFiles/fusion_tests.dir/test_ax_rmap.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_ax_rmap.cc.o.d"
+  "/root/repo/tests/test_ax_tlb.cc" "tests/CMakeFiles/fusion_tests.dir/test_ax_tlb.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_ax_tlb.cc.o.d"
+  "/root/repo/tests/test_bank_scheduler.cc" "tests/CMakeFiles/fusion_tests.dir/test_bank_scheduler.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_bank_scheduler.cc.o.d"
+  "/root/repo/tests/test_cache_array.cc" "tests/CMakeFiles/fusion_tests.dir/test_cache_array.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_cache_array.cc.o.d"
+  "/root/repo/tests/test_conservation.cc" "tests/CMakeFiles/fusion_tests.dir/test_conservation.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_conservation.cc.o.d"
+  "/root/repo/tests/test_dma_engine.cc" "tests/CMakeFiles/fusion_tests.dir/test_dma_engine.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_dma_engine.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/fusion_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/fusion_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/fusion_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/fusion_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_host_core.cc" "tests/CMakeFiles/fusion_tests.dir/test_host_core.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_host_core.cc.o.d"
+  "/root/repo/tests/test_host_l1.cc" "tests/CMakeFiles/fusion_tests.dir/test_host_l1.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_host_l1.cc.o.d"
+  "/root/repo/tests/test_l0x.cc" "tests/CMakeFiles/fusion_tests.dir/test_l0x.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_l0x.cc.o.d"
+  "/root/repo/tests/test_link.cc" "tests/CMakeFiles/fusion_tests.dir/test_link.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_link.cc.o.d"
+  "/root/repo/tests/test_llc_mesi.cc" "tests/CMakeFiles/fusion_tests.dir/test_llc_mesi.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_llc_mesi.cc.o.d"
+  "/root/repo/tests/test_logging_rng.cc" "tests/CMakeFiles/fusion_tests.dir/test_logging_rng.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_logging_rng.cc.o.d"
+  "/root/repo/tests/test_mshr.cc" "tests/CMakeFiles/fusion_tests.dir/test_mshr.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_mshr.cc.o.d"
+  "/root/repo/tests/test_multi_tile.cc" "tests/CMakeFiles/fusion_tests.dir/test_multi_tile.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_multi_tile.cc.o.d"
+  "/root/repo/tests/test_overlap.cc" "tests/CMakeFiles/fusion_tests.dir/test_overlap.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_overlap.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/fusion_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/fusion_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_reporters.cc" "tests/CMakeFiles/fusion_tests.dir/test_reporters.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_reporters.cc.o.d"
+  "/root/repo/tests/test_ring.cc" "tests/CMakeFiles/fusion_tests.dir/test_ring.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_ring.cc.o.d"
+  "/root/repo/tests/test_scratchpad.cc" "tests/CMakeFiles/fusion_tests.dir/test_scratchpad.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_scratchpad.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/fusion_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/fusion_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_tile_mesi.cc" "tests/CMakeFiles/fusion_tests.dir/test_tile_mesi.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_tile_mesi.cc.o.d"
+  "/root/repo/tests/test_trace_analysis.cc" "tests/CMakeFiles/fusion_tests.dir/test_trace_analysis.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_trace_analysis.cc.o.d"
+  "/root/repo/tests/test_trace_recorder.cc" "tests/CMakeFiles/fusion_tests.dir/test_trace_recorder.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_trace_recorder.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/fusion_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/fusion_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fusion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
