@@ -31,37 +31,44 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    (void)argc;
-    (void)argv;
+    // This harness sweeps the scale axis itself; the shared --small
+    // flag is accepted but has no effect.
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation: input-scale sensitivity",
                   "robustness of Lessons 1-2 across input sizes");
+
+    // The large HIST/TRACK runs are the slowest part of the whole
+    // bench suite; restrict to a representative subset.
+    const std::vector<std::string> kNames = {"fft", "adpcm",
+                                             "filter", "disparity"};
+    const auto kScales = {workloads::Scale::Small,
+                          workloads::Scale::Paper,
+                          workloads::Scale::Large};
+    const auto kKinds = {core::SystemKind::Scratch,
+                         core::SystemKind::Shared,
+                         core::SystemKind::Fusion};
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : kNames)
+        for (auto scale : kScales)
+            for (auto kind : kKinds) {
+                auto j = bench::job(kind, name, scale);
+                j.tag += std::string("/") + scaleName(scale);
+                jobs.push_back(std::move(j));
+            }
+    auto results =
+        bench::runSweep("ablation_input_scale", jobs, opt);
 
     std::printf("%-8s %-6s %10s | %8s %8s | %14s\n", "bench",
                 "scale", "WSet(kB)", "SH/SC", "FU/SC",
                 "FU energy/SC");
     std::printf("%s\n", std::string(66, '-').c_str());
 
-    // The large HIST/TRACK runs are the slowest part of the whole
-    // bench suite; restrict to a representative subset.
-    for (const auto &name :
-         {std::string("fft"), std::string("adpcm"),
-          std::string("filter"), std::string("disparity")}) {
-        for (auto scale :
-             {workloads::Scale::Small, workloads::Scale::Paper,
-              workloads::Scale::Large}) {
-            trace::Program prog = core::buildProgram(name, scale);
-            core::RunResult sc = core::runProgram(
-                core::SystemConfig::paperDefault(
-                    core::SystemKind::Scratch),
-                prog);
-            core::RunResult sh = core::runProgram(
-                core::SystemConfig::paperDefault(
-                    core::SystemKind::Shared),
-                prog);
-            core::RunResult fu = core::runProgram(
-                core::SystemConfig::paperDefault(
-                    core::SystemKind::Fusion),
-                prog);
+    std::size_t idx = 0;
+    for (const auto &name : kNames) {
+        for (auto scale : kScales) {
+            const core::RunResult &sc = results[idx++];
+            const core::RunResult &sh = results[idx++];
+            const core::RunResult &fu = results[idx++];
             std::printf(
                 "%-8s %-6s %10.1f | %8.3f %8.3f | %13.3f\n",
                 scale == workloads::Scale::Small

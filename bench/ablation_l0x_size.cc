@@ -11,25 +11,34 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation: L0X capacity sweep (FUSION)",
                   "design space between Lessons 3 and 7");
 
     const std::uint64_t kSizes[] = {1024, 2048, 4096, 8192, 16384};
+    const std::vector<std::string> kNames = {"fft", "filter",
+                                             "tracking"};
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : kNames) {
+        for (std::uint64_t bytes : kSizes) {
+            auto j = bench::job(core::SystemKind::Fusion, name,
+                                opt.scale);
+            j.cfg.l0xBytes = bytes;
+            j.tag += "/l0x=" + std::to_string(bytes);
+            jobs.push_back(std::move(j));
+        }
+    }
+    auto results = bench::runSweep("ablation_l0x_size", jobs, opt);
+
     std::printf("%-8s | %8s %12s %12s %12s\n", "bench", "L0X(B)",
                 "cycles", "L1X accesses", "energy(uJ)");
     std::printf("%s\n", std::string(60, '-').c_str());
 
-    for (const auto &name :
-         {std::string("fft"), std::string("filter"),
-          std::string("tracking")}) {
-        trace::Program prog = core::buildProgram(name, scale);
+    std::size_t idx = 0;
+    for (const auto &name : kNames) {
         bool first = true;
         for (std::uint64_t bytes : kSizes) {
-            core::SystemConfig cfg = core::SystemConfig::paperDefault(
-                core::SystemKind::Fusion);
-            cfg.l0xBytes = bytes;
-            core::RunResult r = core::runProgram(cfg, prog);
+            const core::RunResult &r = results[idx++];
             std::printf("%-8s | %8llu %12llu %12llu %12.3f\n",
                         first ? bench::displayName(name).c_str()
                               : "",

@@ -14,30 +14,44 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation: lease-time sensitivity (FUSION)",
                   "design choice behind Table 3's LT column");
 
     const double kScales[] = {0.25, 0.5, 1.0, 2.0, 4.0, 16.0};
-    std::printf("%-8s | %8s %12s %12s %12s\n", "bench", "LT scale",
-                "cycles", "tile msgs", "energy(uJ)");
-    std::printf("%s\n", std::string(60, '-').c_str());
-
-    for (const auto &name :
-         {std::string("adpcm"), std::string("fft"),
-          std::string("susan")}) {
-        trace::Program prog = core::buildProgram(name, scale);
+    const std::vector<std::string> kNames = {"adpcm", "fft",
+                                             "susan"};
+    // Each LT point simulates a lease-rescaled copy of the trace;
+    // the mutated programs are attached to their jobs.
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : kNames) {
+        trace::Program prog = bench::mustBuild(name, opt.scale);
         for (double s : kScales) {
-            trace::Program scaled = prog;
-            for (auto &f : scaled.functions) {
+            auto scaled =
+                std::make_shared<trace::Program>(prog);
+            for (auto &f : scaled->functions) {
                 f.leaseTime = std::max<Cycles>(
                     16, static_cast<Cycles>(
                             static_cast<double>(f.leaseTime) * s));
             }
-            core::RunResult r = core::runProgram(
-                core::SystemConfig::paperDefault(
-                    core::SystemKind::Fusion),
-                scaled);
+            auto j = bench::job(core::SystemKind::Fusion, name,
+                                opt.scale);
+            j.prog = std::move(scaled);
+            j.tag += "/lt=" + core::fmt(s, 2);
+            jobs.push_back(std::move(j));
+        }
+    }
+    auto results =
+        bench::runSweep("ablation_lease_time", jobs, opt);
+
+    std::printf("%-8s | %8s %12s %12s %12s\n", "bench", "LT scale",
+                "cycles", "tile msgs", "energy(uJ)");
+    std::printf("%s\n", std::string(60, '-').c_str());
+
+    std::size_t idx = 0;
+    for (const auto &name : kNames) {
+        for (double s : kScales) {
+            const core::RunResult &r = results[idx++];
             std::printf("%-8s | %8.2f %12llu %12llu %12.3f\n",
                         s == kScales[0]
                             ? bench::displayName(name).c_str()

@@ -14,23 +14,35 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation: tile collocation (FUSION)",
                   "Section 4's collocation assumption");
+
+    const auto kTiles = {1u, 2u, 3u};
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names) {
+        for (std::uint32_t tiles : kTiles) {
+            auto j = bench::job(core::SystemKind::Fusion, name,
+                                opt.scale);
+            j.cfg.numTiles = tiles;
+            j.tag += "/tiles=" + std::to_string(tiles);
+            jobs.push_back(std::move(j));
+        }
+    }
+    auto results =
+        bench::runSweep("ablation_multi_tile", jobs, opt);
 
     std::printf("%-8s %6s | %12s %12s %12s %12s\n", "bench",
                 "tiles", "cycles", "l2 msgs", "host fwds",
                 "energy(uJ)");
     std::printf("%s\n", std::string(70, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
+    std::size_t idx = 0;
+    for (const auto &name : names) {
         bool first = true;
-        for (std::uint32_t tiles : {1u, 2u, 3u}) {
-            core::SystemConfig cfg = core::SystemConfig::paperDefault(
-                core::SystemKind::Fusion);
-            cfg.numTiles = tiles;
-            core::RunResult r = core::runProgram(cfg, prog);
+        for (std::uint32_t tiles : kTiles) {
+            const core::RunResult &r = results[idx++];
             std::printf("%-8s %6u | %12llu %12llu %12llu %12.3f\n",
                         first ? bench::displayName(name).c_str()
                               : "",

@@ -16,25 +16,36 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation: overlapped invocation execution",
                   "Figure 5's producer/consumer concurrency");
+
+    const auto kKinds = {core::SystemKind::Fusion,
+                         core::SystemKind::FusionDx};
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names) {
+        for (auto kind : kKinds) {
+            auto serial = bench::job(kind, name, opt.scale);
+            auto overlap = serial;
+            overlap.cfg.overlapInvocations = true;
+            overlap.tag += "/overlap";
+            jobs.push_back(std::move(serial));
+            jobs.push_back(std::move(overlap));
+        }
+    }
+    auto results = bench::runSweep("ablation_overlap", jobs, opt);
 
     std::printf("%-8s %-6s | %12s %12s %8s | %10s\n", "bench",
                 "sys", "serial cyc", "overlap cyc", "speedup",
                 "Dx fwds");
     std::printf("%s\n", std::string(68, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-        for (auto kind :
-             {core::SystemKind::Fusion, core::SystemKind::FusionDx}) {
-            core::SystemConfig serial =
-                core::SystemConfig::paperDefault(kind);
-            core::SystemConfig overlap = serial;
-            overlap.overlapInvocations = true;
-            core::RunResult rs = core::runProgram(serial, prog);
-            core::RunResult ro = core::runProgram(overlap, prog);
+    std::size_t idx = 0;
+    for (const auto &name : names) {
+        for (auto kind : kKinds) {
+            const core::RunResult &rs = results[idx++];
+            const core::RunResult &ro = results[idx++];
             std::printf("%-8s %-6s | %12llu %12llu %7.2fx | %10llu\n",
                         kind == core::SystemKind::Fusion
                             ? bench::displayName(name).c_str()

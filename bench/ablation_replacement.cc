@@ -12,7 +12,7 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation: L0X replacement policy (FUSION)",
                   "design-space extension beyond the paper");
 
@@ -25,18 +25,29 @@ main(int argc, char **argv)
                                 {"FIFO", mem::ReplPolicy::Fifo},
                                 {"Random", mem::ReplPolicy::Random}};
 
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names) {
+        for (const auto &pol : kPolicies) {
+            auto j = bench::job(core::SystemKind::Fusion, name,
+                                opt.scale);
+            j.cfg.l0xRepl = pol.p;
+            j.tag += std::string("/") + pol.name;
+            jobs.push_back(std::move(j));
+        }
+    }
+    auto results =
+        bench::runSweep("ablation_replacement", jobs, opt);
+
     std::printf("%-8s %-8s | %12s %12s %12s\n", "bench", "policy",
                 "cycles", "L0X fills", "energy(uJ)");
     std::printf("%s\n", std::string(60, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
+    std::size_t idx = 0;
+    for (const auto &name : names) {
         bool first = true;
         for (const auto &pol : kPolicies) {
-            core::SystemConfig cfg = core::SystemConfig::paperDefault(
-                core::SystemKind::Fusion);
-            cfg.l0xRepl = pol.p;
-            core::RunResult r = core::runProgram(cfg, prog);
+            const core::RunResult &r = results[idx++];
             std::printf("%-8s %-8s | %12llu %12llu %12.3f\n",
                         first ? bench::displayName(name).c_str()
                               : "",

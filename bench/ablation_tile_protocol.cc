@@ -21,12 +21,8 @@ struct Row
 };
 
 Row
-runOne(fusion::core::SystemKind kind, bool overlap,
-       const fusion::trace::Program &prog)
+rowOf(const fusion::core::RunResult &r)
 {
-    auto cfg = fusion::core::SystemConfig::paperDefault(kind);
-    cfg.overlapInvocations = overlap;
-    auto r = fusion::core::runProgram(cfg, prog);
     return {static_cast<unsigned long long>(r.accelCycles),
             static_cast<unsigned long long>(r.l0xL1xCtrlMsgs),
             r.hierarchyPj() / 1e6};
@@ -38,22 +34,35 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation: intra-tile protocol, ACC vs MESI",
                   "the protocol choice of Section 3.2");
+
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names)
+        for (bool overlap : {false, true})
+            for (auto kind : {core::SystemKind::Fusion,
+                              core::SystemKind::FusionMesi}) {
+                auto j = bench::job(kind, name, opt.scale);
+                j.cfg.overlapInvocations = overlap;
+                if (overlap)
+                    j.tag += "/overlap";
+                jobs.push_back(std::move(j));
+            }
+    auto results =
+        bench::runSweep("ablation_tile_protocol", jobs, opt);
 
     std::printf("%-8s %-8s | %10s %9s %8s | %10s %9s %8s\n",
                 "bench", "exec", "ACC cyc", "ACC msgs", "ACC uJ",
                 "MESI cyc", "MESI msg", "MESI uJ");
     std::printf("%s\n", std::string(80, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
+    std::size_t idx = 0;
+    for (const auto &name : names) {
         for (bool overlap : {false, true}) {
-            Row acc = runOne(core::SystemKind::Fusion, overlap,
-                             prog);
-            Row mesi = runOne(core::SystemKind::FusionMesi,
-                              overlap, prog);
+            Row acc = rowOf(results[idx++]);
+            Row mesi = rowOf(results[idx++]);
             std::printf("%-8s %-8s | %10llu %9llu %8.3f | %10llu "
                         "%9llu %8.3f\n",
                         overlap

@@ -33,20 +33,35 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation: ACC timestamp width",
                   "Section 4 (24-bit sufficiency discussion)");
+
+    const auto names = workloads::workloadNames();
+    // The analysis needs each trace's lease times, so programs are
+    // built here and shared with the sweep.
+    std::vector<sweep::SweepJob> jobs;
+    std::vector<std::shared_ptr<const trace::Program>> progs;
+    for (const auto &name : names) {
+        progs.push_back(std::make_shared<const trace::Program>(
+            bench::mustBuild(name, opt.scale)));
+        auto j = bench::job(core::SystemKind::Fusion, name,
+                            opt.scale);
+        j.prog = progs.back();
+        jobs.push_back(std::move(j));
+    }
+    auto results =
+        bench::runSweep("ablation_timestamp_bits", jobs, opt);
 
     std::printf("%-8s %8s %8s %10s %10s %10s\n", "bench", "invs",
                 "max bits", "p98 bits", "<=24 bits", "longest inv");
     std::printf("%s\n", std::string(62, '-').c_str());
 
-    auto cfg = core::SystemConfig::paperDefault(
-        core::SystemKind::Fusion);
     unsigned global_max = 0;
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-        core::RunResult r = core::runProgram(cfg, prog);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const trace::Program &prog = *progs[w];
+        const core::RunResult &r = results[w];
         Cycles max_lt = 0;
         for (const auto &f : prog.functions)
             max_lt = std::max(max_lt, f.leaseTime);

@@ -3,17 +3,28 @@
  * Shared helpers for the paper-reproduction bench harnesses.
  *
  * Every harness regenerates one table or figure of the paper's
- * evaluation at the Paper input scale; pass --small for a fast
- * smoke run on CI-size inputs.
+ * evaluation by building a sweep-job list and submitting it to the
+ * parallel sweep engine, then rendering the ordered results. All
+ * harnesses share one CLI:
+ *
+ *   --small       fast CI-size inputs (default: paper scale)
+ *   --jobs N      sweep worker threads (default: hardware threads)
+ *   --json FILE   also write the machine-readable SweepReport
+ *
+ * Output is identical for every --jobs value: results land by
+ * submission index regardless of completion order.
  */
 
 #ifndef FUSION_BENCH_BENCH_UTIL_HH
 #define FUSION_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/reporters.hh"
 #include "core/runner.hh"
@@ -22,22 +33,125 @@
 namespace fusion::bench
 {
 
-/** Parse --small (default is the paper-scale inputs). */
-inline workloads::Scale
-scaleFromArgs(int argc, char **argv)
+/** Parsed shared harness CLI. */
+struct Options
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--small") == 0)
-            return workloads::Scale::Small;
-    }
-    return workloads::Scale::Paper;
+    workloads::Scale scale = workloads::Scale::Paper;
+    std::size_t jobs = sweep::defaultJobs();
+    std::string jsonPath;
+};
+
+inline void
+usage(const char *argv0)
+{
+    std::printf("usage: %s [--small] [--jobs N] [--json FILE]\n"
+                "  --small      CI-size inputs (default: paper "
+                "scale)\n"
+                "  --jobs N     parallel sweep workers (default: "
+                "%zu)\n"
+                "  --json FILE  write the machine-readable sweep "
+                "report\n",
+                argv0, sweep::defaultJobs());
 }
 
-/** Build all seven benchmarks once. */
-inline std::vector<trace::Program>
-buildSuite(workloads::Scale scale)
+/**
+ * Parse the shared flags. Unrecognized arguments are fatal unless
+ * @p extra is given, in which case they are returned for the
+ * harness to interpret (positional workload names etc.).
+ */
+inline Options
+parseArgs(int argc, char **argv,
+          std::vector<std::string> *extra = nullptr)
 {
-    return workloads::buildAll(scale);
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                fusion_fatal("missing value for ", a);
+            }
+            return argv[++i];
+        };
+        if (a == "--small") {
+            opt.scale = workloads::Scale::Small;
+        } else if (a == "--paper") {
+            opt.scale = workloads::Scale::Paper;
+        } else if (a == "--jobs") {
+            long n = std::atol(next().c_str());
+            if (n < 1) {
+                usage(argv[0]);
+                fusion_fatal("--jobs must be >= 1");
+            }
+            opt.jobs = static_cast<std::size_t>(n);
+        } else if (a == "--json") {
+            opt.jsonPath = next();
+        } else if (a == "-h" || a == "--help") {
+            usage(argv[0]);
+            std::exit(0);
+        } else if (extra) {
+            extra->push_back(a);
+        } else {
+            usage(argv[0]);
+            fusion_fatal("unknown option: ", a);
+        }
+    }
+    return opt;
+}
+
+/** Shorthand for the common (paper-default system, workload) job. */
+inline sweep::SweepJob
+job(core::SystemKind kind, const std::string &workload,
+    workloads::Scale scale)
+{
+    sweep::SweepJob j;
+    j.cfg = core::SystemConfig::paperDefault(kind);
+    j.workload = workload;
+    j.scale = scale;
+    j.tag = workload + "/" + core::systemKindShortName(kind);
+    return j;
+}
+
+/**
+ * Submit @p jobs with the harness options: worker count from
+ * --jobs, live progress on stderr when it is a terminal, and the
+ * SweepReport written when --json was given. Results are ordered by
+ * submission index, so table-rendering code indexes them exactly as
+ * it pushed the jobs.
+ */
+inline std::vector<core::RunResult>
+runSweep(const char *sweepName,
+         const std::vector<sweep::SweepJob> &jobs,
+         const Options &opt)
+{
+    sweep::SweepOptions so;
+    so.jobs = opt.jobs;
+    if (isatty(STDERR_FILENO)) {
+        so.progress = [](const sweep::SweepProgress &p) {
+            std::fprintf(stderr, "\r[%zu/%zu] %-32s", p.completed,
+                         p.total, p.job->tag.c_str());
+            if (p.completed == p.total)
+                std::fprintf(stderr, "\n");
+        };
+    }
+    auto results = core::runSweep(jobs, so);
+    if (!opt.jsonPath.empty()) {
+        sweep::writeReportFile(opt.jsonPath, sweepName, jobs,
+                               results);
+        std::fprintf(stderr, "sweep report written to %s\n",
+                     opt.jsonPath.c_str());
+    }
+    return results;
+}
+
+/** Build a program by name or die with the known-name list. */
+inline trace::Program
+mustBuild(const std::string &name, workloads::Scale scale)
+{
+    auto p = core::buildProgram(name, scale);
+    if (!p)
+        fusion_fatal(core::unknownWorkloadMessage(name));
+    return std::move(*p);
 }
 
 /** Display name lookup ("FFT", "DISP.", ...). */

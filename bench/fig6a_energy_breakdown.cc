@@ -13,24 +13,32 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Figure 6a: Dynamic energy breakdown (normalized "
                   "to SCRATCH)",
                   "Figure 6a (Section 5.2, Lessons 3-4)");
+
+    const auto kKinds = {core::SystemKind::Scratch,
+                         core::SystemKind::Shared,
+                         core::SystemKind::Fusion};
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names)
+        for (auto kind : kKinds)
+            jobs.push_back(bench::job(kind, name, opt.scale));
+    auto results =
+        bench::runSweep("fig6a_energy_breakdown", jobs, opt);
 
     std::printf("%-8s %-6s %7s | %6s %6s %6s %6s %6s %6s\n",
                 "bench", "sys", "total", "axc", "local", "l1x",
                 "l2", "tlink", "hlink");
     std::printf("%s\n", std::string(72, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
+    std::size_t idx = 0;
+    for (const auto &name : names) {
         double scratch_total = 0.0;
-        for (auto kind :
-             {core::SystemKind::Scratch, core::SystemKind::Shared,
-              core::SystemKind::Fusion}) {
-            core::RunResult r = core::runProgram(
-                core::SystemConfig::paperDefault(kind), prog);
+        for (auto kind : kKinds) {
+            const core::RunResult &r = results[idx++];
             core::EnergyStack s = core::energyStack(r);
             double hier = r.hierarchyPj();
             if (kind == core::SystemKind::Scratch)

@@ -14,9 +14,19 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Figure 6b: Cycle time normalized to SCRATCH",
                   "Figure 6b (Section 5.1, Lessons 1-2)");
+
+    const auto kKinds = {
+        core::SystemKind::Scratch, core::SystemKind::Shared,
+        core::SystemKind::Fusion, core::SystemKind::FusionDx};
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names)
+        for (auto kind : kKinds)
+            jobs.push_back(bench::job(kind, name, opt.scale));
+    auto results = bench::runSweep("fig6b_performance", jobs, opt);
 
     std::printf("%-8s %12s %8s | %8s %8s %8s   %s\n", "bench",
                 "SC cycles", "DMA%", "SH", "FU", "FU-Dx",
@@ -25,24 +35,17 @@ main(int argc, char **argv)
 
     double geo_sh = 1.0, geo_fu = 1.0;
     int n = 0;
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-        core::RunResult sc = core::runProgram(
-            core::SystemConfig::paperDefault(
-                core::SystemKind::Scratch),
-            prog);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const core::RunResult &sc = results[w * 4];
         double ratios[3];
-        int i = 0;
-        for (auto kind :
-             {core::SystemKind::Shared, core::SystemKind::Fusion,
-              core::SystemKind::FusionDx}) {
-            core::RunResult r = core::runProgram(
-                core::SystemConfig::paperDefault(kind), prog);
-            ratios[i++] = static_cast<double>(r.accelCycles) /
-                          static_cast<double>(sc.accelCycles);
+        for (int i = 0; i < 3; ++i) {
+            const core::RunResult &r =
+                results[w * 4 + 1 + static_cast<std::size_t>(i)];
+            ratios[i] = static_cast<double>(r.accelCycles) /
+                        static_cast<double>(sc.accelCycles);
         }
         std::printf("%-8s %12llu %7.1f%% | %8.3f %8.3f %8.3f\n",
-                    bench::displayName(name).c_str(),
+                    bench::displayName(names[w]).c_str(),
                     static_cast<unsigned long long>(sc.accelCycles),
                     100.0 * static_cast<double>(sc.dmaCycles) /
                         static_cast<double>(sc.accelCycles),

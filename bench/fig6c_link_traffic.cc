@@ -12,22 +12,29 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Figure 6c: Link traffic breakdown",
                   "Figure 6c (Section 5.2, Lessons 3-4)");
+
+    const auto kKinds = {
+        core::SystemKind::Scratch, core::SystemKind::Shared,
+        core::SystemKind::Fusion, core::SystemKind::FusionDx};
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names)
+        for (auto kind : kKinds)
+            jobs.push_back(bench::job(kind, name, opt.scale));
+    auto results = bench::runSweep("fig6c_link_traffic", jobs, opt);
 
     std::printf("%-8s %-6s | %12s %12s %12s %12s %10s\n", "bench",
                 "sys", "l0x>l1x msg", "l1x>l0x data", "l1x<>l2 msg",
                 "l1x<>l2 data", "l0x>l0x");
     std::printf("%s\n", std::string(84, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-        for (auto kind :
-             {core::SystemKind::Scratch, core::SystemKind::Shared,
-              core::SystemKind::Fusion, core::SystemKind::FusionDx}) {
-            core::RunResult r = core::runProgram(
-                core::SystemConfig::paperDefault(kind), prog);
+    std::size_t idx = 0;
+    for (const auto &name : names) {
+        for (auto kind : kKinds) {
+            const core::RunResult &r = results[idx++];
             std::printf(
                 "%-8s %-6s | %12llu %12llu %12llu %12llu %10llu\n",
                 kind == core::SystemKind::Scratch

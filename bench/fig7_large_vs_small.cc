@@ -11,24 +11,33 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Figure 7: AXC-Large vs AXC-Small (FUSION)",
                   "Figure 7 (Section 5.5, Lesson 7)");
+
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names) {
+        jobs.push_back(bench::job(core::SystemKind::Fusion, name,
+                                  opt.scale));
+        sweep::SweepJob lg = jobs.back();
+        lg.cfg = core::SystemConfig::axcLarge(
+            core::SystemKind::Fusion);
+        lg.tag += "/large";
+        jobs.push_back(std::move(lg));
+    }
+    auto results =
+        bench::runSweep("fig7_large_vs_small", jobs, opt);
 
     std::printf("%-8s %10s | %12s %12s | %12s\n", "bench",
                 "WSet(kB)", "energy L/S", "cycles L/S",
                 "L1X miss dlt");
     std::printf("%s\n", std::string(64, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-        core::RunResult small = core::runProgram(
-            core::SystemConfig::paperDefault(
-                core::SystemKind::Fusion),
-            prog);
-        core::RunResult large = core::runProgram(
-            core::SystemConfig::axcLarge(core::SystemKind::Fusion),
-            prog);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const core::RunResult &small = results[w * 2];
+        const core::RunResult &large = results[w * 2 + 1];
         double miss_delta =
             small.l1xMisses
                 ? 100.0 *

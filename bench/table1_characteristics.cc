@@ -13,7 +13,10 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    // Table 1 is trace profiling + the serial host-replay profile —
+    // no system sweep — but shares the harness CLI for uniformity.
+    auto opt = bench::parseArgs(argc, argv);
+    auto scale = opt.scale;
     bench::banner("Table 1: Accelerator Characteristics",
                   "Table 1 (Section 2)");
 
@@ -23,7 +26,7 @@ main(int argc, char **argv)
     std::printf("%s\n", std::string(72, '-').c_str());
 
     for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
+        trace::Program prog = bench::mustBuild(name, scale);
         auto profiles = trace::profileFunctions(prog);
         auto host_cycles = core::hostProfile(prog);
         std::uint64_t total_cycles = 0;

@@ -29,9 +29,12 @@ printSram(const char *name, fusion::energy::SramParams p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fusion;
+    // Static configuration dump — accepts the shared CLI so every
+    // harness responds to the same flags.
+    bench::parseArgs(argc, argv);
     bench::banner("Table 2: System parameters", "Table 2 (Section 4)");
 
     auto cfg = core::SystemConfig::paperDefault(

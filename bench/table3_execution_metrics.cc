@@ -13,21 +13,36 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Table 3: Accelerator Execution Metrics",
                   "Table 3 (Section 4)");
 
-    auto cfg = core::SystemConfig::paperDefault(
-        core::SystemKind::Fusion);
+    const auto names = workloads::workloadNames();
+    // The renderer needs the function metadata (LT column), so the
+    // programs are built here and attached to the jobs — the sweep
+    // reuses rather than rebuilds them.
+    std::vector<sweep::SweepJob> jobs;
+    std::vector<std::shared_ptr<const trace::Program>> progs;
+    for (const auto &name : names) {
+        progs.push_back(std::make_shared<const trace::Program>(
+            bench::mustBuild(name, opt.scale)));
+        auto j = bench::job(core::SystemKind::Fusion, name,
+                            opt.scale);
+        j.prog = progs.back();
+        jobs.push_back(std::move(j));
+    }
+    auto results =
+        bench::runSweep("table3_execution_metrics", jobs, opt);
 
     std::printf("%-10s %-10s %9s %6s %6s   (cache/compute ratio "
                 "per bench)\n",
                 "bench", "function", "KCyc", "LT", "%En.");
     std::printf("%s\n", std::string(64, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-        core::RunResult r = core::runProgram(cfg, prog);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const trace::Program &prog = *progs[w];
+        const core::RunResult &r = results[w];
 
         double energy_total = 0.0;
         for (const auto &[f, e] : r.funcEnergyPj)

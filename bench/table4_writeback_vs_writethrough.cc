@@ -13,26 +13,41 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Table 4: Write-through vs writeback L0X "
                   "bandwidth (flits)",
                   "Table 4 (Section 5.3, Lesson 5)");
+
+    const auto names = workloads::workloadNames();
+    // %Dirty Blocks is computed on the trace itself; build and
+    // attach the programs so both passes share one capture.
+    std::vector<sweep::SweepJob> jobs;
+    std::vector<std::shared_ptr<const trace::Program>> progs;
+    for (const auto &name : names) {
+        progs.push_back(std::make_shared<const trace::Program>(
+            bench::mustBuild(name, opt.scale)));
+        auto wbj = bench::job(core::SystemKind::Fusion, name,
+                              opt.scale);
+        wbj.prog = progs.back();
+        auto wtj = wbj;
+        wtj.cfg.l0xWriteThrough = true;
+        wtj.tag += "/wt";
+        jobs.push_back(std::move(wbj));
+        jobs.push_back(std::move(wtj));
+    }
+    auto results = bench::runSweep(
+        "table4_writeback_vs_writethrough", jobs, opt);
 
     std::printf("%-8s %14s %14s %8s %14s\n", "bench",
                 "Write-Through", "Writeback", "ratio",
                 "%Dirty Blocks");
     std::printf("%s\n", std::string(64, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-
-        core::SystemConfig wb = core::SystemConfig::paperDefault(
-            core::SystemKind::Fusion);
-        core::SystemConfig wt = wb;
-        wt.l0xWriteThrough = true;
-
-        core::RunResult rwb = core::runProgram(wb, prog);
-        core::RunResult rwt = core::runProgram(wt, prog);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const trace::Program &prog = *progs[w];
+        const core::RunResult &rwb = results[w * 2];
+        const core::RunResult &rwt = results[w * 2 + 1];
 
         // %Dirty Blocks: fraction of the accelerator-touched lines
         // that get stored to (and hence eventually written back).

@@ -25,7 +25,7 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Table 5: Inter-AXC write forwarding (FUSION-Dx)",
                   "Table 5 (Section 5.4, Lesson 6)");
 
@@ -57,26 +57,38 @@ main(int argc, char **argv)
                 "(L0X->L0X at 0.1 pJ/B)\n\n",
                 per_block_saved, per_block_cost);
 
+    const auto names = workloads::workloadNames();
+    // The paper-style accounting walks the trace's forwarding plan,
+    // so build and attach the programs.
+    std::vector<sweep::SweepJob> jobs;
+    std::vector<std::shared_ptr<const trace::Program>> progs;
+    for (const auto &name : names) {
+        progs.push_back(std::make_shared<const trace::Program>(
+            bench::mustBuild(name, opt.scale)));
+        for (auto kind : {core::SystemKind::Fusion,
+                          core::SystemKind::FusionDx}) {
+            auto j = bench::job(kind, name, opt.scale);
+            j.prog = progs.back();
+            jobs.push_back(std::move(j));
+        }
+    }
+    auto results =
+        bench::runSweep("table5_write_forwarding", jobs, opt);
+
     std::printf("%-8s %10s %10s | %9s %9s | %10s %9s\n", "bench",
                 "plan blks", "fwd blks", "dAXC$ %", "dLink %",
                 "paper blks", "paper dE");
     std::printf("%s\n", std::string(76, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-        auto plan = trace::planForwarding(prog);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        auto plan = trace::planForwarding(*progs[w]);
         std::uint64_t plan_blocks = 0;
         for (const auto &[inv, lines] : plan)
             plan_blocks += lines.size();
 
-        core::RunResult fu = core::runProgram(
-            core::SystemConfig::paperDefault(
-                core::SystemKind::Fusion),
-            prog);
-        core::RunResult dx = core::runProgram(
-            core::SystemConfig::paperDefault(
-                core::SystemKind::FusionDx),
-            prog);
+        const core::RunResult &fu = results[w * 2];
+        const core::RunResult &dx = results[w * 2 + 1];
 
         double cache_save =
             fu.axcCachePj() > 0

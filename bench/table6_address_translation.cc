@@ -12,21 +12,33 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Table 6: Virtual memory table lookups (FUSION)",
                   "Table 6 (Section 5.6, Lesson 8)");
+
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    std::vector<std::shared_ptr<const trace::Program>> progs;
+    for (const auto &name : names) {
+        progs.push_back(std::make_shared<const trace::Program>(
+            bench::mustBuild(name, opt.scale)));
+        auto j = bench::job(core::SystemKind::Fusion, name,
+                            opt.scale);
+        j.prog = progs.back();
+        jobs.push_back(std::move(j));
+    }
+    auto results =
+        bench::runSweep("table6_address_translation", jobs, opt);
 
     std::printf("%-8s %10s %10s %10s %12s %10s\n", "bench",
                 "AX-TLB", "AX-RMAP", "host fwds", "mem ops",
                 "vm energy%");
     std::printf("%s\n", std::string(66, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-        core::RunResult r = core::runProgram(
-            core::SystemConfig::paperDefault(
-                core::SystemKind::Fusion),
-            prog);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const trace::Program &prog = *progs[w];
+        const core::RunResult &r = results[w];
         double vm_pj = r.component(energy::comp::kAxTlb) +
                        r.component(energy::comp::kAxRmap);
         std::printf("%-8s %10llu %10llu %10llu %12llu %9.3f%%\n",

@@ -12,21 +12,25 @@ int
 main(int argc, char **argv)
 {
     using namespace fusion;
-    auto scale = bench::scaleFromArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
     bench::banner("Table 6d: DMA traffic vs working set (SCRATCH)",
                   "Figure 6d table (Section 5.2)");
+
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names)
+        jobs.push_back(bench::job(core::SystemKind::Scratch, name,
+                                  opt.scale));
+    auto results = bench::runSweep("table6d_dma_vs_wset", jobs, opt);
 
     std::printf("%-8s %10s %10s %8s %10s %10s\n", "bench",
                 "WSet(kB)", "DMA(kB)", "ratio", "DMA ops",
                 "DMA cyc%");
     std::printf("%s\n", std::string(62, '-').c_str());
 
-    for (const auto &name : workloads::workloadNames()) {
-        trace::Program prog = core::buildProgram(name, scale);
-        core::RunResult r = core::runProgram(
-            core::SystemConfig::paperDefault(
-                core::SystemKind::Scratch),
-            prog);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const core::RunResult &r = results[w];
         double wset_kb =
             static_cast<double>(r.workingSetBytes) / 1024.0;
         double dma_kb = static_cast<double>(r.dmaBytes) / 1024.0;

@@ -1,19 +1,22 @@
 /**
  * @file
  * Design-space exploration with the public API: sweep the tile's
- * L0X and L1X capacities for one workload and print the
+ * L0X and L1X capacities for one workload in parallel and print the
  * energy/performance frontier — the kind of study the FUSION
  * infrastructure exists to support.
  *
- *   ./example_design_space [workload] [--paper]
+ *   ./example_design_space [workload] [--paper] [--jobs N]
+ *                          [--json FILE]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/reporters.hh"
 #include "core/runner.hh"
+#include "sim/logging.hh"
 
 int
 main(int argc, char **argv)
@@ -21,36 +24,78 @@ main(int argc, char **argv)
     using namespace fusion;
     std::string workload = "filter";
     auto scale = workloads::Scale::Small;
+    core::SweepOptions sweep_opt;
+    sweep_opt.jobs = sweep::defaultJobs();
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fusion_fatal("missing value for ", a);
+            return argv[++i];
+        };
         if (a == "--paper")
             scale = workloads::Scale::Paper;
+        else if (a == "--jobs")
+            sweep_opt.jobs = static_cast<std::size_t>(
+                std::atol(next().c_str()));
+        else if (a == "--json")
+            json_path = next();
         else
             workload = a;
     }
 
-    trace::Program prog = core::buildProgram(workload, scale);
+    auto prog = core::buildProgram(workload, scale);
+    if (!prog) {
+        std::fprintf(stderr, "%s\n",
+                     core::unknownWorkloadMessage(workload).c_str());
+        return 1;
+    }
     std::printf("design-space sweep on '%s' (%llu memory ops)\n\n",
                 workload.c_str(),
-                static_cast<unsigned long long>(prog.memOpCount()));
+                static_cast<unsigned long long>(
+                    prog->memOpCount()));
+
+    // One job per (L0X, L1X) point, all sharing the captured trace.
+    const std::vector<std::uint64_t> kL0x = {2048, 4096, 8192};
+    const std::vector<std::uint64_t> kL1xKb = {32, 64, 256};
+    auto shared_prog = std::make_shared<const trace::Program>(
+        std::move(*prog));
+    std::vector<core::SweepJob> jobs;
+    for (std::uint64_t l0x : kL0x) {
+        for (std::uint64_t l1x_kb : kL1xKb) {
+            core::SweepJob j;
+            j.cfg = core::SystemConfig::paperDefault(
+                core::SystemKind::Fusion);
+            j.cfg.l0xBytes = l0x;
+            j.cfg.l1xBytes = l1x_kb * 1024;
+            j.workload = workload;
+            j.scale = scale;
+            j.prog = shared_prog;
+            j.tag = "l0x=" + std::to_string(l0x) +
+                    "/l1x=" + std::to_string(l1x_kb) + "K";
+            jobs.push_back(std::move(j));
+        }
+    }
+    auto results = core::runSweep(jobs, sweep_opt);
+    if (!json_path.empty())
+        sweep::writeReportFile(json_path, "design_space", jobs,
+                               results);
 
     struct Point
     {
         std::uint64_t l0x, l1x;
-        core::RunResult r;
+        const core::RunResult *r;
     };
     std::vector<Point> points;
 
     std::printf("%8s %8s | %12s %14s %12s\n", "L0X(B)", "L1X(KB)",
                 "cycles", "energy(uJ)", "L1X accesses");
     std::printf("%s\n", std::string(62, '-').c_str());
-    for (std::uint64_t l0x : {2048ull, 4096ull, 8192ull}) {
-        for (std::uint64_t l1x_kb : {32ull, 64ull, 256ull}) {
-            core::SystemConfig cfg = core::SystemConfig::paperDefault(
-                core::SystemKind::Fusion);
-            cfg.l0xBytes = l0x;
-            cfg.l1xBytes = l1x_kb * 1024;
-            core::RunResult r = core::runProgram(cfg, prog);
+    std::size_t idx = 0;
+    for (std::uint64_t l0x : kL0x) {
+        for (std::uint64_t l1x_kb : kL1xKb) {
+            const core::RunResult &r = results[idx++];
             std::printf("%8llu %8llu | %12llu %14.3f %12llu\n",
                         static_cast<unsigned long long>(l0x),
                         static_cast<unsigned long long>(l1x_kb),
@@ -59,7 +104,7 @@ main(int argc, char **argv)
                         r.hierarchyPj() / 1e6,
                         static_cast<unsigned long long>(
                             r.l1xHits + r.l1xMisses));
-            points.push_back({l0x, l1x_kb, std::move(r)});
+            points.push_back({l0x, l1x_kb, &r});
         }
     }
 
@@ -70,10 +115,10 @@ main(int argc, char **argv)
         for (const auto &q : points) {
             if (&q == &p)
                 continue;
-            if (q.r.accelCycles <= p.r.accelCycles &&
-                q.r.hierarchyPj() <= p.r.hierarchyPj() &&
-                (q.r.accelCycles < p.r.accelCycles ||
-                 q.r.hierarchyPj() < p.r.hierarchyPj())) {
+            if (q.r->accelCycles <= p.r->accelCycles &&
+                q.r->hierarchyPj() <= p.r->hierarchyPj() &&
+                (q.r->accelCycles < p.r->accelCycles ||
+                 q.r->hierarchyPj() < p.r->hierarchyPj())) {
                 dominated = true;
                 break;
             }
@@ -84,8 +129,8 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(p.l0x),
                         static_cast<unsigned long long>(p.l1x),
                         static_cast<unsigned long long>(
-                            p.r.accelCycles),
-                        p.r.hierarchyPj() / 1e6);
+                            p.r->accelCycles),
+                        p.r->hierarchyPj() / 1e6);
         }
     }
     return 0;

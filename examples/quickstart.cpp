@@ -32,7 +32,13 @@ main(int argc, char **argv)
     std::printf("building '%s' trace (runs the real kernels and "
                 "verifies them against golden references)...\n",
                 workload.c_str());
-    trace::Program prog = core::buildProgram(workload, scale);
+    auto built = core::buildProgram(workload, scale);
+    if (!built) {
+        std::fprintf(stderr, "%s\n",
+                     core::unknownWorkloadMessage(workload).c_str());
+        return 1;
+    }
+    trace::Program prog = std::move(*built);
     std::printf("  %zu functions, %zu invocations, %llu memory "
                 "ops\n\n",
                 prog.functions.size(), prog.invocations.size(),

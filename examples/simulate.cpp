@@ -133,10 +133,20 @@ main(int argc, char **argv)
     }
     cfg.kind = kind;
 
+    auto errs = cfg.validate();
+    if (!errs.empty()) {
+        for (const auto &e : errs)
+            std::fprintf(stderr, "error: %s\n", e.c_str());
+        return 1;
+    }
+
     std::printf("building '%s' (%s scale)...\n", workload.c_str(),
                 scale == workloads::Scale::Paper ? "paper"
                                                  : "small");
-    trace::Program prog = core::buildProgram(workload, scale);
+    auto built = core::buildProgram(workload, scale);
+    if (!built)
+        fusion_fatal(core::unknownWorkloadMessage(workload));
+    trace::Program prog = std::move(*built);
     std::printf("  %zu functions, %zu invocations, %llu memory "
                 "ops\n",
                 prog.functions.size(), prog.invocations.size(),

@@ -8,44 +8,7 @@
 namespace fusion::core
 {
 
-double
-RunResult::component(const std::string &name) const
-{
-    auto it = energyPj.find(name);
-    return it == energyPj.end() ? 0.0 : it->second;
-}
-
-double
-RunResult::axcCachePj() const
-{
-    return component(energy::comp::kL0x) +
-           component(energy::comp::kScratchpad) +
-           component(energy::comp::kL1x);
-}
-
-double
-RunResult::axcLinkPj() const
-{
-    return component(energy::comp::kLinkL0xL1xMsg) +
-           component(energy::comp::kLinkL0xL1xData) +
-           component(energy::comp::kLinkL0xL0x);
-}
-
-double
-RunResult::totalPj() const
-{
-    double t = 0.0;
-    for (const auto &[k, v] : energyPj)
-        t += v;
-    return t;
-}
-
-double
-RunResult::hierarchyPj() const
-{
-    return totalPj() - component(energy::comp::kDram) -
-           component(energy::comp::kLinkLlcDram);
-}
+// RunResult's own methods (aggregates + toJson) live in results.cc.
 
 TableWriter::TableWriter(std::ostream &os,
                          std::vector<std::string> headers,

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * RunResult aggregate helpers and JSON serialization.
+ */
+
+#include "core/results.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "energy/energy_ledger.hh"
+
+namespace fusion::core
+{
+
+namespace
+{
+
+/** Escape a string for a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Shortest round-trippable decimal rendering of a double. */
+void
+putDouble(std::ostream &os, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+putMap(std::ostream &os, const char *key,
+       const std::map<std::string, double> &m)
+{
+    os << ",\"" << key << "\":{";
+    bool first = true;
+    for (const auto &[k, v] : m) {
+        os << (first ? "" : ",") << '"' << jsonEscape(k) << "\":";
+        putDouble(os, v);
+        first = false;
+    }
+    os << '}';
+}
+
+void
+putMap(std::ostream &os, const char *key,
+       const std::map<std::string, std::uint64_t> &m)
+{
+    os << ",\"" << key << "\":{";
+    bool first = true;
+    for (const auto &[k, v] : m) {
+        os << (first ? "" : ",") << '"' << jsonEscape(k)
+           << "\":" << v;
+        first = false;
+    }
+    os << '}';
+}
+
+void
+putUint(std::ostream &os, const char *key, std::uint64_t v)
+{
+    os << ",\"" << key << "\":" << v;
+}
+
+} // namespace
+
+double
+RunResult::component(const std::string &name) const
+{
+    auto it = energyPj.find(name);
+    return it == energyPj.end() ? 0.0 : it->second;
+}
+
+double
+RunResult::axcCachePj() const
+{
+    return component(energy::comp::kL0x) +
+           component(energy::comp::kScratchpad) +
+           component(energy::comp::kL1x);
+}
+
+double
+RunResult::axcLinkPj() const
+{
+    return component(energy::comp::kLinkL0xL1xMsg) +
+           component(energy::comp::kLinkL0xL1xData) +
+           component(energy::comp::kLinkL0xL0x);
+}
+
+double
+RunResult::totalPj() const
+{
+    double t = 0.0;
+    for (const auto &[k, v] : energyPj)
+        t += v;
+    return t;
+}
+
+double
+RunResult::hierarchyPj() const
+{
+    return totalPj() - component(energy::comp::kDram) -
+           component(energy::comp::kLinkLlcDram);
+}
+
+std::string
+RunResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"workload\":\"" << jsonEscape(workload) << '"'
+       << ",\"system\":\"" << systemKindName(kind) << '"';
+    putUint(os, "totalCycles", totalCycles);
+    putUint(os, "accelCycles", accelCycles);
+    putUint(os, "dmaCycles", dmaCycles);
+    putMap(os, "energyPj", energyPj);
+    putMap(os, "funcCycles", funcCycles);
+    os << ",\"invocationCycles\":[";
+    for (std::size_t i = 0; i < invocationCycles.size(); ++i)
+        os << (i ? "," : "") << invocationCycles[i];
+    os << ']';
+    putMap(os, "funcEnergyPj", funcEnergyPj);
+    putUint(os, "l0xL1xCtrlMsgs", l0xL1xCtrlMsgs);
+    putUint(os, "l0xL1xDataMsgs", l0xL1xDataMsgs);
+    putUint(os, "l0xL1xFlits", l0xL1xFlits);
+    putUint(os, "l1xL2CtrlMsgs", l1xL2CtrlMsgs);
+    putUint(os, "l1xL2DataMsgs", l1xL2DataMsgs);
+    putUint(os, "l0xL0xDataMsgs", l0xL0xDataMsgs);
+    putUint(os, "axTlbLookups", axTlbLookups);
+    putUint(os, "axRmapLookups", axRmapLookups);
+    putUint(os, "fwdsToTile", fwdsToTile);
+    putUint(os, "dmaOps", dmaOps);
+    putUint(os, "dmaBytes", dmaBytes);
+    putUint(os, "workingSetBytes", workingSetBytes);
+    putUint(os, "l0xFills", l0xFills);
+    putUint(os, "l0xWritebacks", l0xWritebacks);
+    putUint(os, "l0xForwards", l0xForwards);
+    putUint(os, "l1xHits", l1xHits);
+    putUint(os, "l1xMisses", l1xMisses);
+    os << '}';
+    return os.str();
+}
+
+} // namespace fusion::core

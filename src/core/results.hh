@@ -86,6 +86,14 @@ struct RunResult
     double hierarchyPj() const;
     /** Energy of one component (0 when absent). */
     double component(const std::string &name) const;
+
+    /**
+     * Serialize every measured field as one JSON object (stable key
+     * order, full double precision). Two runs of the same job are
+     * byte-identical, which is what the sweep determinism test and
+     * the machine-readable SweepReport build on.
+     */
+    std::string toJson() const;
 };
 
 } // namespace fusion::core

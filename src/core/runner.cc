@@ -9,6 +9,13 @@ namespace fusion::core
 RunResult
 runProgram(const SystemConfig &cfg, const trace::Program &prog)
 {
+    std::vector<std::string> errs = cfg.validate();
+    if (!errs.empty()) {
+        std::string joined;
+        for (const auto &e : errs)
+            joined += "\n  " + e;
+        fusion_fatal("invalid SystemConfig:", joined);
+    }
     System sys(cfg, prog);
     return sys.run();
 }
@@ -68,12 +75,23 @@ hostProfile(const trace::Program &prog)
     return cycles;
 }
 
-trace::Program
+std::optional<trace::Program>
 buildProgram(const std::string &workload, workloads::Scale scale)
 {
     auto w = workloads::makeWorkload(workload);
-    fusion_assert(w, "unknown workload: ", workload);
+    if (!w)
+        return std::nullopt;
     return w->build(scale);
+}
+
+std::string
+unknownWorkloadMessage(const std::string &workload)
+{
+    std::string msg = "unknown workload '" + workload + "' (known:";
+    for (const auto &n : workloads::workloadNames())
+        msg += " " + n;
+    msg += ")";
+    return msg;
 }
 
 } // namespace fusion::core

@@ -1,7 +1,20 @@
 #include "core/system_config.hh"
 
+#include <sstream>
+
 namespace fusion::core
 {
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
 
 const char *
 systemKindShortName(SystemKind k)
@@ -37,6 +50,70 @@ systemKindName(SystemKind k)
         return "FUSION-MESI";
     }
     return "?";
+}
+
+std::vector<std::string>
+SystemConfig::validate() const
+{
+    std::vector<std::string> errs;
+    auto err = [&errs](auto &&...parts) {
+        std::ostringstream os;
+        (os << ... << parts);
+        errs.push_back(os.str());
+    };
+
+    // A cache must be a power-of-two number of whole lines so set
+    // indexing works, and hold at least one full set.
+    auto checkCache = [&](const char *name, std::uint64_t bytes,
+                          std::uint32_t assoc, std::uint32_t banks) {
+        if (!isPow2(bytes))
+            err(name, " capacity must be a power of two, got ",
+                bytes, " bytes");
+        if (assoc == 0)
+            err(name, " associativity must be nonzero");
+        if (banks == 0)
+            err(name, " bank count must be nonzero");
+        if (banks != 0 && !isPow2(banks))
+            err(name, " bank count must be a power of two, got ",
+                banks);
+        if (assoc != 0 &&
+            bytes < static_cast<std::uint64_t>(assoc) * kLineBytes)
+            err(name, " capacity ", bytes, " B cannot hold one ",
+                assoc, "-way set of ", kLineBytes, " B lines");
+    };
+    checkCache("L0X", l0xBytes, l0xAssoc, 1);
+    checkCache("L1X", l1xBytes, l1xAssoc, l1xBanks);
+    checkCache("host L1", hostL1Bytes, hostL1Assoc, 1);
+    checkCache("LLC", llc.capacityBytes, llc.assoc, llc.nucaBanks);
+
+    if (!isPow2(scratchpadBytes))
+        err("scratchpad capacity must be a power of two, got ",
+            scratchpadBytes, " bytes");
+    if (scratchpadBytes < kLineBytes)
+        err("scratchpad capacity ", scratchpadBytes,
+            " B is smaller than one ", kLineBytes, " B line");
+
+    if (numTiles == 0)
+        err("numTiles must be nonzero");
+    if (datapathWidth == 0)
+        err("datapathWidth must be nonzero");
+    if (accelStoreBuffer == 0)
+        err("accelStoreBuffer must be nonzero");
+    if (dmaMaxOutstanding == 0)
+        err("dmaMaxOutstanding must be nonzero");
+
+    if (dram.channels == 0)
+        err("DRAM channel count must be nonzero");
+    if (dram.cmdQueueDepth == 0)
+        err("DRAM command queue depth must be nonzero");
+    if (hostCore.issueWidth == 0)
+        err("host core issue width must be nonzero");
+    if (hostCore.maxOutstanding == 0)
+        err("host core outstanding-load limit must be nonzero");
+    if (hostCore.storeQueue == 0)
+        err("host core store queue must be nonzero");
+
+    return errs;
 }
 
 SystemConfig

@@ -8,6 +8,7 @@
 #define FUSION_CORE_SYSTEM_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 #include "host/host_core.hh"
 #include "host/llc.hh"
@@ -76,6 +77,17 @@ struct SystemConfig
     /// (ACP/PowerBus-style engines pipeline only a couple of
     /// coherent line transactions).
     std::uint32_t dmaMaxOutstanding = 2;
+
+    /**
+     * Check the configuration for structural mistakes (non-power-
+     * of-two cache sizes, zero banks/tiles/assoc, capacities that
+     * cannot hold a single set, ...). Returns one human-readable
+     * message per problem; empty means the config is runnable.
+     * runProgram() and the sweep engine call this and refuse to
+     * simulate a misconfigured system, so a bad knob fails loudly
+     * instead of producing silently wrong numbers.
+     */
+    std::vector<std::string> validate() const;
 
     /** The paper's default configuration for @p kind. */
     static SystemConfig paperDefault(SystemKind kind);

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <stdexcept>
 
 namespace fusion
@@ -10,6 +11,16 @@ namespace fusion
 
 namespace
 {
+
+// The debug-category registry is the only process-global mutable
+// state in the simulator; guard it so sweep worker threads can
+// trace concurrently while a test toggles categories.
+std::shared_mutex &
+categoryMutex()
+{
+    static std::shared_mutex mu;
+    return mu;
+}
 
 std::set<std::string, std::less<>> &
 categorySet()
@@ -54,12 +65,14 @@ informImpl(const std::string &msg)
 void
 Debug::enable(std::string_view category)
 {
+    std::unique_lock lk(categoryMutex());
     categorySet().emplace(category);
 }
 
 void
 Debug::disable(std::string_view category)
 {
+    std::unique_lock lk(categoryMutex());
     auto it = categorySet().find(category);
     if (it != categorySet().end())
         categorySet().erase(it);
@@ -68,6 +81,7 @@ Debug::disable(std::string_view category)
 bool
 Debug::enabled(std::string_view category)
 {
+    std::shared_lock lk(categoryMutex());
     return categorySet().find(category) != categorySet().end();
 }
 

@@ -1,0 +1,246 @@
+#include "sweep/sweep.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+namespace fusion::sweep
+{
+
+namespace
+{
+
+/**
+ * Thread-safe build-once cache of traced programs, keyed by
+ * (workload, scale). The first worker to need a program builds it;
+ * concurrent requesters for the same key block on its slot while
+ * other keys build in parallel.
+ */
+class ProgramCache
+{
+  public:
+    std::shared_ptr<const trace::Program>
+    get(const std::string &workload, workloads::Scale scale)
+    {
+        Key key{workload, static_cast<int>(scale)};
+        std::shared_ptr<Slot> slot;
+        bool builder = false;
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            auto [it, inserted] =
+                _slots.try_emplace(key, nullptr);
+            if (inserted)
+                it->second = std::make_shared<Slot>();
+            slot = it->second;
+            if (!slot->claimed) {
+                slot->claimed = true;
+                builder = true;
+            }
+        }
+        if (builder) {
+            auto w = workloads::makeWorkload(workload);
+            fusion_assert(w, "sweep job validated but workload '",
+                          workload, "' vanished");
+            auto prog = std::make_shared<const trace::Program>(
+                w->build(scale));
+            {
+                std::lock_guard<std::mutex> lk(slot->mu);
+                slot->prog = std::move(prog);
+            }
+            slot->cv.notify_all();
+        }
+        std::unique_lock<std::mutex> lk(slot->mu);
+        slot->cv.wait(lk, [&] { return slot->prog != nullptr; });
+        return slot->prog;
+    }
+
+  private:
+    using Key = std::pair<std::string, int>;
+
+    struct Slot
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool claimed = false; ///< guarded by ProgramCache::_mu
+        std::shared_ptr<const trace::Program> prog;
+    };
+
+    std::mutex _mu;
+    std::map<Key, std::shared_ptr<Slot>> _slots;
+};
+
+/** Reject bad jobs before any thread starts simulating. */
+void
+validateJobs(const std::vector<SweepJob> &jobs)
+{
+    std::ostringstream errs;
+    bool bad = false;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob &j = jobs[i];
+        auto label = [&]() -> std::string {
+            return "job " + std::to_string(i) +
+                   (j.tag.empty() ? "" : " (" + j.tag + ")");
+        };
+        if (!j.prog && !workloads::makeWorkload(j.workload)) {
+            bad = true;
+            errs << "\n  " << label() << ": unknown workload '"
+                 << j.workload << "' (known:";
+            for (const auto &n : workloads::workloadNames())
+                errs << ' ' << n;
+            errs << ')';
+        }
+        for (const std::string &e : j.cfg.validate()) {
+            bad = true;
+            errs << "\n  " << label() << ": " << e;
+        }
+    }
+    if (bad)
+        fusion_fatal("invalid sweep job list:", errs.str());
+}
+
+} // namespace
+
+std::size_t
+defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::vector<core::RunResult>
+runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opt)
+{
+    validateJobs(jobs);
+
+    std::vector<core::RunResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    ProgramCache cache;
+    std::atomic<std::size_t> next{0};
+    std::mutex progressMu;
+    std::size_t completed = 0;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            const SweepJob &j = jobs[i];
+            std::shared_ptr<const trace::Program> prog =
+                j.prog ? j.prog : cache.get(j.workload, j.scale);
+            // Each job gets its own System and therefore its own
+            // SimContext/event queue: no state crosses jobs.
+            core::System sys(j.cfg, *prog);
+            results[i] = sys.run();
+            {
+                std::lock_guard<std::mutex> lk(progressMu);
+                ++completed;
+                if (opt.progress)
+                    opt.progress(SweepProgress{completed,
+                                               jobs.size(), i, &j});
+            }
+        }
+    };
+
+    std::size_t workers =
+        std::max<std::size_t>(1, std::min(opt.jobs, jobs.size()));
+    if (workers == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    return results;
+}
+
+std::string
+reportJson(const std::string &sweepName,
+           const std::vector<SweepJob> &jobs,
+           const std::vector<core::RunResult> &results)
+{
+    fusion_assert(jobs.size() == results.size(),
+                  "report jobs/results size mismatch: ",
+                  jobs.size(), " vs ", results.size());
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+    auto scaleName = [](workloads::Scale s) {
+        switch (s) {
+          case workloads::Scale::Small:
+            return "small";
+          case workloads::Scale::Paper:
+            return "paper";
+          case workloads::Scale::Large:
+            return "large";
+        }
+        return "?";
+    };
+
+    std::ostringstream os;
+    os << "{\"sweep\":\"" << escape(sweepName) << "\",\"jobs\":[";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob &j = jobs[i];
+        const core::SystemConfig &c = j.cfg;
+        os << (i ? ",\n" : "\n") << "{\"index\":" << i
+           << ",\"tag\":\"" << escape(j.tag) << '"'
+           << ",\"workload\":\"" << escape(j.workload) << '"'
+           << ",\"scale\":\"" << scaleName(j.scale) << '"'
+           << ",\"config\":{"
+           << "\"system\":\"" << core::systemKindName(c.kind) << '"'
+           << ",\"scratchpadBytes\":" << c.scratchpadBytes
+           << ",\"l0xBytes\":" << c.l0xBytes
+           << ",\"l0xAssoc\":" << c.l0xAssoc
+           << ",\"l1xBytes\":" << c.l1xBytes
+           << ",\"l1xAssoc\":" << c.l1xAssoc
+           << ",\"l1xBanks\":" << c.l1xBanks
+           << ",\"l0xWriteThrough\":"
+           << (c.l0xWriteThrough ? "true" : "false")
+           << ",\"overlapInvocations\":"
+           << (c.overlapInvocations ? "true" : "false")
+           << ",\"numTiles\":" << c.numTiles
+           << ",\"dmaMaxOutstanding\":" << c.dmaMaxOutstanding
+           << "},\"result\":" << results[i].toJson() << '}';
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+void
+writeReport(std::ostream &os, const std::string &sweepName,
+            const std::vector<SweepJob> &jobs,
+            const std::vector<core::RunResult> &results)
+{
+    os << reportJson(sweepName, jobs, results);
+}
+
+void
+writeReportFile(const std::string &path,
+                const std::string &sweepName,
+                const std::vector<SweepJob> &jobs,
+                const std::vector<core::RunResult> &results)
+{
+    std::ofstream out(path);
+    if (!out)
+        fusion_fatal("cannot open sweep report file ", path);
+    writeReport(out, sweepName, jobs, results);
+}
+
+} // namespace fusion::sweep

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Parallel experiment sweep engine.
+ *
+ * Every figure/table of the paper's evaluation is a sweep: a list
+ * of independent (SystemConfig x workload) simulations whose
+ * results are rendered into one table. Each simulation is a
+ * deterministic, isolated event-queue run (its own SimContext), so
+ * sweeps parallelize perfectly across worker threads.
+ *
+ * The engine takes a job list, runs it on a fixed-size thread pool,
+ * and returns results ordered by submission index — regardless of
+ * completion order, the result vector is identical to a serial run.
+ * Programs are built on demand and shared: jobs naming the same
+ * (workload, scale) pair reuse one trace capture.
+ */
+
+#ifndef FUSION_SWEEP_SWEEP_HH
+#define FUSION_SWEEP_SWEEP_HH
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/results.hh"
+#include "core/system_config.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace fusion::sweep
+{
+
+/** One independent simulation of a sweep. */
+struct SweepJob
+{
+    /** System to simulate; validated before any job runs. */
+    core::SystemConfig cfg;
+    /** Workload name ("fft", ...); ignored when @ref prog is set. */
+    std::string workload;
+    workloads::Scale scale = workloads::Scale::Paper;
+    /** Harness-meaningful label carried into progress callbacks and
+     *  the JSON report ("fft/FU-Dx", "lt=4.0", ...). */
+    std::string tag;
+    /**
+     * Optional pre-built (possibly modified) program. When unset
+     * the engine builds @ref workload at @ref scale, caching one
+     * build per (workload, scale) across the whole sweep.
+     */
+    std::shared_ptr<const trace::Program> prog;
+};
+
+/** Snapshot passed to the progress callback after each completion. */
+struct SweepProgress
+{
+    std::size_t completed = 0; ///< jobs finished so far
+    std::size_t total = 0;     ///< jobs submitted
+    std::size_t index = 0;     ///< submission index of the finisher
+    const SweepJob *job = nullptr;
+};
+
+/** Called after every job completes; serialized by the engine. */
+using ProgressFn = std::function<void(const SweepProgress &)>;
+
+struct SweepOptions
+{
+    /** Worker threads; clamped to [1, jobs.size()]. 1 = in-caller
+     *  serial execution. */
+    std::size_t jobs = 1;
+    ProgressFn progress;
+};
+
+/** Hardware concurrency, clamped to at least 1. */
+std::size_t defaultJobs();
+
+/**
+ * Run every job and return results by submission index.
+ *
+ * Fails fast (fusion_fatal) before any simulation starts if a job
+ * names an unknown workload or its SystemConfig::validate() reports
+ * errors. Results do not depend on the worker count: job i's result
+ * is always at index i and each simulation runs in its own
+ * SimContext.
+ */
+std::vector<core::RunResult>
+runSweep(const std::vector<SweepJob> &jobs,
+         const SweepOptions &opt = {});
+
+/**
+ * Serialize a completed sweep as a JSON document: one entry per
+ * job, in submission order, pairing the job's tag/config with its
+ * full RunResult (RunResult::toJson()).
+ */
+std::string reportJson(const std::string &sweepName,
+                       const std::vector<SweepJob> &jobs,
+                       const std::vector<core::RunResult> &results);
+
+/** reportJson() to a stream. */
+void writeReport(std::ostream &os, const std::string &sweepName,
+                 const std::vector<SweepJob> &jobs,
+                 const std::vector<core::RunResult> &results);
+
+/** reportJson() to a file; fusion_fatal if it cannot be opened. */
+void writeReportFile(const std::string &path,
+                     const std::string &sweepName,
+                     const std::vector<SweepJob> &jobs,
+                     const std::vector<core::RunResult> &results);
+
+} // namespace fusion::sweep
+
+#endif // FUSION_SWEEP_SWEEP_HH

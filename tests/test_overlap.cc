@@ -185,7 +185,7 @@ TEST(Overlap, ScratchIgnoresOverlapFlag)
 TEST(Overlap, DeterministicAndCompleteOnRealWorkloads)
 {
     for (const char *name : {"disparity", "susan"}) {
-        trace::Program p = core::buildProgram(
+        trace::Program p = *core::buildProgram(
             name, workloads::Scale::Small);
         core::SystemConfig cfg = core::SystemConfig::paperDefault(
             core::SystemKind::Fusion);
@@ -206,7 +206,7 @@ TEST(Overlap, DeterministicAndCompleteOnRealWorkloads)
 TEST(Overlap, NeverSlowerThanSerial)
 {
     for (const char *name : {"fft", "disparity", "histogram"}) {
-        trace::Program p = core::buildProgram(
+        trace::Program p = *core::buildProgram(
             name, workloads::Scale::Small);
         core::SystemConfig serial = core::SystemConfig::paperDefault(
             core::SystemKind::Fusion);

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * The sweep engine's correctness anchor: the same job list run with
+ * 1 worker and with 8 workers produces byte-identical RunResults
+ * (via RunResult::toJson()), proving no mutable state is shared
+ * across concurrent simulations. Also covers the redesigned
+ * experiment API: SystemConfig::validate(), the optional-returning
+ * buildProgram(), progress-callback ordering, and the SweepReport.
+ *
+ * Built as its own binary so a ThreadSanitizer configuration
+ * (-DFUSION_TSAN=ON) can run exactly this suite.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+
+using namespace fusion;
+
+namespace
+{
+
+/** The cross-system job list used by the determinism tests. */
+std::vector<core::SweepJob>
+mixedJobs()
+{
+    std::vector<core::SweepJob> jobs;
+    for (const auto &name :
+         {std::string("fft"), std::string("adpcm"),
+          std::string("filter")}) {
+        for (auto kind :
+             {core::SystemKind::Scratch, core::SystemKind::Shared,
+              core::SystemKind::Fusion,
+              core::SystemKind::FusionDx}) {
+            core::SweepJob j;
+            j.cfg = core::SystemConfig::paperDefault(kind);
+            j.workload = name;
+            j.scale = workloads::Scale::Small;
+            j.tag = name + "/" + core::systemKindShortName(kind);
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(Sweep, ParallelMatchesSerialByteForByte)
+{
+    auto jobs = mixedJobs();
+
+    core::SweepOptions serial;
+    serial.jobs = 1;
+    auto r1 = core::runSweep(jobs, serial);
+
+    core::SweepOptions parallel;
+    parallel.jobs = 8;
+    auto r8 = core::runSweep(jobs, parallel);
+
+    ASSERT_EQ(r1.size(), jobs.size());
+    ASSERT_EQ(r8.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(r1[i].toJson(), r8[i].toJson())
+            << "job " << i << " (" << jobs[i].tag
+            << ") diverged between 1 and 8 workers";
+    }
+}
+
+TEST(Sweep, MatchesDirectRunProgram)
+{
+    auto prog = core::buildProgram("adpcm", workloads::Scale::Small);
+    ASSERT_TRUE(prog.has_value());
+    core::RunResult direct = core::runProgram(
+        core::SystemConfig::paperDefault(core::SystemKind::Fusion),
+        *prog);
+
+    core::SweepJob j;
+    j.cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    j.workload = "adpcm";
+    j.scale = workloads::Scale::Small;
+    core::SweepOptions opt;
+    opt.jobs = 4;
+    auto results = core::runSweep({j, j, j}, opt);
+
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto &r : results)
+        EXPECT_EQ(r.toJson(), direct.toJson());
+}
+
+TEST(Sweep, SharedPrebuiltProgramAcrossWorkers)
+{
+    auto prog = std::make_shared<const trace::Program>(
+        *core::buildProgram("fft", workloads::Scale::Small));
+    std::vector<core::SweepJob> jobs;
+    for (std::uint64_t l0x : {1024ull, 2048ull, 4096ull, 8192ull}) {
+        core::SweepJob j;
+        j.cfg = core::SystemConfig::paperDefault(
+            core::SystemKind::Fusion);
+        j.cfg.l0xBytes = l0x;
+        j.workload = "fft";
+        j.prog = prog;
+        jobs.push_back(std::move(j));
+    }
+    core::SweepOptions opt;
+    opt.jobs = 4;
+    auto par = core::runSweep(jobs, opt);
+    opt.jobs = 1;
+    auto ser = core::runSweep(jobs, opt);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(par[i].toJson(), ser[i].toJson());
+}
+
+TEST(Sweep, ProgressReportsEveryJobExactlyOnce)
+{
+    auto jobs = mixedJobs();
+    std::atomic<std::size_t> calls{0};
+    std::set<std::size_t> seen;
+    std::size_t last_completed = 0;
+    bool monotone = true;
+    core::SweepOptions opt;
+    opt.jobs = 8;
+    // The engine serializes progress callbacks, so plain containers
+    // are safe here.
+    opt.progress = [&](const core::SweepProgress &p) {
+        ++calls;
+        seen.insert(p.index);
+        monotone = monotone && p.completed == last_completed + 1;
+        last_completed = p.completed;
+        EXPECT_EQ(p.total, 12u);
+        EXPECT_NE(p.job, nullptr);
+    };
+    core::runSweep(jobs, opt);
+    EXPECT_EQ(calls.load(), jobs.size());
+    EXPECT_EQ(seen.size(), jobs.size());
+    EXPECT_TRUE(monotone) << "completed counter skipped or repeated";
+}
+
+TEST(Sweep, EmptyJobListIsFine)
+{
+    auto results = core::runSweep({}, core::SweepOptions{8, {}});
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(Sweep, ReportJsonPairsJobsWithResults)
+{
+    core::SweepJob j;
+    j.cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::Scratch);
+    j.workload = "adpcm";
+    j.scale = workloads::Scale::Small;
+    j.tag = "adpcm/SC";
+    auto results = core::runSweep({j});
+    std::string json =
+        sweep::reportJson("unit", {j}, results);
+
+    EXPECT_NE(json.find("\"sweep\":\"unit\""), std::string::npos);
+    EXPECT_NE(json.find("\"tag\":\"adpcm\\/SC\"") != std::string::npos ||
+                      json.find("\"tag\":\"adpcm/SC\"") !=
+                          std::string::npos,
+              false);
+    EXPECT_NE(json.find("\"system\":\"SCRATCH\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"accelCycles\":"), std::string::npos);
+    // The embedded result is the job's toJson, verbatim.
+    EXPECT_NE(json.find(results[0].toJson()), std::string::npos);
+}
+
+TEST(RunResult, ToJsonIsStableAndEscapes)
+{
+    core::RunResult r;
+    r.workload = "we\"ird";
+    r.kind = core::SystemKind::Fusion;
+    r.accelCycles = 42;
+    r.energyPj["l0x"] = 1.5;
+    r.invocationCycles = {1, 2, 3};
+    std::string a = r.toJson();
+    std::string b = r.toJson();
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"workload\":\"we\\\"ird\""),
+              std::string::npos);
+    EXPECT_NE(a.find("\"accelCycles\":42"), std::string::npos);
+    EXPECT_NE(a.find("\"invocationCycles\":[1,2,3]"),
+              std::string::npos);
+}
+
+TEST(SystemConfig, ValidateAcceptsPaperDefaults)
+{
+    for (auto kind :
+         {core::SystemKind::Scratch, core::SystemKind::Shared,
+          core::SystemKind::Fusion, core::SystemKind::FusionDx,
+          core::SystemKind::FusionMesi}) {
+        EXPECT_TRUE(core::SystemConfig::paperDefault(kind)
+                        .validate()
+                        .empty());
+        EXPECT_TRUE(
+            core::SystemConfig::axcLarge(kind).validate().empty());
+    }
+}
+
+TEST(SystemConfig, ValidateCatchesMisconfiguration)
+{
+    core::SystemConfig cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    cfg.l0xBytes = 3000; // not a power of two
+    cfg.l1xBanks = 0;
+    cfg.numTiles = 0;
+    auto errs = cfg.validate();
+    ASSERT_EQ(errs.size(), 3u);
+    auto joined = [&] {
+        std::string s;
+        for (const auto &e : errs)
+            s += e + "\n";
+        return s;
+    }();
+    EXPECT_NE(joined.find("L0X capacity"), std::string::npos);
+    EXPECT_NE(joined.find("L1X bank count"), std::string::npos);
+    EXPECT_NE(joined.find("numTiles"), std::string::npos);
+}
+
+TEST(SystemConfig, ValidateCatchesTinyCapacity)
+{
+    core::SystemConfig cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    cfg.l0xBytes = 128; // 2 lines, but 4-way: can't hold one set
+    auto errs = cfg.validate();
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_NE(errs[0].find("cannot hold one 4-way set"),
+              std::string::npos);
+}
+
+TEST(Runner, BuildProgramReturnsNulloptForUnknownNames)
+{
+    EXPECT_FALSE(
+        core::buildProgram("nope", workloads::Scale::Small)
+            .has_value());
+    EXPECT_TRUE(
+        core::buildProgram("adpcm", workloads::Scale::Small)
+            .has_value());
+    std::string msg = core::unknownWorkloadMessage("nope");
+    EXPECT_NE(msg.find("unknown workload 'nope'"),
+              std::string::npos);
+    for (const auto &n : workloads::workloadNames())
+        EXPECT_NE(msg.find(n), std::string::npos);
+}
+
+TEST(Sweep, InvalidJobsDieBeforeSimulating)
+{
+    std::vector<core::SweepJob> jobs;
+    core::SweepJob j;
+    j.cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    j.workload = "not-a-workload";
+    j.scale = workloads::Scale::Small;
+    jobs.push_back(j);
+    EXPECT_EXIT(core::runSweep(jobs),
+                ::testing::ExitedWithCode(1),
+                "unknown workload 'not-a-workload'");
+}
+
+TEST(Sweep, WriteReportFileRoundTrips)
+{
+    core::SweepJob j;
+    j.cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    j.workload = "adpcm";
+    j.scale = workloads::Scale::Small;
+    j.tag = "rt";
+    auto results = core::runSweep({j});
+
+    std::string path = ::testing::TempDir() + "sweep_rt.json";
+    sweep::writeReportFile(path, "roundtrip", {j}, results);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(),
+              sweep::reportJson("roundtrip", {j}, results));
+    std::remove(path.c_str());
+}

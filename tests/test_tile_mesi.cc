@@ -119,7 +119,7 @@ TEST(TileMesi, EndToEndAllWorkloads)
 {
     for (const auto &name : workloads::workloadNames()) {
         trace::Program p =
-            core::buildProgram(name, workloads::Scale::Small);
+            *core::buildProgram(name, workloads::Scale::Small);
         core::RunResult r = core::runProgram(
             core::SystemConfig::paperDefault(
                 core::SystemKind::FusionMesi),
@@ -136,7 +136,7 @@ TEST(TileMesi, OverlapAmplifiesMesiTraffic)
     // Under concurrency, write sharing ping-pongs between L0Xs in
     // MESI while ACC serializes at the L1X without probes.
     trace::Program p =
-        core::buildProgram("disparity", workloads::Scale::Small);
+        *core::buildProgram("disparity", workloads::Scale::Small);
     auto run = [&](core::SystemKind k, bool overlap) {
         auto cfg = core::SystemConfig::paperDefault(k);
         cfg.overlapInvocations = overlap;
@@ -153,7 +153,7 @@ TEST(TileMesi, OverlapAmplifiesMesiTraffic)
 TEST(TileMesi, DeterministicRuns)
 {
     trace::Program p =
-        core::buildProgram("adpcm", workloads::Scale::Small);
+        *core::buildProgram("adpcm", workloads::Scale::Small);
     auto cfg = core::SystemConfig::paperDefault(
         core::SystemKind::FusionMesi);
     core::RunResult a = core::runProgram(cfg, p);
