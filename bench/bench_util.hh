@@ -10,9 +10,14 @@
  *   --small       fast CI-size inputs (default: paper scale)
  *   --jobs N      sweep worker threads (default: hardware threads)
  *   --json FILE   also write the machine-readable SweepReport
+ *   --guard       enable the hardening layer (watchdog + periodic
+ *                 invariant checkers; docs/HARDENING.md)
  *
  * Output is identical for every --jobs value: results land by
- * submission index regardless of completion order.
+ * submission index regardless of completion order. When any sweep
+ * entry fails, the harness prints a one-line summary of the failed
+ * jobs on stderr and exits with status 2 (the SweepReport, when
+ * requested, still records every job including the failures).
  */
 
 #ifndef FUSION_BENCH_BENCH_UTIL_HH
@@ -39,18 +44,22 @@ struct Options
     workloads::Scale scale = workloads::Scale::Paper;
     std::size_t jobs = sweep::defaultJobs();
     std::string jsonPath;
+    bool guard = false;
 };
 
 inline void
 usage(const char *argv0)
 {
-    std::printf("usage: %s [--small] [--jobs N] [--json FILE]\n"
+    std::printf("usage: %s [--small] [--jobs N] [--json FILE] "
+                "[--guard]\n"
                 "  --small      CI-size inputs (default: paper "
                 "scale)\n"
                 "  --jobs N     parallel sweep workers (default: "
                 "%zu)\n"
                 "  --json FILE  write the machine-readable sweep "
-                "report\n",
+                "report\n"
+                "  --guard      enable watchdog + invariant "
+                "checkers (docs/HARDENING.md)\n",
                 argv0, sweep::defaultJobs());
 }
 
@@ -86,6 +95,8 @@ parseArgs(int argc, char **argv,
             opt.jobs = static_cast<std::size_t>(n);
         } else if (a == "--json") {
             opt.jsonPath = next();
+        } else if (a == "--guard") {
+            opt.guard = true;
         } else if (a == "-h" || a == "--help") {
             usage(argv[0]);
             std::exit(0);
@@ -119,11 +130,33 @@ job(core::SystemKind kind, const std::string &workload,
  * submission index, so table-rendering code indexes them exactly as
  * it pushed the jobs.
  */
+/** The --guard knob set: liveness + safety checks, no fault plan. */
+inline guard::GuardConfig
+guardChecks()
+{
+    guard::GuardConfig g;
+    g.noProgressTicks = 1u << 20;
+    g.invariantPeriod = 256;
+    g.invariantsAtEnd = true;
+    return g;
+}
+
 inline std::vector<core::RunResult>
 runSweep(const char *sweepName,
          const std::vector<sweep::SweepJob> &jobs,
          const Options &opt)
 {
+    // --guard instruments every job; jobs are otherwise untouched,
+    // so a guard-off harness run stays byte-identical.
+    std::vector<sweep::SweepJob> guarded;
+    const std::vector<sweep::SweepJob> *list = &jobs;
+    if (opt.guard) {
+        guarded = jobs;
+        for (auto &j : guarded)
+            j.cfg.guard = guardChecks();
+        list = &guarded;
+    }
+
     sweep::SweepOptions so;
     so.jobs = opt.jobs;
     if (isatty(STDERR_FILENO)) {
@@ -134,12 +167,34 @@ runSweep(const char *sweepName,
                 std::fprintf(stderr, "\n");
         };
     }
-    auto results = core::runSweep(jobs, so);
+    auto results = core::runSweep(*list, so);
     if (!opt.jsonPath.empty()) {
-        sweep::writeReportFile(opt.jsonPath, sweepName, jobs,
+        sweep::writeReportFile(opt.jsonPath, sweepName, *list,
                                results);
         std::fprintf(stderr, "sweep report written to %s\n",
                      opt.jsonPath.c_str());
+    }
+
+    // Fault isolation: failed jobs are recorded, siblings complete;
+    // the harness reports them once, in one line, and exits nonzero.
+    std::size_t failed = 0;
+    std::string summary;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].failed())
+            continue;
+        ++failed;
+        if (!summary.empty())
+            summary += ", ";
+        summary += (*list)[i].tag;
+        summary += " (";
+        summary +=
+            guard::errorCategoryName(results[i].error->category);
+        summary += ")";
+    }
+    if (failed != 0) {
+        std::fprintf(stderr, "%zu/%zu sweep job(s) FAILED: %s\n",
+                     failed, results.size(), summary.c_str());
+        std::exit(2);
     }
     return results;
 }

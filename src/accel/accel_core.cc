@@ -13,6 +13,20 @@ AccelCore::AccelCore(SimContext &ctx, const AccelCoreParams &p,
     _stats = &ctx.stats.root()
                   .child("axc" + std::to_string(id))
                   .child("core");
+
+    ctx.guard.registerSnapshot(
+        "axc" + std::to_string(id), [this] {
+            guard::ComponentState s;
+            s.outstanding = _outstandingLoads + _outstandingStores;
+            if (_active) {
+                s.detail = "op " + std::to_string(_pos) + "/" +
+                           std::to_string(_end) + " loads=" +
+                           std::to_string(_outstandingLoads) +
+                           " stores=" +
+                           std::to_string(_outstandingStores);
+            }
+            return s;
+        });
 }
 
 void
@@ -74,6 +88,7 @@ AccelCore::pump()
                 --_outstandingStores;
             else
                 --_outstandingLoads;
+            _ctx.guard.noteProgress();
             if (!_pumpScheduled) {
                 _pumpScheduled = true;
                 _ctx.eq.scheduleIn(0, [this] { pump(); });

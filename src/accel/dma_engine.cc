@@ -11,6 +11,32 @@ DmaEngine::DmaEngine(SimContext &ctx, const DmaParams &p,
     : _ctx(ctx), _p(p), _llc(llc), _link(dma_link), _pt(pt)
 {
     _stats = &ctx.stats.root().child("dma");
+
+    ctx.guard.registerSnapshot("dma", [this] {
+        guard::ComponentState s;
+        s.outstanding = _outstanding;
+        if (_state != DmaState::Idle) {
+            s.detail = std::string(_state == DmaState::Fill
+                                       ? "fill"
+                                       : "drain") +
+                       " pos=" + std::to_string(_pos) + "/" +
+                       std::to_string(_lines ? _lines->size() : 0);
+        }
+        return s;
+    });
+    ctx.guard.registerInvariant(
+        "dma", [this](const guard::InvariantContext &ic,
+                      std::vector<std::string> &out) {
+            if (!ic.atEnd)
+                return;
+            if (_state != DmaState::Idle)
+                out.push_back("engine not idle at end-of-sim");
+            if (_outstanding != 0) {
+                out.push_back(
+                    std::to_string(_outstanding) +
+                    " transfer(s) outstanding at end-of-sim");
+            }
+        });
 }
 
 void
@@ -63,6 +89,7 @@ DmaEngine::pump()
         _spm->dmaLineAccess(!is_drain);
         auto completion = [this] {
             --_outstanding;
+            _ctx.guard.noteProgress();
             pump();
         };
         if (is_drain) {

@@ -1,5 +1,7 @@
 #include "accel/l0x.hh"
 
+#include <sstream>
+
 #include "energy/sram_model.hh"
 #include "sim/logging.hh"
 
@@ -13,6 +15,18 @@ namespace
 /// Word-granularity accelerator accesses cost a fraction of a full
 /// line read (only one subarray word line fires).
 constexpr double kWordAccessScale = 0.5;
+
+/** Render sorted line addresses as "[0x40,0x80,...]". */
+std::string
+hexLines(const std::vector<Addr> &lines)
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < lines.size(); ++i)
+        os << (i ? "," : "") << "0x" << std::hex << lines[i];
+    os << ']';
+    return os.str();
+}
 } // namespace
 
 L0x::L0x(SimContext &ctx, const L0xParams &p, L1xAcc &l1x,
@@ -30,6 +44,35 @@ L0x::L0x(SimContext &ctx, const L0xParams &p, L1xAcc &l1x,
     _fig = energy::evaluateSram(sp);
     _setWbTime.assign(_tags.numSets(), kTickNever);
     _stats = &ctx.stats.root().child(p.name);
+
+    ctx.guard.registerSnapshot(p.name, [this] {
+        guard::ComponentState s;
+        s.outstanding = _mshrs.size();
+        if (_mshrs.size() != 0)
+            s.detail = "mshr_lines=" + hexLines(_mshrs.pendingLines());
+        return s;
+    });
+    ctx.guard.registerInvariant(
+        p.name,
+        [this](const guard::InvariantContext &ic,
+               std::vector<std::string> &out) {
+            if (!ic.atEnd)
+                return;
+            // End-of-sim: every miss completed and every write
+            // epoch expired + wrote back (MSHR/writeback leaks).
+            if (_mshrs.size() != 0) {
+                out.push_back(
+                    "leaked MSHRs at end-of-sim: " +
+                    hexLines(_mshrs.pendingLines()));
+            }
+            _tags.forEachValid([&](const mem::CacheLine &l) {
+                if (l.dirty) {
+                    out.push_back(
+                        "dirty line at end-of-sim: " +
+                        hexLines({l.lineAddr}));
+                }
+            });
+        });
 }
 
 void
@@ -144,6 +187,10 @@ L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
 void
 L0x::requestMiss(Addr vline, bool is_write, bool need_data)
 {
+    // Fault injection: swallow the request after booking the MSHR,
+    // leaving the miss permanently in flight (watchdog test).
+    if (_ctx.guard.fireFault(guard::FaultKind::LeakMshr))
+        return;
     // Request message crosses the L0X->L1X link.
     _tileLink->book(MsgClass::Control);
     _ctx.eq.scheduleIn(
@@ -171,8 +218,13 @@ L0x::onGrant(Addr vline, bool is_write, Tick lease_end)
         line->ltime = lease_end;
     if (is_write)
         line->wepochEnd = lease_end;
+    // Fault injection: hold the line past the granted lease, a
+    // direct ACC lease-validity violation (invariant test).
+    if (_ctx.guard.fireFault(guard::FaultKind::CorruptLease))
+        line->ltime += _ctx.guard.faultDelay();
     _tags.touch(*line);
     _mshrs.complete(vline);
+    _ctx.guard.noteProgress();
 }
 
 mem::CacheLine *
@@ -287,6 +339,14 @@ L0x::emitDirtyLine(mem::CacheLine &line, bool allow_forward)
             _tags.invalidate(line);
             return;
         }
+    }
+
+    // Fault injection: clean the local copy but never send the
+    // writeback, leaving the L1X write-epoch lock held forever.
+    if (_ctx.guard.fireFault(guard::FaultKind::DropWriteback)) {
+        line.dirty = false;
+        line.wepochEnd = 0;
+        return;
     }
 
     ++_writebacks;

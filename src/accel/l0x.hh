@@ -110,6 +110,16 @@ class L0x : public MemPort
     std::uint64_t forwardsOut() const { return _forwardsOut; }
     Cycles latency() const { return _fig.latency; }
 
+    /** Iterate valid lines (guard invariant checkers). */
+    void
+    forEachValidLine(
+        const std::function<void(const mem::CacheLine &)> &fn) const
+    {
+        _tags.forEachValid(fn);
+    }
+    /** In-flight misses (guard snapshots / leak checks). */
+    std::size_t outstandingMshrs() const { return _mshrs.size(); }
+
   private:
     void lookup(Addr vline, bool is_write, PortDone done,
                 bool is_retry = false);

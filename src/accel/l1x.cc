@@ -1,5 +1,7 @@
 #include "accel/l1x.hh"
 
+#include <sstream>
+
 #include "energy/sram_model.hh"
 #include "sim/logging.hh"
 
@@ -28,6 +30,77 @@ L1xAcc::L1xAcc(SimContext &ctx, const L1xParams &p, host::Llc &llc,
     _fig = energy::evaluateSram(sp);
     _agentId = llc.registerAgent(this, llc_link, p.ringNode);
     _stats = &ctx.stats.root().child(p.name);
+
+    ctx.guard.registerSnapshot(p.name, [this] {
+        guard::ComponentState s;
+        std::uint64_t stalled = 0;
+        for (const auto &[key, q] : _stalled)
+            stalled += q.size();
+        s.outstanding = _mshrs.size() + stalled + _wbBuffer.size();
+        if (s.outstanding != 0) {
+            std::ostringstream os;
+            os << "mshrs=" << _mshrs.size() << " stalled=" << stalled
+               << " wbbuf=" << _wbBuffer.size();
+            s.detail = os.str();
+        }
+        return s;
+    });
+    ctx.guard.registerInvariant(
+        _name,
+        [this](const guard::InvariantContext &ic,
+               std::vector<std::string> &out) {
+            _tags.forEachValid([&](const mem::CacheLine &l) {
+                // A locked line's write epoch is covered by the
+                // lease the L1X granted (GTIME bounds every copy).
+                if (l.locked && l.gtime < l.wepochEnd) {
+                    std::ostringstream os;
+                    os << "write epoch beyond GTIME @ 0x" << std::hex
+                       << l.lineAddr;
+                    out.push_back(os.str());
+                }
+                // MESI agreement: the tile fetches exclusively, so
+                // every quiesced resident line must be recorded as
+                // owned by this agent at the host directory.
+                if (!_llc.dirBusy(l.pline) &&
+                    !_llc.isOwner(_agentId, l.pline)) {
+                    std::ostringstream os;
+                    os << "resident line not owned per directory @ "
+                          "0x"
+                       << std::hex << l.lineAddr << " (pa 0x"
+                       << l.pline << ")";
+                    out.push_back(os.str());
+                }
+            });
+            if (!ic.atEnd)
+                return;
+            std::uint64_t locked = 0;
+            _tags.forEachValid([&](const mem::CacheLine &l) {
+                if (l.locked)
+                    ++locked;
+            });
+            if (locked != 0) {
+                out.push_back(
+                    std::to_string(locked) +
+                    " line(s) still write-locked at end-of-sim");
+            }
+            if (_mshrs.size() != 0) {
+                out.push_back("leaked MSHRs at end-of-sim: " +
+                              std::to_string(_mshrs.size()));
+            }
+            std::uint64_t stalled = 0;
+            for (const auto &[key, q] : _stalled)
+                stalled += q.size();
+            if (stalled != 0) {
+                out.push_back(
+                    std::to_string(stalled) +
+                    " request(s) still stalled at end-of-sim");
+            }
+            if (!_wbBuffer.empty()) {
+                out.push_back(
+                    std::to_string(_wbBuffer.size()) +
+                    " writeback-buffer entry(ies) at end-of-sim");
+            }
+        });
 }
 
 void
@@ -205,7 +278,12 @@ L1xAcc::grant(mem::CacheLine &line, Cycles lease_len, bool is_write,
     _tags.touch(line);
     // Response to the L0X: data for fills, 1-flit grant otherwise.
     _tileLink->book(need_data ? MsgClass::Data : MsgClass::Control);
-    _ctx.eq.scheduleIn(_tileLink->latency(),
+    Cycles resp_lat = _tileLink->latency();
+    // Fault injection: hold one grant response back (no-progress
+    // detector test).
+    if (_ctx.guard.fireFault(guard::FaultKind::DelayGrant))
+        resp_lat += _ctx.guard.faultDelay();
+    _ctx.eq.scheduleIn(resp_lat,
                        [end, done = std::move(done)]() {
                            done(LeaseGrant{end});
                        });
@@ -349,6 +427,17 @@ L1xAcc::tryRespondWbBuf(std::uint64_t id)
     _wbBuffer.erase(it);
     // The tile relinquishes: never retains a shared copy.
     done(dirty, false);
+}
+
+bool
+L1xAcc::hasWbBufferedLine(Addr vline, Pid pid) const
+{
+    vline = lineAlign(vline);
+    for (const auto &w : _wbBuffer) {
+        if (w.vline == vline && w.pid == pid)
+            return true;
+    }
+    return false;
 }
 
 void

@@ -124,6 +124,16 @@ class L1xAcc : public coherence::CoherentAgent
     /** Flush every line to the host (end-of-program barrier). */
     void flushAll();
 
+    // Guard hooks (tile-level invariant checkers).
+    /** Valid line lookup without side effects. */
+    const mem::CacheLine *
+    findLine(Addr vline, Pid pid) const
+    {
+        return _tags.find(lineAlign(vline), pid);
+    }
+    /** Is the line parked in the host-demand writeback buffer? */
+    bool hasWbBufferedLine(Addr vline, Pid pid) const;
+
   private:
     struct WbBufEntry
     {

@@ -166,6 +166,10 @@ RunResult::toJson() const
     putUint(os, "l0xForwards", l0xForwards);
     putUint(os, "l1xHits", l1xHits);
     putUint(os, "l1xMisses", l1xMisses);
+    // Only failed runs carry the error object, keeping healthy
+    // output byte-identical to pre-hardening reports.
+    if (error)
+        os << ",\"error\":" << error->toJson();
     os << '}';
     return os.str();
 }

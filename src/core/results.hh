@@ -9,10 +9,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 #include <string>
 
 #include "core/system_config.hh"
+#include "sim/guard/sim_error.hh"
 #include "sim/types.hh"
 
 namespace fusion::core
@@ -71,6 +73,15 @@ struct RunResult
     std::uint64_t l0xForwards = 0;
     std::uint64_t l1xHits = 0;
     std::uint64_t l1xMisses = 0;
+
+    /**
+     * Set when the run failed: the typed error (category, component,
+     * tick, diagnostic dump) the hardening layer surfaced instead of
+     * aborting. Every metric above is zero/empty on a failed run.
+     */
+    std::optional<guard::SimError> error;
+    /** True when the run ended in a SimError. */
+    bool failed() const { return error.has_value(); }
 
     /** Total accelerator-side cache energy (L0X/SPM + L1X), the
      *  Table 5 "AXC Cache" column. */

@@ -16,8 +16,18 @@ runProgram(const SystemConfig &cfg, const trace::Program &prog)
             joined += "\n  " + e;
         fusion_fatal("invalid SystemConfig:", joined);
     }
-    System sys(cfg, prog);
-    return sys.run();
+    try {
+        System sys(cfg, prog);
+        return sys.run();
+    } catch (const guard::SimErrorException &ex) {
+        // Fault isolation: surface the typed failure in the result
+        // instead of crashing the caller.
+        RunResult r;
+        r.workload = prog.name;
+        r.kind = cfg.kind;
+        r.error = ex.error();
+        return r;
+    }
 }
 
 std::vector<RunResult>

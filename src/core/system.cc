@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/guard/watchdog.hh"
 #include "sim/logging.hh"
 
 namespace fusion::core
@@ -68,6 +69,11 @@ class System::SharedFrontend : public accel::MemPort
 System::System(const SystemConfig &cfg, const trace::Program &prog)
     : _cfg(cfg), _prog(prog)
 {
+    // Arm the hardening layer before any component constructs, so
+    // components can self-register snapshots and invariants in
+    // deterministic (construction) order.
+    _ctx.guard.configure(cfg.guard);
+
     // Map every traced virtual page up front (the OS would have
     // faulted them in during the original execution).
     auto map_ops = [this](const std::vector<trace::TraceOp> &ops) {
@@ -229,6 +235,11 @@ System::run()
 {
     bool finished = false;
 
+    // Bind this thread's panics to our clock and stand up the
+    // forward-progress watchdog for the duration of the run.
+    guard::TickScope tick_scope(_ctx.eq);
+    guard::Watchdog wd(_ctx.guard, _ctx.eq);
+
     _ctx.eq.scheduleIn(0, [this, &finished] {
         _hostCore->run(_prog.hostInit, _prog.pid, [this, &finished] {
             _accelStart = _ctx.now();
@@ -254,12 +265,13 @@ System::run()
     // housekeeping (self-downgrades schedule into the future).
     Tick finish_tick = 0;
     while (!_ctx.eq.empty()) {
+        wd.beforeStep();
         _ctx.eq.step();
         if (finished && finish_tick == 0)
             finish_tick = _ctx.now();
     }
-    fusion_assert(finished, "simulation deadlocked: ",
-                  _ctx.eq.pending(), " events pending");
+    wd.onDrained(finished);
+    wd.atEnd();
 
     RunResult r;
     r.workload = _prog.name;

@@ -14,6 +14,7 @@
 #include "host/llc.hh"
 #include "mem/cache_array.hh"
 #include "mem/dram.hh"
+#include "sim/guard/guard_config.hh"
 #include "sim/types.hh"
 
 namespace fusion::core
@@ -77,6 +78,11 @@ struct SystemConfig
     /// (ACP/PowerBus-style engines pipeline only a couple of
     /// coherent line transactions).
     std::uint32_t dmaMaxOutstanding = 2;
+    /// Hardening layer: watchdog budgets, periodic invariant
+    /// checking, fault injection (docs/HARDENING.md). All off by
+    /// default — a default run is byte-identical with or without
+    /// the guard subsystem compiled in.
+    guard::GuardConfig guard;
 
     /**
      * Check the configuration for structural mistakes (non-power-

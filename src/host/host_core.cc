@@ -9,6 +9,15 @@ HostCore::HostCore(SimContext &ctx, const HostCoreParams &p,
                    HostL1 &l1, const vm::PageTable &pt)
     : _ctx(ctx), _p(p), _l1(l1), _pt(pt)
 {
+    ctx.guard.registerSnapshot("host.core", [this] {
+        guard::ComponentState s;
+        s.outstanding = _outstandingLoads + _outstandingStores;
+        if (_active) {
+            s.detail = "op " + std::to_string(_pos) + "/" +
+                       std::to_string(_ops ? _ops->size() : 0);
+        }
+        return s;
+    });
 }
 
 void
@@ -61,6 +70,7 @@ HostCore::pump()
                 --_outstandingStores;
             else
                 --_outstandingLoads;
+            _ctx.guard.noteProgress();
             if (!_pumpScheduled) {
                 _pumpScheduled = true;
                 _ctx.eq.scheduleIn(0, [this] { pump(); });

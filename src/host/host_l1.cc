@@ -1,5 +1,8 @@
 #include "host/host_l1.hh"
 
+#include <sstream>
+#include <vector>
+
 #include "energy/sram_model.hh"
 #include "sim/logging.hh"
 
@@ -28,6 +31,41 @@ HostL1::HostL1(SimContext &ctx, const HostL1Params &p, Llc &llc,
     _wordAccessScale = p.wordAccessScale;
     _agentId = llc.registerAgent(this, llc_link, p.ringNode);
     _stats = &ctx.stats.root().child(p.name);
+
+    ctx.guard.registerSnapshot(_name, [this] {
+        guard::ComponentState s;
+        s.outstanding = _mshrs.size();
+        if (s.outstanding != 0)
+            s.detail = "mshrs=" + std::to_string(_mshrs.size());
+        return s;
+    });
+    ctx.guard.registerInvariant(
+        _name,
+        [this](const guard::InvariantContext &ic,
+               std::vector<std::string> &out) {
+            // MESI agreement: every quiesced resident line must be
+            // recorded at the directory with a compatible state.
+            _tags.forEachValid([&](const mem::CacheLine &l) {
+                if (_llc.dirBusy(l.lineAddr))
+                    return;
+                bool excl = l.mesi == mem::MesiState::M ||
+                            l.mesi == mem::MesiState::E;
+                bool ok = excl
+                              ? _llc.isOwner(_agentId, l.lineAddr)
+                              : (_llc.isSharer(_agentId, l.lineAddr) ||
+                                 _llc.isOwner(_agentId, l.lineAddr));
+                if (!ok) {
+                    std::ostringstream os;
+                    os << "resident line not in directory @ 0x"
+                       << std::hex << l.lineAddr;
+                    out.push_back(os.str());
+                }
+            });
+            if (ic.atEnd && _mshrs.size() != 0) {
+                out.push_back("leaked MSHRs at end-of-sim: " +
+                              std::to_string(_mshrs.size()));
+            }
+        });
 }
 
 void

@@ -1,6 +1,8 @@
 #include "host/llc.hh"
 
+#include <algorithm>
 #include <memory>
+#include <sstream>
 
 #include "energy/sram_model.hh"
 #include "sim/logging.hh"
@@ -31,6 +33,55 @@ Llc::Llc(SimContext &ctx, const LlcParams &p, mem::Dram &dram)
     _bankReadPj = fig.readPj;
     _bankWritePj = fig.writePj;
     _stats = &ctx.stats.root().child("llc");
+
+    ctx.guard.registerSnapshot("llc", [this] {
+        guard::ComponentState s;
+        std::vector<Addr> busy;
+        std::uint64_t deferred = 0;
+        for (const auto &[pa, d] : _dir) {
+            if (d.busy)
+                busy.push_back(pa);
+            deferred += d.deferred.size();
+        }
+        s.outstanding = busy.size() + deferred;
+        if (!busy.empty()) {
+            std::sort(busy.begin(), busy.end());
+            std::ostringstream os;
+            os << "busy_lines=[" << std::hex;
+            for (std::size_t i = 0; i < busy.size(); ++i)
+                os << (i ? "," : "") << "0x" << busy[i];
+            os << ']' << std::dec << " deferred=" << deferred;
+            s.detail = os.str();
+        }
+        return s;
+    });
+    ctx.guard.registerInvariant(
+        "llc.dir",
+        [this](const guard::InvariantContext &,
+               std::vector<std::string> &out) {
+            // Directory self-consistency for quiesced entries:
+            // exclusive ownership excludes sharers, and the LLC is
+            // inclusive of everything the directory records. Busy
+            // entries are mid-transaction by design.
+            std::vector<std::pair<Addr, const char *>> bad;
+            for (const auto &[pa, d] : _dir) {
+                if (d.busy)
+                    continue;
+                if (d.owner >= 0 && d.sharers != 0)
+                    bad.emplace_back(pa, "owner and sharers coexist");
+                if ((d.owner >= 0 || d.sharers != 0) &&
+                    !_tags.find(pa)) {
+                    bad.emplace_back(
+                        pa, "directory entry without LLC frame");
+                }
+            }
+            std::sort(bad.begin(), bad.end());
+            for (const auto &[pa, why] : bad) {
+                std::ostringstream os;
+                os << why << " @ 0x" << std::hex << pa;
+                out.push_back(os.str());
+            }
+        });
 }
 
 int
@@ -506,6 +557,13 @@ Llc::isSharer(int agent, Addr pa) const
 {
     const DirInfo *d = dirInfoIfAny(pa);
     return d && (d->sharers & bit(agent)) != 0;
+}
+
+bool
+Llc::dirBusy(Addr pa) const
+{
+    const DirInfo *d = dirInfoIfAny(pa);
+    return d && d->busy;
 }
 
 } // namespace fusion::host

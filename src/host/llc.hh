@@ -118,6 +118,12 @@ class Llc
     bool isOwner(int agent, Addr pa) const;
     /** True if @p agent is a sharer of @p pa per the directory. */
     bool isSharer(int agent, Addr pa) const;
+    /**
+     * True while a directory transaction for @p pa is in flight.
+     * Invariant checkers skip busy entries: their dir state is
+     * mid-update by design.
+     */
+    bool dirBusy(Addr pa) const;
 
   private:
     struct AgentInfo

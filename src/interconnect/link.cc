@@ -7,6 +7,28 @@ Link::Link(SimContext &ctx, const LinkParams &p)
     : _ctx(ctx), _p(p), _pjPerByte(energy::linkPjPerByte(p.cls))
 {
     _stats = &ctx.stats.root().child("links").child(p.name);
+
+    // Flit conservation: total flits booked must be explainable by
+    // the message counts (Word and Data payloads are folded into
+    // _dataMsgs, so the data side is a band, not an equality).
+    ctx.guard.registerInvariant(
+        "link." + p.name,
+        [this](const guard::InvariantContext &,
+               std::vector<std::string> &out) {
+            std::uint64_t ctrl =
+                _ctrlMsgs * messageFlits(MsgClass::Control);
+            std::uint64_t lo =
+                ctrl + _dataMsgs * messageFlits(MsgClass::Word);
+            std::uint64_t hi =
+                ctrl + _dataMsgs * messageFlits(MsgClass::Data);
+            if (_flits < lo || _flits > hi) {
+                out.push_back(
+                    "flit count " + std::to_string(_flits) +
+                    " outside conservation band [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) +
+                    "]");
+            }
+        });
 }
 
 void

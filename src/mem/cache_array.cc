@@ -141,6 +141,16 @@ CacheArray::forEachValid(const std::function<void(CacheLine &)> &fn)
 }
 
 void
+CacheArray::forEachValid(
+    const std::function<void(const CacheLine &)> &fn) const
+{
+    for (const auto &l : _lines) {
+        if (l.valid)
+            fn(l);
+    }
+}
+
+void
 CacheArray::forEachValidInSet(std::uint32_t set,
                               const std::function<void(CacheLine &)>
                                   &fn)

@@ -158,6 +158,8 @@ class CacheArray
 
     /** Iterate all valid lines. */
     void forEachValid(const std::function<void(CacheLine &)> &fn);
+    void forEachValid(
+        const std::function<void(const CacheLine &)> &fn) const;
 
     /** Iterate valid lines of one set. */
     void forEachValidInSet(std::uint32_t set,

@@ -11,6 +11,22 @@ Dram::Dram(SimContext &ctx, const DramParams &p) : _ctx(ctx), _p(p)
     fusion_assert(p.channels > 0, "DRAM needs at least one channel");
     _channels.resize(p.channels);
     _stats = &ctx.stats.root().child("dram");
+
+    ctx.guard.registerSnapshot("dram", [this] {
+        guard::ComponentState s;
+        std::uint64_t queued = 0, busy = 0;
+        for (const Channel &c : _channels) {
+            queued += c.queue.size();
+            if (c.busy)
+                ++busy;
+        }
+        s.outstanding = queued + busy;
+        if (s.outstanding != 0) {
+            s.detail = "queued=" + std::to_string(queued) +
+                       " busy_channels=" + std::to_string(busy);
+        }
+        return s;
+    });
 }
 
 void

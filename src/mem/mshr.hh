@@ -8,6 +8,7 @@
 #ifndef FUSION_MEM_MSHR_HH
 #define FUSION_MEM_MSHR_HH
 
+#include <algorithm>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -68,6 +69,18 @@ class MshrFile
 
     /** Number of in-flight distinct lines. */
     std::size_t size() const { return _entries.size(); }
+
+    /** In-flight line addresses, sorted (diagnostic snapshots). */
+    std::vector<Addr>
+    pendingLines() const
+    {
+        std::vector<Addr> lines;
+        lines.reserve(_entries.size());
+        for (const auto &[addr, targets] : _entries)
+            lines.push_back(addr);
+        std::sort(lines.begin(), lines.end());
+        return lines;
+    }
 
   private:
     std::unordered_map<Addr, std::vector<Target>> _entries;

@@ -78,6 +78,13 @@ class EventQueue
     /** True when no events are pending. */
     bool empty() const { return _heap.empty(); }
 
+    /** Tick of the next pending event (kTickNever when empty). */
+    Tick
+    headTick() const
+    {
+        return _heap.empty() ? kTickNever : _heap.top().when;
+    }
+
     /** Number of pending events. */
     std::size_t pending() const { return _heap.size(); }
 

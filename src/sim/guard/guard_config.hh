@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Configuration knobs for the simulation hardening layer: watchdog
+ * budgets, periodic invariant checking, and the test-only fault
+ * injection plan. All knobs default to off so a default-configured
+ * run is byte-identical to one built without the guard subsystem.
+ */
+
+#ifndef FUSION_SIM_GUARD_GUARD_CONFIG_HH
+#define FUSION_SIM_GUARD_GUARD_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace fusion::guard
+{
+
+/**
+ * Test-only fault kinds, injected at well-defined protocol points to
+ * prove the watchdog and invariant checkers actually fire.
+ */
+enum class FaultKind : std::uint8_t
+{
+    None,          ///< no injection (production default)
+    LeakMshr,      ///< L0X books an MSHR but never sends the request
+    DropWriteback, ///< L0X cleans a dirty line without writing back
+    DelayGrant,    ///< L1X delays one lease grant by FaultPlan::delay
+    CorruptLease,  ///< L0X inflates a granted lease past its bound
+};
+
+/** One planned fault: which kind, and when it triggers. */
+struct FaultPlan
+{
+    FaultKind kind = FaultKind::None;
+    /** Fire on the Nth opportunity (0 = the first). */
+    std::uint64_t triggerAfter = 0;
+    /** Extra cycles for DelayGrant / lease inflation for CorruptLease. */
+    Cycles delay = 0;
+};
+
+/** All hardening knobs carried inside SystemConfig. */
+struct GuardConfig
+{
+    /** Trip when simulated time would exceed this tick (0 = off). */
+    Tick maxCycles = 0;
+    /** Trip when wall-clock time exceeds this many ms (0 = off). */
+    std::uint64_t maxWallMs = 0;
+    /**
+     * Trip when this many ticks elapse with outstanding transactions
+     * (MSHRs, DMA transfers) but no retirements (0 = off).
+     */
+    Tick noProgressTicks = 0;
+    /** Run registered invariant checkers every K cycles (0 = off). */
+    Tick invariantPeriod = 0;
+    /** Run invariant checkers once after the event queue drains. */
+    bool invariantsAtEnd = false;
+    /** Test-only fault injection plan. */
+    FaultPlan fault;
+
+    /** True when any liveness or safety check is enabled. */
+    bool
+    anyEnabled() const
+    {
+        return maxCycles != 0 || maxWallMs != 0 ||
+               noProgressTicks != 0 || invariantPeriod != 0 ||
+               invariantsAtEnd;
+    }
+};
+
+} // namespace fusion::guard
+
+#endif // FUSION_SIM_GUARD_GUARD_CONFIG_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GuardRegistry: snapshot rendering, invariant sweeps, and the
+ * one-shot fault-injection trigger.
+ */
+
+#include "sim/guard/registry.hh"
+
+#include <sstream>
+
+namespace fusion::guard
+{
+
+void
+GuardRegistry::registerSnapshot(std::string name, SnapshotFn fn)
+{
+    _snapshots.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+GuardRegistry::registerInvariant(std::string name, InvariantFn fn)
+{
+    _invariants.emplace_back(std::move(name), std::move(fn));
+}
+
+std::uint64_t
+GuardRegistry::outstandingTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, fn] : _snapshots)
+        total += fn().outstanding;
+    return total;
+}
+
+std::string
+GuardRegistry::renderSnapshot() const
+{
+    std::ostringstream os;
+    for (const auto &[name, fn] : _snapshots) {
+        ComponentState s = fn();
+        os << "  " << name << ": outstanding=" << s.outstanding;
+        if (!s.detail.empty())
+            os << ' ' << s.detail;
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::vector<std::string>
+GuardRegistry::runInvariants(Tick now, bool at_end) const
+{
+    InvariantContext ctx{now, at_end};
+    std::vector<std::string> violations;
+    for (const auto &[name, fn] : _invariants) {
+        std::vector<std::string> local;
+        fn(ctx, local);
+        for (auto &m : local)
+            violations.push_back(name + ": " + std::move(m));
+    }
+    return violations;
+}
+
+bool
+GuardRegistry::fireFault(FaultKind kind)
+{
+    if (_cfg.fault.kind != kind || _faultFired)
+        return false;
+    if (_faultSeen++ < _cfg.fault.triggerAfter)
+        return false;
+    _faultFired = true;
+    return true;
+}
+
+} // namespace fusion::guard

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-system guard registry. Components self-register two kinds of
+ * hooks during construction:
+ *
+ *  - snapshots: "what is outstanding right now" providers the
+ *    watchdog renders into a diagnostic dump when it trips;
+ *  - invariants: safety predicates (single-writer, lease validity,
+ *    MESI directory agreement, MSHR/credit conservation) run every
+ *    K cycles and/or at end-of-sim.
+ *
+ * Registration order is construction order, which is deterministic,
+ * so the rendered diagnostic is byte-stable across runs and worker
+ * counts. The registry also hosts the forward-progress counter and
+ * the test-only fault-injection plan.
+ */
+
+#ifndef FUSION_SIM_GUARD_REGISTRY_HH
+#define FUSION_SIM_GUARD_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/guard/guard_config.hh"
+#include "sim/types.hh"
+
+namespace fusion::guard
+{
+
+/** One component's outstanding-transaction snapshot. */
+struct ComponentState
+{
+    /** Outstanding transactions (MSHRs, queued DMA lines, ...). */
+    std::uint64_t outstanding = 0;
+    /** Free-form per-component detail, one logical line. */
+    std::string detail;
+};
+
+/** Context handed to invariant checkers. */
+struct InvariantContext
+{
+    Tick now = 0;
+    /** True for the end-of-sim pass (stricter rules apply). */
+    bool atEnd = false;
+};
+
+/** Renders a component's current ComponentState. */
+using SnapshotFn = std::function<ComponentState()>;
+
+/**
+ * Checks one component's invariants; appends one message per
+ * violation to the output vector.
+ */
+using InvariantFn =
+    std::function<void(const InvariantContext &,
+                       std::vector<std::string> &)>;
+
+/** The per-system registry owned by SimContext. */
+class GuardRegistry
+{
+  public:
+    /** Install the run's GuardConfig (System ctor, before wiring). */
+    void configure(const GuardConfig &cfg) { _cfg = cfg; }
+    const GuardConfig &config() const { return _cfg; }
+
+    /** Register a named snapshot provider (construction order). */
+    void registerSnapshot(std::string name, SnapshotFn fn);
+    /** Register a named invariant checker (construction order). */
+    void registerInvariant(std::string name, InvariantFn fn);
+
+    /** Record one retirement (op completion, DMA line, grant). */
+    void noteProgress() { ++_progress; }
+    /** Monotone retirement counter the watchdog samples. */
+    std::uint64_t progressCount() const { return _progress; }
+
+    /** Sum of all snapshot providers' outstanding counts. */
+    std::uint64_t outstandingTotal() const;
+
+    /** Render every snapshot, one "  name: ..." line each. */
+    std::string renderSnapshot() const;
+
+    /**
+     * Run every registered invariant checker.
+     * @return violations as "checker: message" lines (empty = pass).
+     */
+    std::vector<std::string> runInvariants(Tick now,
+                                           bool at_end) const;
+
+    /**
+     * Test-only fault injection: true when the caller should inject
+     * fault @p kind right now. Fires exactly once, on the
+     * (triggerAfter+1)-th opportunity. O(1) and false when no plan
+     * of this kind is armed, so production paths stay free.
+     */
+    bool fireFault(FaultKind kind);
+    /** Delay parameter of the armed fault plan. */
+    Cycles faultDelay() const { return _cfg.fault.delay; }
+
+  private:
+    GuardConfig _cfg;
+    std::uint64_t _progress = 0;
+    std::uint64_t _faultSeen = 0;
+    bool _faultFired = false;
+    std::vector<std::pair<std::string, SnapshotFn>> _snapshots;
+    std::vector<std::pair<std::string, InvariantFn>> _invariants;
+};
+
+} // namespace fusion::guard
+
+#endif // FUSION_SIM_GUARD_REGISTRY_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SimError rendering and the thread-local tick binding used to stamp
+ * simulated time into errors raised from deep inside components.
+ */
+
+#include "sim/guard/sim_error.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/event_queue.hh"
+
+namespace fusion::guard
+{
+
+namespace
+{
+
+/** Escape a string for a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** The event queue bound to this thread by the innermost TickScope. */
+thread_local const EventQueue *tBoundQueue = nullptr;
+
+} // namespace
+
+const char *
+errorCategoryName(ErrorCategory c)
+{
+    switch (c) {
+      case ErrorCategory::Assertion:
+        return "assertion";
+      case ErrorCategory::Deadlock:
+        return "deadlock";
+      case ErrorCategory::NoProgress:
+        return "no-progress";
+      case ErrorCategory::CycleBudget:
+        return "cycle-budget";
+      case ErrorCategory::WallClock:
+        return "wall-clock";
+      case ErrorCategory::Invariant:
+        return "invariant";
+      case ErrorCategory::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+std::string
+SimError::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"category\":\"" << errorCategoryName(category) << '"'
+       << ",\"component\":\"" << jsonEscape(component) << '"'
+       << ",\"message\":\"" << jsonEscape(message) << '"'
+       << ",\"tick\":" << tick << ",\"diagnostic\":\""
+       << jsonEscape(diagnostic) << "\"}";
+    return os.str();
+}
+
+SimErrorException::SimErrorException(SimError e)
+    : _error(std::move(e))
+{
+    _what = std::string(errorCategoryName(_error.category)) + ": " +
+            _error.message + " [" + _error.component + " @ tick " +
+            std::to_string(_error.tick) + "]";
+}
+
+TickScope::TickScope(const EventQueue &eq)
+    : _prev(tBoundQueue)
+{
+    tBoundQueue = &eq;
+}
+
+TickScope::~TickScope()
+{
+    tBoundQueue = _prev;
+}
+
+bool
+TickScope::active()
+{
+    return tBoundQueue != nullptr;
+}
+
+Tick
+TickScope::currentTick()
+{
+    return tBoundQueue ? tBoundQueue->now() : 0;
+}
+
+} // namespace fusion::guard

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Typed simulation errors. A SimError carries what went wrong
+ * (category), where (component), when (simulated tick) and a
+ * structured diagnostic dump, so a failed sweep job can be recorded
+ * in the SweepReport instead of aborting the whole process.
+ */
+
+#ifndef FUSION_SIM_GUARD_SIM_ERROR_HH
+#define FUSION_SIM_GUARD_SIM_ERROR_HH
+
+#include <exception>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace fusion
+{
+
+class EventQueue;
+
+namespace guard
+{
+
+/** Broad failure taxonomy (docs/HARDENING.md). */
+enum class ErrorCategory : std::uint8_t
+{
+    Assertion,  ///< fusion_panic / fusion_assert tripped
+    Deadlock,   ///< event queue drained before the program finished
+    NoProgress, ///< outstanding work but no retirements for N ticks
+    CycleBudget,///< simulated time exceeded GuardConfig::maxCycles
+    WallClock,  ///< wall-clock time exceeded GuardConfig::maxWallMs
+    Invariant,  ///< an InvariantChecker reported a violation
+    Internal,   ///< unexpected C++ exception inside a sweep worker
+};
+
+/** Stable short name used in JSON reports. */
+const char *errorCategoryName(ErrorCategory c);
+
+/** A structured, reportable simulation failure. */
+struct SimError
+{
+    ErrorCategory category = ErrorCategory::Internal;
+    /** Component or source location that raised the error. */
+    std::string component;
+    /** Human-readable one-line description. */
+    std::string message;
+    /** Simulated tick at the point of failure (0 if unknown). */
+    Tick tick = 0;
+    /** Multi-line diagnostic dump (watchdog snapshot, violations). */
+    std::string diagnostic;
+
+    /** Render as a JSON object (stable field order). */
+    std::string toJson() const;
+};
+
+/** Exception wrapper used to unwind out of a poisoned simulation. */
+class SimErrorException : public std::exception
+{
+  public:
+    explicit SimErrorException(SimError e);
+
+    const SimError &error() const { return _error; }
+    const char *what() const noexcept override { return _what.c_str(); }
+
+  private:
+    SimError _error;
+    std::string _what;
+};
+
+/**
+ * RAII marker binding the calling thread to an event queue. While a
+ * scope is active, fusion_panic unwinds as a SimErrorException
+ * stamped with the queue's simulated tick (so runProgram/runSweep
+ * can record the failure); with no scope bound — unit tests poking
+ * raw components — panic keeps its historical abort() behaviour.
+ * One scope per running System; sweep worker threads each carry
+ * their own thread-local binding.
+ */
+class TickScope
+{
+  public:
+    explicit TickScope(const EventQueue &eq);
+    ~TickScope();
+    TickScope(const TickScope &) = delete;
+    TickScope &operator=(const TickScope &) = delete;
+
+    /** True when the calling thread is inside a TickScope. */
+    static bool active();
+    /** Tick of the queue bound to this thread, or 0 when unbound. */
+    static Tick currentTick();
+
+  private:
+    const EventQueue *_prev;
+};
+
+} // namespace guard
+} // namespace fusion
+
+#endif // FUSION_SIM_GUARD_SIM_ERROR_HH

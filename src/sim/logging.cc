@@ -6,6 +6,8 @@
 #include <shared_mutex>
 #include <stdexcept>
 
+#include "sim/guard/sim_error.hh"
+
 namespace fusion
 {
 
@@ -38,6 +40,19 @@ void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s @ %s:%d\n", msg.c_str(), file, line);
+    // Inside a running System (TickScope bound), unwind as a typed
+    // SimError so runProgram/runSweep can record the failure with
+    // its assertion text and simulated tick instead of taking the
+    // whole process down. Otherwise — unit tests poking raw
+    // components — keep the historical abort().
+    if (guard::TickScope::active()) {
+        guard::SimError e;
+        e.category = guard::ErrorCategory::Assertion;
+        e.component = std::string(file) + ":" + std::to_string(line);
+        e.message = msg;
+        e.tick = guard::TickScope::currentTick();
+        throw guard::SimErrorException(std::move(e));
+    }
     std::abort();
 }
 

@@ -9,6 +9,7 @@
 
 #include "energy/energy_ledger.hh"
 #include "sim/event_queue.hh"
+#include "sim/guard/registry.hh"
 #include "sim/stats.hh"
 
 namespace fusion
@@ -23,6 +24,7 @@ struct SimContext
     EventQueue eq;
     stats::Registry stats;
     energy::Ledger energy;
+    guard::GuardRegistry guard;
 
     /** Current simulated time. */
     Tick now() const { return eq.now(); }

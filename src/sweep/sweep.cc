@@ -45,19 +45,41 @@ class ProgramCache
             }
         }
         if (builder) {
-            auto w = workloads::makeWorkload(workload);
-            fusion_assert(w, "sweep job validated but workload '",
-                          workload, "' vanished");
-            auto prog = std::make_shared<const trace::Program>(
-                w->build(scale));
-            {
-                std::lock_guard<std::mutex> lk(slot->mu);
-                slot->prog = std::move(prog);
+            try {
+                auto w = workloads::makeWorkload(workload);
+                fusion_assert(w,
+                              "sweep job validated but workload '",
+                              workload, "' vanished");
+                auto prog = std::make_shared<const trace::Program>(
+                    w->build(scale));
+                {
+                    std::lock_guard<std::mutex> lk(slot->mu);
+                    slot->prog = std::move(prog);
+                }
+                slot->cv.notify_all();
+            } catch (...) {
+                // Wake every waiter so a failed build poisons only
+                // the jobs that need this program, not the sweep.
+                {
+                    std::lock_guard<std::mutex> lk(slot->mu);
+                    slot->failed = true;
+                }
+                slot->cv.notify_all();
+                throw;
             }
-            slot->cv.notify_all();
         }
         std::unique_lock<std::mutex> lk(slot->mu);
-        slot->cv.wait(lk, [&] { return slot->prog != nullptr; });
+        slot->cv.wait(lk, [&] {
+            return slot->prog != nullptr || slot->failed;
+        });
+        if (slot->failed) {
+            guard::SimError e;
+            e.category = guard::ErrorCategory::Internal;
+            e.component = "program-cache";
+            e.message = "program build failed for workload '" +
+                        workload + "'";
+            throw guard::SimErrorException(std::move(e));
+        }
         return slot->prog;
     }
 
@@ -69,6 +91,7 @@ class ProgramCache
         std::mutex mu;
         std::condition_variable cv;
         bool claimed = false; ///< guarded by ProgramCache::_mu
+        bool failed = false;  ///< build threw; guarded by mu
         std::shared_ptr<const trace::Program> prog;
     };
 
@@ -134,12 +157,32 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opt)
             if (i >= jobs.size())
                 return;
             const SweepJob &j = jobs[i];
-            std::shared_ptr<const trace::Program> prog =
-                j.prog ? j.prog : cache.get(j.workload, j.scale);
-            // Each job gets its own System and therefore its own
-            // SimContext/event queue: no state crosses jobs.
-            core::System sys(j.cfg, *prog);
-            results[i] = sys.run();
+            try {
+                std::shared_ptr<const trace::Program> prog =
+                    j.prog ? j.prog
+                           : cache.get(j.workload, j.scale);
+                // Each job gets its own System and therefore its
+                // own SimContext/event queue: no state crosses
+                // jobs.
+                core::System sys(j.cfg, *prog);
+                results[i] = sys.run();
+            } catch (const guard::SimErrorException &ex) {
+                // Fault isolation: one poisoned job becomes one
+                // failed result; sibling jobs keep running.
+                results[i] = core::RunResult{};
+                results[i].workload = j.workload;
+                results[i].kind = j.cfg.kind;
+                results[i].error = ex.error();
+            } catch (const std::exception &ex) {
+                results[i] = core::RunResult{};
+                results[i].workload = j.workload;
+                results[i].kind = j.cfg.kind;
+                guard::SimError e;
+                e.category = guard::ErrorCategory::Internal;
+                e.component = "sweep-worker";
+                e.message = ex.what();
+                results[i].error = std::move(e);
+            }
             {
                 std::lock_guard<std::mutex> lk(progressMu);
                 ++completed;
@@ -219,7 +262,16 @@ reportJson(const std::string &sweepName,
            << ",\"dmaMaxOutstanding\":" << c.dmaMaxOutstanding
            << "},\"result\":" << results[i].toJson() << '}';
     }
-    os << "\n]}\n";
+    os << "\n]";
+    // Only emitted when some job failed, so healthy reports stay
+    // byte-identical to pre-hardening output.
+    std::size_t failed = 0;
+    for (const auto &r : results)
+        if (r.failed())
+            ++failed;
+    if (failed != 0)
+        os << ",\"failed\":" << failed;
+    os << "}\n";
     return os.str();
 }
 

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests for the simulation hardening layer: watchdog liveness
+ * checks, invariant checkers, typed SimError propagation, and the
+ * fault-injection hooks that prove the guards actually fire.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/runner.hh"
+#include "sim/event_queue.hh"
+#include "sim/guard/registry.hh"
+#include "sim/guard/sim_error.hh"
+#include "sim/guard/watchdog.hh"
+#include "sim/logging.hh"
+
+namespace fusion
+{
+namespace
+{
+
+using core::RunResult;
+using core::SystemConfig;
+using core::SystemKind;
+
+trace::Program
+smallProgram()
+{
+    return *core::buildProgram("adpcm", workloads::Scale::Small);
+}
+
+/** Self-rescheduling no-op chain: one event per tick, no progress. */
+void
+scheduleIdleChain(EventQueue &eq, Tick until)
+{
+    eq.scheduleIn(1, [&eq, until] {
+        if (eq.now() < until)
+            scheduleIdleChain(eq, until);
+    });
+}
+
+guard::SimError
+runGuardedLoop(EventQueue &eq, guard::GuardRegistry &reg)
+{
+    guard::Watchdog wd(reg, eq);
+    try {
+        while (!eq.empty()) {
+            wd.beforeStep();
+            eq.step();
+        }
+    } catch (const guard::SimErrorException &ex) {
+        return ex.error();
+    }
+    ADD_FAILURE() << "watchdog did not trip";
+    return {};
+}
+
+// ---------------------------------------------------------------
+// Watchdog unit tests (raw event queue, no System).
+// ---------------------------------------------------------------
+
+TEST(WatchdogUnit, NoProgressTripsWithOutstandingWork)
+{
+    EventQueue eq;
+    guard::GuardRegistry reg;
+    guard::GuardConfig cfg;
+    cfg.noProgressTicks = 10;
+    reg.configure(cfg);
+    reg.registerSnapshot("fake.mshr", [] {
+        guard::ComponentState s;
+        s.outstanding = 3;
+        s.detail = "stuck";
+        return s;
+    });
+    scheduleIdleChain(eq, 100);
+
+    guard::SimError e = runGuardedLoop(eq, reg);
+    EXPECT_EQ(e.category, guard::ErrorCategory::NoProgress);
+    EXPECT_EQ(e.component, "watchdog");
+    EXPECT_GT(e.tick, 10u);
+    EXPECT_NE(e.diagnostic.find("fake.mshr"), std::string::npos);
+    EXPECT_NE(e.diagnostic.find("outstanding=3"), std::string::npos);
+    EXPECT_NE(e.diagnostic.find("stuck"), std::string::npos);
+}
+
+TEST(WatchdogUnit, NoProgressIgnoredWithoutOutstandingWork)
+{
+    EventQueue eq;
+    guard::GuardRegistry reg;
+    guard::GuardConfig cfg;
+    cfg.noProgressTicks = 10;
+    reg.configure(cfg);
+    // No snapshot provider -> outstandingTotal() == 0: an idle chain
+    // is not a hang, just a quiet simulation.
+    scheduleIdleChain(eq, 100);
+
+    guard::Watchdog wd(reg, eq);
+    EXPECT_NO_THROW({
+        while (!eq.empty()) {
+            wd.beforeStep();
+            eq.step();
+        }
+    });
+}
+
+TEST(WatchdogUnit, CycleBudgetTrips)
+{
+    EventQueue eq;
+    guard::GuardRegistry reg;
+    guard::GuardConfig cfg;
+    cfg.maxCycles = 50;
+    reg.configure(cfg);
+    scheduleIdleChain(eq, 100);
+
+    guard::SimError e = runGuardedLoop(eq, reg);
+    EXPECT_EQ(e.category, guard::ErrorCategory::CycleBudget);
+    EXPECT_NE(e.message.find("cycle budget"), std::string::npos);
+    EXPECT_LE(e.tick, 50u);
+    EXPECT_NE(e.diagnostic.find("event queue:"), std::string::npos);
+}
+
+TEST(WatchdogUnit, WallClockBudgetTrips)
+{
+    EventQueue eq;
+    guard::GuardRegistry reg;
+    guard::GuardConfig cfg;
+    cfg.maxWallMs = 1;
+    reg.configure(cfg);
+    scheduleIdleChain(eq, 5000);
+
+    guard::Watchdog wd(reg, eq);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    guard::SimError e;
+    try {
+        while (!eq.empty()) {
+            wd.beforeStep();
+            eq.step();
+        }
+        FAIL() << "wall-clock watchdog did not trip";
+    } catch (const guard::SimErrorException &ex) {
+        e = ex.error();
+    }
+    EXPECT_EQ(e.category, guard::ErrorCategory::WallClock);
+}
+
+TEST(WatchdogUnit, PeriodicInvariantViolationTrips)
+{
+    EventQueue eq;
+    guard::GuardRegistry reg;
+    guard::GuardConfig cfg;
+    cfg.invariantPeriod = 4;
+    reg.configure(cfg);
+    reg.registerInvariant(
+        "fake.checker",
+        [&eq](const guard::InvariantContext &ic,
+              std::vector<std::string> &out) {
+            if (ic.now >= 20)
+                out.push_back("went bad");
+        });
+    scheduleIdleChain(eq, 100);
+
+    guard::SimError e = runGuardedLoop(eq, reg);
+    EXPECT_EQ(e.category, guard::ErrorCategory::Invariant);
+    EXPECT_EQ(e.component, "invariant-checker");
+    EXPECT_NE(e.diagnostic.find("fake.checker: went bad"),
+              std::string::npos);
+}
+
+TEST(WatchdogUnit, FaultPlanFiresExactlyOnce)
+{
+    guard::GuardRegistry reg;
+    guard::GuardConfig cfg;
+    cfg.fault.kind = guard::FaultKind::LeakMshr;
+    cfg.fault.triggerAfter = 2;
+    reg.configure(cfg);
+
+    // Wrong kind never fires and does not consume opportunities.
+    EXPECT_FALSE(reg.fireFault(guard::FaultKind::DropWriteback));
+    EXPECT_FALSE(reg.fireFault(guard::FaultKind::LeakMshr)); // #0
+    EXPECT_FALSE(reg.fireFault(guard::FaultKind::LeakMshr)); // #1
+    EXPECT_TRUE(reg.fireFault(guard::FaultKind::LeakMshr));  // #2
+    EXPECT_FALSE(reg.fireFault(guard::FaultKind::LeakMshr)); // spent
+}
+
+// ---------------------------------------------------------------
+// fusion_panic routing (satellite: assertions become SimErrors).
+// ---------------------------------------------------------------
+
+TEST(PanicRouting, ThrowsTypedErrorUnderTickScope)
+{
+    EventQueue eq;
+    eq.scheduleIn(42, [] {});
+    eq.step();
+    guard::TickScope scope(eq);
+    try {
+        fusion_panic("broken ", 123);
+        FAIL() << "panic did not throw";
+    } catch (const guard::SimErrorException &ex) {
+        EXPECT_EQ(ex.error().category,
+                  guard::ErrorCategory::Assertion);
+        EXPECT_NE(ex.error().message.find("broken 123"),
+                  std::string::npos);
+        EXPECT_EQ(ex.error().tick, 42u);
+        EXPECT_NE(std::string(ex.what()).find("assertion"),
+                  std::string::npos);
+    }
+}
+
+TEST(PanicRouting, AbortsWithoutTickScope)
+{
+    ASSERT_FALSE(guard::TickScope::active());
+    EXPECT_DEATH(fusion_panic("still fatal"), "still fatal");
+}
+
+// ---------------------------------------------------------------
+// Whole-system behaviour.
+// ---------------------------------------------------------------
+
+guard::GuardConfig
+fullChecks()
+{
+    guard::GuardConfig g;
+    g.maxCycles = 1ull << 40;
+    g.noProgressTicks = 1u << 20;
+    g.invariantPeriod = 64;
+    g.invariantsAtEnd = true;
+    return g;
+}
+
+class GuardedSystems : public ::testing::TestWithParam<SystemKind>
+{
+};
+
+TEST_P(GuardedSystems, HealthyRunUnchangedByGuards)
+{
+    trace::Program p = smallProgram();
+    SystemConfig off = SystemConfig::paperDefault(GetParam());
+    SystemConfig on = off;
+    on.guard = fullChecks();
+
+    RunResult base = core::runProgram(off, p);
+    RunResult guarded = core::runProgram(on, p);
+    ASSERT_FALSE(guarded.failed())
+        << guarded.error->toJson();
+    // Guards observe; they never perturb: outputs byte-identical.
+    EXPECT_EQ(base.toJson(), guarded.toJson());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, GuardedSystems,
+    ::testing::Values(SystemKind::Scratch, SystemKind::Shared,
+                      SystemKind::Fusion, SystemKind::FusionDx,
+                      SystemKind::FusionMesi),
+    [](const auto &info) {
+        std::string n = core::systemKindName(info.param);
+        std::string out;
+        for (char c : n)
+            if (c != '-')
+                out += c;
+        return out;
+    });
+
+TEST(GuardedSystems, CycleBudgetRecordedNotAborted)
+{
+    trace::Program p = smallProgram();
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.guard.maxCycles = 200;
+
+    RunResult r = core::runProgram(cfg, p);
+    ASSERT_TRUE(r.failed());
+    EXPECT_EQ(r.error->category, guard::ErrorCategory::CycleBudget);
+    EXPECT_EQ(r.error->component, "watchdog");
+    EXPECT_LE(r.error->tick, 200u);
+    EXPECT_NE(r.error->diagnostic.find("event queue:"),
+              std::string::npos);
+    EXPECT_EQ(r.workload, "adpcm");
+    EXPECT_EQ(r.kind, SystemKind::Fusion);
+    // The error also lands in the JSON report.
+    EXPECT_NE(r.toJson().find("\"category\":\"cycle-budget\""),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Fault injection through the real protocol stack.
+// ---------------------------------------------------------------
+
+TEST(FaultInjection, LeakedMshrIsCaughtAsDeadlock)
+{
+    trace::Program p = smallProgram();
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.guard.fault.kind = guard::FaultKind::LeakMshr;
+
+    RunResult r = core::runProgram(cfg, p);
+    ASSERT_TRUE(r.failed());
+    EXPECT_EQ(r.error->category, guard::ErrorCategory::Deadlock);
+    // The diagnostic names the component still holding work and the
+    // leaked line address.
+    EXPECT_NE(r.error->diagnostic.find("l0x"), std::string::npos);
+    EXPECT_NE(r.error->diagnostic.find("mshr_lines=[0x"),
+              std::string::npos);
+}
+
+TEST(FaultInjection, CorruptLeaseTripsAccInvariant)
+{
+    trace::Program p = smallProgram();
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.guard.fault.kind = guard::FaultKind::CorruptLease;
+    cfg.guard.fault.delay = 1u << 20;
+    cfg.guard.invariantPeriod = 1;
+
+    RunResult r = core::runProgram(cfg, p);
+    ASSERT_TRUE(r.failed());
+    EXPECT_EQ(r.error->category, guard::ErrorCategory::Invariant);
+    EXPECT_NE(r.error->message.find("invariant violation"),
+              std::string::npos);
+    EXPECT_NE(r.error->diagnostic.find("not covered by L1X GTIME"),
+              std::string::npos);
+}
+
+TEST(FaultInjection, DroppedWritebackIsDetected)
+{
+    trace::Program p = smallProgram();
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.guard.fault.kind = guard::FaultKind::DropWriteback;
+    cfg.guard.invariantsAtEnd = true;
+
+    RunResult r = core::runProgram(cfg, p);
+    ASSERT_TRUE(r.failed());
+    // A swallowed writeback either wedges later requesters of the
+    // locked line (deadlock / assertion on teardown) or survives to
+    // the end-of-sim invariant pass; all are typed failures.
+    EXPECT_TRUE(r.error->category ==
+                    guard::ErrorCategory::Deadlock ||
+                r.error->category ==
+                    guard::ErrorCategory::Invariant ||
+                r.error->category ==
+                    guard::ErrorCategory::Assertion)
+        << r.error->toJson();
+    EXPECT_FALSE(r.error->diagnostic.empty());
+}
+
+TEST(FaultInjection, DelayedGrantIsDeterministic)
+{
+    trace::Program p = smallProgram();
+    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    cfg.guard.fault.kind = guard::FaultKind::DelayGrant;
+    cfg.guard.fault.delay = 4;
+    cfg.guard.fault.triggerAfter = 5;
+
+    RunResult a = core::runProgram(cfg, p);
+    RunResult b = core::runProgram(cfg, p);
+    ASSERT_FALSE(a.failed());
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_GT(a.totalCycles, 0u);
+}
+
+} // namespace
+} // namespace fusion

@@ -285,3 +285,78 @@ TEST(Sweep, WriteReportFileRoundTrips)
               sweep::reportJson("roundtrip", {j}, results));
     std::remove(path.c_str());
 }
+
+TEST(Sweep, PoisonedJobIsIsolatedAndDeterministic)
+{
+    // One poisoned job (absurdly small cycle budget) between two
+    // healthy ones: the failure must be recorded as a structured
+    // SweepReport entry while its siblings complete, and the whole
+    // report must not depend on the worker count.
+    auto makeJobs = [] {
+        std::vector<core::SweepJob> jobs;
+        core::SweepJob a;
+        a.cfg = core::SystemConfig::paperDefault(
+            core::SystemKind::Fusion);
+        a.workload = "adpcm";
+        a.scale = workloads::Scale::Small;
+        a.tag = "healthy/FU";
+        jobs.push_back(a);
+
+        core::SweepJob bad = a;
+        bad.cfg.guard.maxCycles = 100;
+        bad.tag = "poisoned/FU";
+        jobs.push_back(bad);
+
+        core::SweepJob c = a;
+        c.cfg = core::SystemConfig::paperDefault(
+            core::SystemKind::Scratch);
+        c.tag = "healthy/SC";
+        jobs.push_back(c);
+        return jobs;
+    };
+
+    auto jobs = makeJobs();
+    core::SweepOptions serial;
+    serial.jobs = 1;
+    auto rs = core::runSweep(jobs, serial);
+    core::SweepOptions parallel;
+    parallel.jobs = 8;
+    auto rp = core::runSweep(jobs, parallel);
+
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_FALSE(rs[0].failed());
+    EXPECT_GT(rs[0].totalCycles, 0u);
+    ASSERT_TRUE(rs[1].failed());
+    EXPECT_EQ(rs[1].error->category,
+              guard::ErrorCategory::CycleBudget);
+    EXPECT_FALSE(rs[1].error->diagnostic.empty());
+    EXPECT_EQ(rs[1].workload, "adpcm");
+    EXPECT_FALSE(rs[2].failed());
+    EXPECT_GT(rs[2].totalCycles, 0u);
+
+    // Byte-identical across worker counts, report included.
+    ASSERT_EQ(rp.size(), rs.size());
+    for (std::size_t i = 0; i < rs.size(); ++i)
+        EXPECT_EQ(rs[i].toJson(), rp[i].toJson()) << "job " << i;
+    std::string report = sweep::reportJson("poison", jobs, rs);
+    EXPECT_EQ(report, sweep::reportJson("poison", jobs, rp));
+    EXPECT_NE(report.find("\"failed\":1"), std::string::npos);
+    EXPECT_NE(report.find("\"category\":\"cycle-budget\""),
+              std::string::npos);
+}
+
+TEST(Sweep, ReportOmitsFailureFieldsWhenAllHealthy)
+{
+    core::SweepJob j;
+    j.cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    j.workload = "adpcm";
+    j.scale = workloads::Scale::Small;
+    j.tag = "ok";
+    auto results = core::runSweep({j});
+    std::string report = sweep::reportJson("clean", {j}, results);
+    // Guard-off healthy output stays byte-compatible with pre-guard
+    // reports: no "failed" counter, no "error" objects.
+    EXPECT_EQ(report.find("\"failed\""), std::string::npos);
+    EXPECT_EQ(report.find("\"error\""), std::string::npos);
+}
