@@ -169,8 +169,11 @@ runSweep(const char *sweepName,
     }
     auto results = core::runSweep(*list, so);
     if (!opt.jsonPath.empty()) {
+        // Machine-readable reports carry the wall-clock "perf"
+        // blocks (per run + sweep aggregate); terminal output and
+        // determinism tests never see them.
         sweep::writeReportFile(opt.jsonPath, sweepName, *list,
-                               results);
+                               results, /*includePerf=*/true);
         std::fprintf(stderr, "sweep report written to %s\n",
                      opt.jsonPath.c_str());
     }

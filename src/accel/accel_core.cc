@@ -13,6 +13,10 @@ AccelCore::AccelCore(SimContext &ctx, const AccelCoreParams &p,
     _stats = &ctx.stats.root()
                   .child("axc" + std::to_string(id))
                   .child("core");
+    _stIntOps = &_stats->scalar("int_ops");
+    _stFpOps = &_stats->scalar("fp_ops");
+    _stLoads = &_stats->scalar("loads");
+    _stStores = &_stats->scalar("stores");
 
     ctx.guard.registerSnapshot(
         "axc" + std::to_string(id), [this] {
@@ -59,8 +63,8 @@ AccelCore::pump()
             _ctx.energy.add(energy::comp::kAxcCompute,
                             _p.intOpPj * op.intOps +
                                 _p.fpOpPj * op.fpOps);
-            _stats->scalar("int_ops") += op.intOps;
-            _stats->scalar("fp_ops") += op.fpOps;
+            *_stIntOps += op.intOps;
+            *_stFpOps += op.fpOps;
             Cycles c =
                 (op.intOps + op.fpOps + _p.datapathWidth - 1) /
                 _p.datapathWidth;
@@ -78,7 +82,7 @@ AccelCore::pump()
             return; // a completion re-pumps
         ++_pos;
         ++_memOps;
-        _stats->scalar(is_store ? "stores" : "loads") += 1;
+        *(is_store ? _stStores : _stLoads) += 1;
         if (is_store)
             ++_outstandingStores;
         else

@@ -84,6 +84,11 @@ class AccelCore
     std::function<void()> _done;
     std::uint64_t _memOps = 0;
     stats::Group *_stats;
+    // Per-op counters resolved once at construction.
+    stats::Scalar *_stIntOps;
+    stats::Scalar *_stFpOps;
+    stats::Scalar *_stLoads;
+    stats::Scalar *_stStores;
 };
 
 } // namespace fusion::accel

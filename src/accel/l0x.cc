@@ -44,6 +44,12 @@ L0x::L0x(SimContext &ctx, const L0xParams &p, L1xAcc &l1x,
     _fig = energy::evaluateSram(sp);
     _setWbTime.assign(_tags.numSets(), kTickNever);
     _stats = &ctx.stats.root().child(p.name);
+    _stReads = &_stats->scalar("reads");
+    _stWrites = &_stats->scalar("writes");
+    _stHits = &_stats->scalar("hits");
+    _stLoadMisses = &_stats->scalar("load_misses");
+    _stStoreMisses = &_stats->scalar("store_misses");
+    _stAccessLatency = &_stats->histogram("access_latency", 0, 64, 16);
 
     ctx.guard.registerSnapshot(p.name, [this] {
         guard::ComponentState s;
@@ -99,7 +105,7 @@ L0x::bookAccess(bool is_write, bool line_granular)
     if (!line_granular)
         pj *= kWordAccessScale;
     _ctx.energy.add(energy::comp::kL0x, pj);
-    _stats->scalar(is_write ? "writes" : "reads") += 1;
+    *(is_write ? _stWrites : _stReads) += 1;
 }
 
 void
@@ -112,8 +118,8 @@ L0x::access(Addr va, std::uint32_t size, bool is_write,
     Tick start = _ctx.now();
     PortDone timed = [this, start,
                       done = std::move(done)]() mutable {
-        _stats->histogram("access_latency", 0, 64, 16)
-            .sample(static_cast<double>(_ctx.now() - start));
+        _stAccessLatency->sample(
+            static_cast<double>(_ctx.now() - start));
         done();
     };
     _ctx.eq.scheduleIn(_fig.latency,
@@ -135,7 +141,7 @@ L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
         if (lease_valid) {
             if (!is_retry) {
                 ++_hits;
-                _stats->scalar("hits") += 1;
+                *_stHits += 1;
             }
             _tags.touch(*line);
             done();
@@ -159,7 +165,7 @@ L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
             // Store hit under our write epoch.
             if (!is_retry) {
                 ++_hits;
-                _stats->scalar("hits") += 1;
+                *_stHits += 1;
             }
             _tags.touch(*line);
             line->dirty = true;
@@ -172,8 +178,7 @@ L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
     // Miss (or store without a write epoch): go to the L1X.
     if (!is_retry) {
         ++_misses;
-        _stats->scalar(is_write ? "store_misses"
-                                : "load_misses") += 1;
+        *(is_write ? _stStoreMisses : _stLoadMisses) += 1;
     }
     bool need_data = !lease_valid;
     bool primary = _mshrs.allocate(

@@ -160,6 +160,13 @@ class L0x : public MemPort
     std::uint64_t _fills = 0;
     std::uint64_t _forwardsOut = 0;
     stats::Group *_stats;
+    // Per-access counters/histogram resolved once at construction.
+    stats::Scalar *_stReads;
+    stats::Scalar *_stWrites;
+    stats::Scalar *_stHits;
+    stats::Scalar *_stLoadMisses;
+    stats::Scalar *_stStoreMisses;
+    stats::Histogram *_stAccessLatency;
 };
 
 } // namespace fusion::accel

@@ -30,6 +30,11 @@ L1xAcc::L1xAcc(SimContext &ctx, const L1xParams &p, host::Llc &llc,
     _fig = energy::evaluateSram(sp);
     _agentId = llc.registerAgent(this, llc_link, p.ringNode);
     _stats = &ctx.stats.root().child(p.name);
+    _stReads = &_stats->scalar("reads");
+    _stWrites = &_stats->scalar("writes");
+    _stHits = &_stats->scalar("hits");
+    _stMisses = &_stats->scalar("misses");
+    _stBankConflicts = &_stats->scalar("bank_conflicts");
 
     ctx.guard.registerSnapshot(p.name, [this] {
         guard::ComponentState s;
@@ -108,7 +113,7 @@ L1xAcc::bookAccess(bool is_write)
 {
     _ctx.energy.add(energy::comp::kL1x,
                     is_write ? _fig.writePj : _fig.readPj);
-    _stats->scalar(is_write ? "writes" : "reads") += 1;
+    *(is_write ? _stWrites : _stReads) += 1;
 }
 
 void
@@ -122,7 +127,7 @@ L1xAcc::requestLease(AccelId who, Addr vline, Pid pid,
     // line interleaved).
     Cycles bank_delay = _banks.reserve(vline, _ctx.now());
     if (bank_delay > 0)
-        _stats->scalar("bank_conflicts") += 1;
+        *_stBankConflicts += 1;
     _ctx.eq.scheduleIn(_fig.latency + bank_delay,
                        [this, who, vline, pid, lease_len, is_write,
                         need_data, done = std::move(done)]() mutable {
@@ -157,7 +162,7 @@ L1xAcc::processLease(AccelId who, Addr vline, Pid pid,
         }
         if (!is_retry) {
             ++_hits;
-            _stats->scalar("hits") += 1;
+            *_stHits += 1;
         }
         grant(*line, lease_len, is_write, need_data,
               std::move(done));
@@ -167,7 +172,7 @@ L1xAcc::processLease(AccelId who, Addr vline, Pid pid,
     // Miss at the L1X: cross to the host tile.
     if (!is_retry) {
         ++_misses;
-        _stats->scalar("misses") += 1;
+        *_stMisses += 1;
     }
     std::uint64_t key = stallKey(vline, pid);
     bool primary = _mshrs.allocate(

@@ -191,6 +191,12 @@ class L1xAcc : public coherence::CoherentAgent
     std::list<WbBufEntry> _wbBuffer;
     std::uint64_t _nextWbId = 1;
     stats::Group *_stats;
+    // Per-access counters resolved once at construction.
+    stats::Scalar *_stReads;
+    stats::Scalar *_stWrites;
+    stats::Scalar *_stHits;
+    stats::Scalar *_stMisses;
+    stats::Scalar *_stBankConflicts;
 };
 
 } // namespace fusion::accel

@@ -34,6 +34,11 @@ L0xMesi::L0xMesi(SimContext &ctx, std::string name,
     sp.kind = energy::SramKind::Cache; // no timestamp field
     _fig = energy::evaluateSram(sp);
     _stats = &ctx.stats.root().child(_name);
+    _stReads = &_stats->scalar("reads");
+    _stWrites = &_stats->scalar("writes");
+    _stHits = &_stats->scalar("hits");
+    _stLoadMisses = &_stats->scalar("load_misses");
+    _stStoreMisses = &_stats->scalar("store_misses");
 }
 
 void
@@ -43,7 +48,7 @@ L0xMesi::bookAccess(bool is_write, bool line_granular)
     if (!line_granular)
         pj *= kWordAccessScale;
     _ctx.energy.add(energy::comp::kL0x, pj);
-    _stats->scalar(is_write ? "writes" : "reads") += 1;
+    *(is_write ? _stWrites : _stReads) += 1;
 }
 
 void
@@ -72,7 +77,7 @@ L0xMesi::lookup(Addr vline, bool is_write, PortDone done,
         if (hit) {
             if (!is_retry) {
                 ++_hits;
-                _stats->scalar("hits") += 1;
+                *_stHits += 1;
             }
             _tags.touch(*line);
             if (is_write) {
@@ -86,7 +91,7 @@ L0xMesi::lookup(Addr vline, bool is_write, PortDone done,
     // Miss or upgrade.
     if (!is_retry) {
         ++_misses;
-        _stats->scalar(is_write ? "store_misses" : "load_misses") +=
+        *(is_write ? _stStoreMisses : _stLoadMisses) +=
             1;
     }
     bool primary = _mshrs.allocate(
@@ -207,6 +212,11 @@ L1xMesi::L1xMesi(SimContext &ctx, std::uint64_t bytes,
     _fig = energy::evaluateSram(sp);
     _agentId = llc.registerAgent(this, llc_link, ring_node);
     _stats = &ctx.stats.root().child("l1x");
+    _stReads = &_stats->scalar("reads");
+    _stWrites = &_stats->scalar("writes");
+    _stHits = &_stats->scalar("hits");
+    _stMisses = &_stats->scalar("misses");
+    _stDeferred = &_stats->scalar("deferred");
 }
 
 int
@@ -222,7 +232,7 @@ L1xMesi::bookAccess(bool is_write)
 {
     _ctx.energy.add(energy::comp::kL1x,
                     is_write ? _fig.writePj : _fig.readPj);
-    _stats->scalar(is_write ? "writes" : "reads") += 1;
+    *(is_write ? _stWrites : _stReads) += 1;
 }
 
 void
@@ -250,18 +260,18 @@ L1xMesi::arrive(int l0x_id, Addr vline, Pid pid, CoherenceReq kind,
                               done = std::move(done)]() mutable {
             arrive(l0x_id, vline, pid, kind, std::move(done));
         });
-        _stats->scalar("deferred") += 1;
+        *_stDeferred += 1;
         return;
     }
     d.busy = true;
     if (_tags.find(vline, pid)) {
         ++_hits;
-        _stats->scalar("hits") += 1;
+        *_stHits += 1;
         dirAction(l0x_id, vline, pid, kind, std::move(done));
         return;
     }
     ++_misses;
-    _stats->scalar("misses") += 1;
+    *_stMisses += 1;
     std::uint64_t k = key(vline, pid);
     bool primary = _mshrs.allocate(
         k, [this, l0x_id, vline, pid, kind,

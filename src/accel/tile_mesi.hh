@@ -98,6 +98,12 @@ class L0xMesi : public MemPort
     std::uint64_t _fills = 0;
     std::uint64_t _writebacks = 0;
     stats::Group *_stats;
+    // Per-access counters resolved once at construction.
+    stats::Scalar *_stReads;
+    stats::Scalar *_stWrites;
+    stats::Scalar *_stHits;
+    stats::Scalar *_stLoadMisses;
+    stats::Scalar *_stStoreMisses;
 };
 
 /**
@@ -192,6 +198,12 @@ class L1xMesi : public coherence::CoherentAgent
     std::uint64_t _misses = 0;
     std::uint64_t _probesSent = 0;
     stats::Group *_stats;
+    // Per-access counters resolved once at construction.
+    stats::Scalar *_stReads;
+    stats::Scalar *_stWrites;
+    stats::Scalar *_stHits;
+    stats::Scalar *_stMisses;
+    stats::Scalar *_stDeferred;
 };
 
 /** Assembled MESI-protocol tile (the FUSION-MESI design point). */

@@ -134,7 +134,7 @@ RunResult::hierarchyPj() const
 }
 
 std::string
-RunResult::toJson() const
+RunResult::toJson(bool include_perf) const
 {
     std::ostringstream os;
     os << "{\"workload\":\"" << jsonEscape(workload) << '"'
@@ -166,6 +166,17 @@ RunResult::toJson() const
     putUint(os, "l0xForwards", l0xForwards);
     putUint(os, "l1xHits", l1xHits);
     putUint(os, "l1xMisses", l1xMisses);
+    // Host wall-clock data is nondeterministic, so it only appears
+    // when explicitly requested; default output stays byte-identical
+    // to what it was before perf instrumentation existed.
+    if (include_perf && perf) {
+        os << ",\"perf\":{\"hostSeconds\":";
+        putDouble(os, perf->hostSeconds);
+        os << ",\"events\":" << perf->events
+           << ",\"eventsPerSecond\":";
+        putDouble(os, perf->eventsPerSecond);
+        os << '}';
+    }
     // Only failed runs carry the error object, keeping healthy
     // output byte-identical to pre-hardening reports.
     if (error)

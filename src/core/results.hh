@@ -20,6 +20,22 @@
 namespace fusion::core
 {
 
+/**
+ * Host-side (wall-clock) performance of one run. Deliberately kept
+ * out of the simulated metrics: it varies run to run, so it is only
+ * serialized on request (toJson(true)) to keep the determinism
+ * guarantees of the default output intact.
+ */
+struct RunPerf
+{
+    /** Wall-clock seconds spent inside System::run(). */
+    double hostSeconds = 0.0;
+    /** Kernel events executed by the run's event queue. */
+    std::uint64_t events = 0;
+    /** events / hostSeconds (0 when the run was too fast to time). */
+    double eventsPerSecond = 0.0;
+};
+
 /** Everything measured over one (workload, system) run. */
 struct RunResult
 {
@@ -83,6 +99,9 @@ struct RunResult
     /** True when the run ended in a SimError. */
     bool failed() const { return error.has_value(); }
 
+    /** Host wall-clock throughput (filled by System::run()). */
+    std::optional<RunPerf> perf;
+
     /** Total accelerator-side cache energy (L0X/SPM + L1X), the
      *  Table 5 "AXC Cache" column. */
     double axcCachePj() const;
@@ -103,8 +122,12 @@ struct RunResult
      * order, full double precision). Two runs of the same job are
      * byte-identical, which is what the sweep determinism test and
      * the machine-readable SweepReport build on.
+     *
+     * @param include_perf also emit the wall-clock "perf" object.
+     *        Off by default because host timing is nondeterministic
+     *        and would break byte-identical comparisons.
      */
-    std::string toJson() const;
+    std::string toJson(bool include_perf = false) const;
 };
 
 } // namespace fusion::core

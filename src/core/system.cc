@@ -1,6 +1,7 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/guard/watchdog.hh"
 #include "sim/logging.hh"
@@ -73,6 +74,10 @@ System::System(const SystemConfig &cfg, const trace::Program &prog)
     // components can self-register snapshots and invariants in
     // deterministic (construction) order.
     _ctx.guard.configure(cfg.guard);
+
+    _stOverlapLaunches =
+        &_ctx.stats.root().child("scheduler").scalar(
+            "overlap_launches");
 
     // Map every traced virtual page up front (the OS would have
     // faulted them in during the original execution).
@@ -264,16 +269,28 @@ System::run()
     // Drain: completion plus any outstanding lease-expiry
     // housekeeping (self-downgrades schedule into the future).
     Tick finish_tick = 0;
+    const std::uint64_t events_before = _ctx.eq.executed();
+    const auto host_start = std::chrono::steady_clock::now();
     while (!_ctx.eq.empty()) {
         wd.beforeStep();
         _ctx.eq.step();
         if (finished && finish_tick == 0)
             finish_tick = _ctx.now();
     }
+    const auto host_end = std::chrono::steady_clock::now();
     wd.onDrained(finished);
     wd.atEnd();
 
     RunResult r;
+    RunPerf perf;
+    perf.hostSeconds =
+        std::chrono::duration<double>(host_end - host_start).count();
+    perf.events = _ctx.eq.executed() - events_before;
+    perf.eventsPerSecond =
+        perf.hostSeconds > 0.0
+            ? static_cast<double>(perf.events) / perf.hostSeconds
+            : 0.0;
+    r.perf = perf;
     r.workload = _prog.name;
     r.kind = _cfg.kind;
     r.totalCycles = finish_tick;
@@ -421,8 +438,7 @@ System::pumpOverlap()
             continue;
         _invLaunched[j] = true;
         _accelBusy[accel] = true;
-        _ctx.stats.root().child("scheduler").scalar(
-            "overlap_launches") += 1;
+        *_stOverlapLaunches += 1;
         launchInvocation(j, [this, j, accel] {
             _invDone[j] = true;
             _accelBusy[accel] = false;

@@ -129,6 +129,7 @@ class System
     }
 
     // Overlap scheduling state.
+    stats::Scalar *_stOverlapLaunches; ///< resolved once in the ctor
     std::vector<std::vector<std::uint32_t>> _invDeps;
     std::vector<bool> _invDone;
     std::vector<bool> _invLaunched;

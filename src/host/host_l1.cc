@@ -31,6 +31,11 @@ HostL1::HostL1(SimContext &ctx, const HostL1Params &p, Llc &llc,
     _wordAccessScale = p.wordAccessScale;
     _agentId = llc.registerAgent(this, llc_link, p.ringNode);
     _stats = &ctx.stats.root().child(p.name);
+    _stReads = &_stats->scalar("reads");
+    _stWrites = &_stats->scalar("writes");
+    _stHits = &_stats->scalar("hits");
+    _stMisses = &_stats->scalar("misses");
+    _stBankConflicts = &_stats->scalar("bank_conflicts");
 
     ctx.guard.registerSnapshot(_name, [this] {
         guard::ComponentState s;
@@ -73,7 +78,7 @@ HostL1::bookAccess(bool is_write, double scale)
 {
     _ctx.energy.add(_energyComponent,
                     (is_write ? _fig.writePj : _fig.readPj) * scale);
-    _stats->scalar(is_write ? "writes" : "reads") += 1;
+    *(is_write ? _stWrites : _stReads) += 1;
 }
 
 void
@@ -83,7 +88,7 @@ HostL1::access(Addr pa, bool is_write, AccessDone done)
     bookAccess(is_write, _wordAccessScale);
     Cycles bank_delay = _banks.reserve(line_addr, _ctx.now());
     if (bank_delay > 0)
-        _stats->scalar("bank_conflicts") += 1;
+        *_stBankConflicts += 1;
     _ctx.eq.scheduleIn(_fig.latency + bank_delay,
                        [this, line_addr, is_write,
                         done = std::move(done)]() mutable {
@@ -103,7 +108,7 @@ HostL1::lookup(Addr line_addr, bool is_write, AccessDone done,
         if (hit) {
             if (!is_retry) {
                 ++_hits;
-                _stats->scalar("hits") += 1;
+                *_stHits += 1;
             }
             _tags.touch(*line);
             if (is_write) {
@@ -134,7 +139,7 @@ HostL1::lookup(Addr line_addr, bool is_write, AccessDone done,
     // Miss.
     if (!is_retry) {
         ++_misses;
-        _stats->scalar("misses") += 1;
+        *_stMisses += 1;
     }
     bool primary = _mshrs.allocate(
         line_addr, [this, line_addr, is_write,

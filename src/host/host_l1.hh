@@ -98,6 +98,12 @@ class HostL1 : public coherence::CoherentAgent
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
     stats::Group *_stats;
+    // Per-access counters resolved once at construction.
+    stats::Scalar *_stReads;
+    stats::Scalar *_stWrites;
+    stats::Scalar *_stHits;
+    stats::Scalar *_stMisses;
+    stats::Scalar *_stBankConflicts;
 };
 
 } // namespace fusion::host

@@ -33,6 +33,12 @@ Llc::Llc(SimContext &ctx, const LlcParams &p, mem::Dram &dram)
     _bankReadPj = fig.readPj;
     _bankWritePj = fig.writePj;
     _stats = &ctx.stats.root().child("llc");
+    _stBankReads = &_stats->scalar("bank_reads");
+    _stBankWrites = &_stats->scalar("bank_writes");
+    _stRequests = &_stats->scalar("requests");
+    _stHits = &_stats->scalar("hits");
+    _stMisses = &_stats->scalar("misses");
+    _stDeferred = &_stats->scalar("deferred");
 
     ctx.guard.registerSnapshot("llc", [this] {
         guard::ComponentState s;
@@ -125,7 +131,7 @@ Llc::pathLatency(int agent, Addr pa) const
 void
 Llc::bankAccess(bool is_write)
 {
-    _stats->scalar(is_write ? "bank_writes" : "bank_reads") += 1;
+    *(is_write ? _stBankWrites : _stBankReads) += 1;
     _ctx.energy.add(energy::comp::kLlc,
                     is_write ? _bankWritePj : _bankReadPj);
 }
@@ -134,7 +140,7 @@ void
 Llc::request(int agent, Addr pa, CoherenceReq kind, LlcDone done)
 {
     pa = lineAlign(pa);
-    _stats->scalar("requests") += 1;
+    *_stRequests += 1;
     _agents[static_cast<std::size_t>(agent)].link->book(
         MsgClass::Control);
     _ctx.eq.scheduleIn(pathLatency(agent, pa),
@@ -153,7 +159,7 @@ Llc::arrive(int agent, Addr pa, CoherenceReq kind, LlcDone done)
                               done = std::move(done)]() mutable {
             arrive(agent, pa, kind, std::move(done));
         });
-        _stats->scalar("deferred") += 1;
+        *_stDeferred += 1;
         return;
     }
     d.busy = true;
@@ -169,11 +175,11 @@ void
 Llc::lookup(int agent, Addr pa, CoherenceReq kind, LlcDone done)
 {
     if (_tags.find(pa)) {
-        _stats->scalar("hits") += 1;
+        *_stHits += 1;
         dirAction(agent, pa, kind, std::move(done));
         return;
     }
-    _stats->scalar("misses") += 1;
+    *_stMisses += 1;
     ensurePresent(pa, [this, agent, pa, kind,
                        done = std::move(done)]() mutable {
         dirAction(agent, pa, kind, std::move(done));

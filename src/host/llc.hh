@@ -194,6 +194,13 @@ class Llc
     std::unordered_map<Addr, DirInfo> _dir;
     interconnect::Link _dramLink;
     stats::Group *_stats;
+    // Per-access counters resolved once at construction.
+    stats::Scalar *_stBankReads;
+    stats::Scalar *_stBankWrites;
+    stats::Scalar *_stRequests;
+    stats::Scalar *_stHits;
+    stats::Scalar *_stMisses;
+    stats::Scalar *_stDeferred;
 };
 
 } // namespace fusion::host

@@ -7,6 +7,10 @@ Link::Link(SimContext &ctx, const LinkParams &p)
     : _ctx(ctx), _p(p), _pjPerByte(energy::linkPjPerByte(p.cls))
 {
     _stats = &ctx.stats.root().child("links").child(p.name);
+    _stCtrlMsgs = &_stats->scalar("ctrl_msgs");
+    _stDataMsgs = &_stats->scalar("data_msgs");
+    _stFlits = &_stats->scalar("flits");
+    _stBytes = &_stats->scalar("bytes");
 
     // Flit conservation: total flits booked must be explainable by
     // the message counts (Word and Data payloads are folded into
@@ -49,18 +53,18 @@ Link::book(MsgClass cls, std::uint64_t count)
     double pj = _pjPerByte * static_cast<double>(bytes);
     if (cls == MsgClass::Control) {
         _ctrlMsgs += count;
-        _stats->scalar("ctrl_msgs") += static_cast<double>(count);
+        *_stCtrlMsgs += static_cast<double>(count);
         if (!_p.ctrlComponent.empty())
             _ctx.energy.add(_p.ctrlComponent, pj);
     } else {
         // Word and full-line payloads both count as data traffic.
         _dataMsgs += count;
-        _stats->scalar("data_msgs") += static_cast<double>(count);
+        *_stDataMsgs += static_cast<double>(count);
         if (!_p.dataComponent.empty())
             _ctx.energy.add(_p.dataComponent, pj);
     }
-    _stats->scalar("flits") += static_cast<double>(flits);
-    _stats->scalar("bytes") += static_cast<double>(bytes);
+    *_stFlits += static_cast<double>(flits);
+    *_stBytes += static_cast<double>(bytes);
 }
 
 } // namespace fusion::interconnect

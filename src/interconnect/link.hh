@@ -63,6 +63,12 @@ class Link
     std::uint64_t _flits = 0;
     std::uint64_t _bytes = 0;
     stats::Group *_stats;
+    // Stat handles resolved once at construction (map nodes are
+    // stable), so book() never does a string-keyed lookup.
+    stats::Scalar *_stCtrlMsgs;
+    stats::Scalar *_stDataMsgs;
+    stats::Scalar *_stFlits;
+    stats::Scalar *_stBytes;
 };
 
 } // namespace fusion::interconnect

@@ -11,6 +11,9 @@ Dram::Dram(SimContext &ctx, const DramParams &p) : _ctx(ctx), _p(p)
     fusion_assert(p.channels > 0, "DRAM needs at least one channel");
     _channels.resize(p.channels);
     _stats = &ctx.stats.root().child("dram");
+    _stQueued = &_stats->scalar("queued");
+    _stAccesses = &_stats->scalar("accesses");
+    _stRowHits = &_stats->scalar("row_hits");
 
     ctx.guard.registerSnapshot("dram", [this] {
         guard::ComponentState s;
@@ -39,7 +42,7 @@ Dram::access(Addr pa, bool is_write, DramCallback done)
     // replay is naturally bounded by requester MLP).
     (void)is_write;
     c.queue.emplace_back(pa, std::move(done));
-    _stats->scalar("queued") += 1;
+    *_stQueued += 1;
     if (!c.busy)
         serviceNext(ch);
 }
@@ -63,8 +66,8 @@ Dram::serviceNext(std::uint32_t ch)
 
     ++_accesses;
     _rowHits += hit ? 1 : 0;
-    _stats->scalar("accesses") += 1;
-    _stats->scalar("row_hits") += hit ? 1 : 0;
+    *_stAccesses += 1;
+    *_stRowHits += hit ? 1 : 0;
     _ctx.energy.add(energy::comp::kDram, _p.accessPj);
 
     // Data burst occupies the channel; completion fires after the

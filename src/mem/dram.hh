@@ -72,6 +72,10 @@ class Dram
     std::uint64_t _accesses = 0;
     std::uint64_t _rowHits = 0;
     stats::Group *_stats;
+    // Per-access counters resolved once at construction.
+    stats::Scalar *_stQueued;
+    stats::Scalar *_stAccesses;
+    stats::Scalar *_stRowHits;
 };
 
 } // namespace fusion::mem

@@ -47,7 +47,9 @@ class Histogram
 
     /** Buckets span [lo, hi) in @p buckets equal steps. */
     Histogram(double lo, double hi, std::size_t buckets)
-        : _lo(lo), _hi(hi), _counts(buckets, 0)
+        : _lo(lo), _hi(hi),
+          _bucketScale(static_cast<double>(buckets) / (hi - lo)),
+          _counts(buckets, 0)
     {
         fusion_assert(hi > lo && buckets > 0, "bad histogram range");
     }
@@ -65,8 +67,10 @@ class Histogram
         } else if (v >= _hi) {
             ++_overflow;
         } else {
-            auto idx = static_cast<std::size_t>(
-                (v - _lo) / (_hi - _lo) * _counts.size());
+            // One multiply by the precomputed buckets/(hi-lo) scale
+            // instead of a subtract + divide per sample.
+            auto idx =
+                static_cast<std::size_t>((v - _lo) * _bucketScale);
             ++_counts[std::min(idx, _counts.size() - 1)];
         }
     }
@@ -95,6 +99,7 @@ class Histogram
   private:
     double _lo;
     double _hi;
+    double _bucketScale; ///< buckets / (hi - lo), precomputed
     std::uint64_t _samples = 0;
     double _sum = 0.0;
     double _min = 0.0;

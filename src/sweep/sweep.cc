@@ -211,7 +211,8 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opt)
 std::string
 reportJson(const std::string &sweepName,
            const std::vector<SweepJob> &jobs,
-           const std::vector<core::RunResult> &results)
+           const std::vector<core::RunResult> &results,
+           bool includePerf)
 {
     fusion_assert(jobs.size() == results.size(),
                   "report jobs/results size mismatch: ",
@@ -260,7 +261,8 @@ reportJson(const std::string &sweepName,
            << (c.overlapInvocations ? "true" : "false")
            << ",\"numTiles\":" << c.numTiles
            << ",\"dmaMaxOutstanding\":" << c.dmaMaxOutstanding
-           << "},\"result\":" << results[i].toJson() << '}';
+           << "},\"result\":" << results[i].toJson(includePerf)
+           << '}';
     }
     os << "\n]";
     // Only emitted when some job failed, so healthy reports stay
@@ -271,6 +273,24 @@ reportJson(const std::string &sweepName,
             ++failed;
     if (failed != 0)
         os << ",\"failed\":" << failed;
+    // Sweep-level aggregate of the per-run wall-clock data; only on
+    // request, for the same determinism reasons as RunResult::perf.
+    if (includePerf) {
+        double host_seconds = 0.0;
+        std::uint64_t events = 0;
+        for (const auto &r : results) {
+            if (r.perf) {
+                host_seconds += r.perf->hostSeconds;
+                events += r.perf->events;
+            }
+        }
+        os << ",\"perf\":{\"hostSeconds\":" << host_seconds
+           << ",\"events\":" << events << ",\"eventsPerSecond\":"
+           << (host_seconds > 0.0
+                   ? static_cast<double>(events) / host_seconds
+                   : 0.0)
+           << '}';
+    }
     os << "}\n";
     return os.str();
 }
@@ -278,21 +298,23 @@ reportJson(const std::string &sweepName,
 void
 writeReport(std::ostream &os, const std::string &sweepName,
             const std::vector<SweepJob> &jobs,
-            const std::vector<core::RunResult> &results)
+            const std::vector<core::RunResult> &results,
+            bool includePerf)
 {
-    os << reportJson(sweepName, jobs, results);
+    os << reportJson(sweepName, jobs, results, includePerf);
 }
 
 void
 writeReportFile(const std::string &path,
                 const std::string &sweepName,
                 const std::vector<SweepJob> &jobs,
-                const std::vector<core::RunResult> &results)
+                const std::vector<core::RunResult> &results,
+                bool includePerf)
 {
     std::ofstream out(path);
     if (!out)
         fusion_fatal("cannot open sweep report file ", path);
-    writeReport(out, sweepName, jobs, results);
+    writeReport(out, sweepName, jobs, results, includePerf);
 }
 
 } // namespace fusion::sweep

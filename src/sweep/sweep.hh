@@ -91,21 +91,29 @@ runSweep(const std::vector<SweepJob> &jobs,
  * Serialize a completed sweep as a JSON document: one entry per
  * job, in submission order, pairing the job's tag/config with its
  * full RunResult (RunResult::toJson()).
+ *
+ * @param includePerf forward wall-clock "perf" objects into each
+ *        result and append a sweep-level aggregate. Off by default:
+ *        host timing varies run to run, and the determinism tests
+ *        compare reports byte for byte.
  */
 std::string reportJson(const std::string &sweepName,
                        const std::vector<SweepJob> &jobs,
-                       const std::vector<core::RunResult> &results);
+                       const std::vector<core::RunResult> &results,
+                       bool includePerf = false);
 
 /** reportJson() to a stream. */
 void writeReport(std::ostream &os, const std::string &sweepName,
                  const std::vector<SweepJob> &jobs,
-                 const std::vector<core::RunResult> &results);
+                 const std::vector<core::RunResult> &results,
+                 bool includePerf = false);
 
 /** reportJson() to a file; fusion_fatal if it cannot be opened. */
 void writeReportFile(const std::string &path,
                      const std::string &sweepName,
                      const std::vector<SweepJob> &jobs,
-                     const std::vector<core::RunResult> &results);
+                     const std::vector<core::RunResult> &results,
+                     bool includePerf = false);
 
 } // namespace fusion::sweep
 

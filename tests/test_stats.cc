@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "sim/stats.hh"
@@ -36,6 +37,33 @@ TEST(Histogram, BucketsAndMoments)
     EXPECT_DOUBLE_EQ(h.maxValue(), 9.5);
     for (auto b : h.buckets())
         EXPECT_EQ(b, 1u);
+}
+
+TEST(Histogram, BucketBoundariesUnchangedByScalePrecompute)
+{
+    // Regression for the reciprocal-scale fast path in sample():
+    // values exactly on bucket boundaries must land in the same
+    // bucket the old divide produced, and values epsilon below a
+    // boundary must stay one bucket lower.
+    Histogram h(0.0, 64.0, 16); // width 4 — the in-tree shape
+    for (int b = 0; b < 16; ++b)
+        h.sample(b * 4.0); // boundary value opens bucket b
+    for (std::size_t b = 0; b < 16; ++b)
+        EXPECT_EQ(h.buckets()[b], 1u) << "bucket " << b;
+
+    Histogram below(0.0, 64.0, 16);
+    for (int b = 1; b < 16; ++b)
+        below.sample(std::nextafter(b * 4.0, 0.0));
+    for (std::size_t b = 0; b + 1 < 16; ++b)
+        EXPECT_EQ(below.buckets()[b], 1u) << "bucket " << b;
+    EXPECT_EQ(below.buckets()[15], 0u);
+
+    // Non-power-of-two range where the scale is inexact.
+    Histogram odd(0.0, 10.0, 10);
+    for (int b = 0; b < 10; ++b)
+        odd.sample(static_cast<double>(b));
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(odd.buckets()[b], 1u) << "bucket " << b;
 }
 
 TEST(Histogram, UnderAndOverflow)

@@ -345,6 +345,81 @@ TEST(Sweep, PoisonedJobIsIsolatedAndDeterministic)
               std::string::npos);
 }
 
+TEST(Sweep, DeterminismAnchorAcrossAllSystemKinds)
+{
+    // The kernel-internals anchor: every system organization run
+    // twice must serialize byte-identically. Any nondeterminism in
+    // the event kernel (ordering, stat accounting, wall-clock data
+    // leaking into the default JSON) trips this immediately.
+    for (auto kind :
+         {core::SystemKind::Scratch, core::SystemKind::Shared,
+          core::SystemKind::Fusion, core::SystemKind::FusionDx,
+          core::SystemKind::FusionMesi}) {
+        core::SweepJob j;
+        j.cfg = core::SystemConfig::paperDefault(kind);
+        j.workload = "adpcm";
+        j.scale = workloads::Scale::Small;
+        j.tag = core::systemKindShortName(kind);
+        auto twice = core::runSweep({j, j});
+        ASSERT_EQ(twice.size(), 2u);
+        EXPECT_EQ(twice[0].toJson(), twice[1].toJson())
+            << "system " << core::systemKindName(kind)
+            << " is nondeterministic";
+    }
+}
+
+TEST(RunResult, PerfIsOptInAndOffByDefault)
+{
+    auto prog = core::buildProgram("adpcm", workloads::Scale::Small);
+    ASSERT_TRUE(prog.has_value());
+    core::RunResult r = core::runProgram(
+        core::SystemConfig::paperDefault(core::SystemKind::Fusion),
+        *prog);
+
+    // Every run measures wall-clock throughput...
+    ASSERT_TRUE(r.perf.has_value());
+    EXPECT_GT(r.perf->events, 0u);
+    EXPECT_GE(r.perf->hostSeconds, 0.0);
+
+    // ...but serializes it only on request, so the determinism
+    // comparisons above keep holding.
+    EXPECT_EQ(r.toJson().find("\"perf\""), std::string::npos);
+    std::string with = r.toJson(/*include_perf=*/true);
+    EXPECT_NE(with.find("\"perf\":{\"hostSeconds\":"),
+              std::string::npos);
+    EXPECT_NE(with.find("\"eventsPerSecond\":"), std::string::npos);
+    // The perf block is the only difference.
+    std::string without = r.toJson();
+    std::size_t at = with.find(",\"perf\":{");
+    ASSERT_NE(at, std::string::npos);
+    std::size_t end = with.find('}', at);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(with.substr(0, at) + with.substr(end + 1), without);
+}
+
+TEST(Sweep, ReportPerfAggregateIsOptIn)
+{
+    core::SweepJob j;
+    j.cfg = core::SystemConfig::paperDefault(
+        core::SystemKind::Fusion);
+    j.workload = "adpcm";
+    j.scale = workloads::Scale::Small;
+    j.tag = "agg";
+    auto results = core::runSweep({j, j});
+    std::string plain = sweep::reportJson("agg", {j, j}, results);
+    EXPECT_EQ(plain.find("\"perf\""), std::string::npos);
+    std::string with =
+        sweep::reportJson("agg", {j, j}, results, true);
+    // Per-result blocks plus the sweep-level aggregate.
+    std::size_t first = with.find("\"perf\":{");
+    ASSERT_NE(first, std::string::npos);
+    std::size_t count = 0;
+    for (std::size_t at = first; at != std::string::npos;
+         at = with.find("\"perf\":{", at + 1))
+        ++count;
+    EXPECT_EQ(count, 3u);
+}
+
 TEST(Sweep, ReportOmitsFailureFieldsWhenAllHealthy)
 {
     core::SweepJob j;
