@@ -10,6 +10,7 @@ AccelCore::AccelCore(SimContext &ctx, const AccelCoreParams &p,
                      AccelId id)
     : _ctx(ctx), _p(p), _id(id)
 {
+    _ecCompute = ctx.energy.component(energy::comp::kAxcCompute);
     _stats = &ctx.stats.root()
                   .child("axc" + std::to_string(id))
                   .child("core");
@@ -36,7 +37,7 @@ AccelCore::AccelCore(SimContext &ctx, const AccelCoreParams &p,
 void
 AccelCore::run(const trace::Invocation &inv, std::uint32_t mlp,
                MemPort &port, std::size_t begin_op,
-               std::size_t end_op, std::function<void()> done)
+               std::size_t end_op, sim::SmallFn<void()> done)
 {
     fusion_assert(!_active, "accelerator ", _id, " already running");
     fusion_assert(mlp > 0, "MLP must be positive");
@@ -60,7 +61,7 @@ AccelCore::pump()
     while (_pos < _end) {
         const trace::TraceOp &op = _inv->ops[_pos];
         if (op.kind == trace::OpKind::Compute) {
-            _ctx.energy.add(energy::comp::kAxcCompute,
+            _ctx.energy.add(_ecCompute,
                             _p.intOpPj * op.intOps +
                                 _p.fpOpPj * op.fpOps);
             *_stIntOps += op.intOps;
@@ -108,8 +109,7 @@ AccelCore::pump()
     if (_outstandingLoads == 0 && _outstandingStores == 0 &&
         _active) {
         _active = false;
-        auto done = std::move(_done);
-        _done = nullptr;
+        auto done = std::move(_done); // move empties _done
         done();
     }
 }

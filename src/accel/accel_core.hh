@@ -17,8 +17,6 @@
 #ifndef FUSION_ACCEL_ACCEL_CORE_HH
 #define FUSION_ACCEL_ACCEL_CORE_HH
 
-#include <functional>
-
 #include "accel/mem_port.hh"
 #include "sim/sim_context.hh"
 #include "trace/trace.hh"
@@ -51,12 +49,12 @@ class AccelCore
      */
     void run(const trace::Invocation &inv, std::uint32_t mlp,
              MemPort &port, std::size_t begin_op, std::size_t end_op,
-             std::function<void()> done);
+             sim::SmallFn<void()> done);
 
     /** Convenience: replay the whole invocation. */
     void
     run(const trace::Invocation &inv, std::uint32_t mlp,
-        MemPort &port, std::function<void()> done)
+        MemPort &port, sim::SmallFn<void()> done)
     {
         run(inv, mlp, port, 0, inv.ops.size(), std::move(done));
     }
@@ -81,7 +79,8 @@ class AccelCore
     std::uint32_t _outstandingStores = 0;
     bool _active = false;
     bool _pumpScheduled = false;
-    std::function<void()> _done;
+    sim::SmallFn<void()> _done;
+    energy::ComponentId _ecCompute = energy::kInvalidComponent;
     std::uint64_t _memOps = 0;
     stats::Group *_stats;
     // Per-op counters resolved once at construction.

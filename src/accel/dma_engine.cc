@@ -41,7 +41,7 @@ DmaEngine::DmaEngine(SimContext &ctx, const DmaParams &p,
 
 void
 DmaEngine::fill(const std::vector<Addr> &vlines, Pid pid,
-                mem::Scratchpad &spm, std::function<void()> done)
+                mem::Scratchpad &spm, sim::SmallFn<void()> done)
 {
     fusion_assert(_state == DmaState::Idle, "DMA engine busy");
     _state = DmaState::Fill;
@@ -58,7 +58,7 @@ DmaEngine::fill(const std::vector<Addr> &vlines, Pid pid,
 
 void
 DmaEngine::drain(const std::vector<Addr> &vlines, Pid pid,
-                 mem::Scratchpad &spm, std::function<void()> done)
+                 mem::Scratchpad &spm, sim::SmallFn<void()> done)
 {
     fusion_assert(_state == DmaState::Idle, "DMA engine busy");
     _state = DmaState::Drain;
@@ -101,8 +101,7 @@ DmaEngine::pump()
     if (_pos >= _lines->size() && _outstanding == 0 &&
         _state != DmaState::Idle) {
         _state = DmaState::Idle;
-        auto done = std::move(_done);
-        _done = nullptr;
+        auto done = std::move(_done); // move empties _done
         done();
     }
 }

@@ -17,7 +17,6 @@
 #ifndef FUSION_ACCEL_DMA_ENGINE_HH
 #define FUSION_ACCEL_DMA_ENGINE_HH
 
-#include <functional>
 #include <vector>
 
 #include "host/llc.hh"
@@ -61,13 +60,13 @@ class DmaEngine
      * LLC into @p spm. @p done fires when the window is resident.
      */
     void fill(const std::vector<Addr> &vlines, Pid pid,
-              mem::Scratchpad &spm, std::function<void()> done);
+              mem::Scratchpad &spm, sim::SmallFn<void()> done);
 
     /**
      * DRAIN: push dirty @p vlines from @p spm back to the LLC.
      */
     void drain(const std::vector<Addr> &vlines, Pid pid,
-               mem::Scratchpad &spm, std::function<void()> done);
+               mem::Scratchpad &spm, sim::SmallFn<void()> done);
 
     DmaState state() const { return _state; }
     std::uint64_t lineTransfers() const { return _lineTransfers; }
@@ -92,7 +91,7 @@ class DmaEngine
     mem::Scratchpad *_spm = nullptr;
     std::size_t _pos = 0;
     std::uint32_t _outstanding = 0;
-    std::function<void()> _done;
+    sim::SmallFn<void()> _done;
 
     std::uint64_t _lineTransfers = 0;
     std::uint64_t _dmaOps = 0;

@@ -42,6 +42,7 @@ L0x::L0x(SimContext &ctx, const L0xParams &p, L1xAcc &l1x,
     sp.banks = 1;
     sp.kind = energy::SramKind::TimestampCache;
     _fig = energy::evaluateSram(sp);
+    _ecL0x = ctx.energy.component(energy::comp::kL0x);
     _setWbTime.assign(_tags.numSets(), kTickNever);
     _stats = &ctx.stats.root().child(p.name);
     _stReads = &_stats->scalar("reads");
@@ -104,7 +105,7 @@ L0x::bookAccess(bool is_write, bool line_granular)
     double pj = is_write ? _fig.writePj : _fig.readPj;
     if (!line_granular)
         pj *= kWordAccessScale;
-    _ctx.energy.add(energy::comp::kL0x, pj);
+    _ctx.energy.add(_ecL0x, pj);
     *(is_write ? _stWrites : _stReads) += 1;
 }
 
@@ -182,7 +183,8 @@ L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
     }
     bool need_data = !lease_valid;
     bool primary = _mshrs.allocate(
-        vline, [this, vline, is_write, done = std::move(done)]() {
+        vline,
+        [this, vline, is_write, done = std::move(done)]() mutable {
             lookup(vline, is_write, std::move(done), true);
         });
     if (primary)

@@ -144,6 +144,7 @@ class L0x : public MemPort
     mem::CacheArray _tags;
     mem::MshrFile _mshrs;
     energy::SramFigures _fig;
+    energy::ComponentId _ecL0x = energy::kInvalidComponent;
     Cycles _leaseLen = 500;
     Pid _pid = 1;
     const std::unordered_map<Addr, L0x *> *_fwdTargets = nullptr;

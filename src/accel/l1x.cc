@@ -28,6 +28,7 @@ L1xAcc::L1xAcc(SimContext &ctx, const L1xParams &p, host::Llc &llc,
     sp.banks = p.banks;
     sp.kind = energy::SramKind::TimestampCache;
     _fig = energy::evaluateSram(sp);
+    _ecL1x = ctx.energy.component(energy::comp::kL1x);
     _agentId = llc.registerAgent(this, llc_link, p.ringNode);
     _stats = &ctx.stats.root().child(p.name);
     _stReads = &_stats->scalar("reads");
@@ -38,9 +39,7 @@ L1xAcc::L1xAcc(SimContext &ctx, const L1xParams &p, host::Llc &llc,
 
     ctx.guard.registerSnapshot(p.name, [this] {
         guard::ComponentState s;
-        std::uint64_t stalled = 0;
-        for (const auto &[key, q] : _stalled)
-            stalled += q.size();
+        std::uint64_t stalled = _stalled.targets();
         s.outstanding = _mshrs.size() + stalled + _wbBuffer.size();
         if (s.outstanding != 0) {
             std::ostringstream os;
@@ -92,9 +91,7 @@ L1xAcc::L1xAcc(SimContext &ctx, const L1xParams &p, host::Llc &llc,
                 out.push_back("leaked MSHRs at end-of-sim: " +
                               std::to_string(_mshrs.size()));
             }
-            std::uint64_t stalled = 0;
-            for (const auto &[key, q] : _stalled)
-                stalled += q.size();
+            std::uint64_t stalled = _stalled.targets();
             if (stalled != 0) {
                 out.push_back(
                     std::to_string(stalled) +
@@ -111,8 +108,7 @@ L1xAcc::L1xAcc(SimContext &ctx, const L1xParams &p, host::Llc &llc,
 void
 L1xAcc::bookAccess(bool is_write)
 {
-    _ctx.energy.add(energy::comp::kL1x,
-                    is_write ? _fig.writePj : _fig.readPj);
+    _ctx.energy.add(_ecL1x, is_write ? _fig.writePj : _fig.readPj);
     *(is_write ? _stWrites : _stReads) += 1;
 }
 
@@ -151,7 +147,8 @@ L1xAcc::processLease(AccelId who, Addr vline, Pid pid,
             DPRINTFN("ACC", "stall vline=", vline, " now=",
                      _ctx.now(), " wepochEnd=", line->wepochEnd,
                      " gtime=", line->gtime, " who=", who);
-            _stalled[stallKey(vline, pid)].push_back(
+            _stalled.allocate(
+                vline, pid,
                 [this, who, vline, pid, lease_len, is_write,
                  need_data, done = std::move(done)]() mutable {
                     processLease(who, vline, pid, lease_len,
@@ -174,10 +171,10 @@ L1xAcc::processLease(AccelId who, Addr vline, Pid pid,
         ++_misses;
         *_stMisses += 1;
     }
-    std::uint64_t key = stallKey(vline, pid);
     bool primary = _mshrs.allocate(
-        key, [this, who, vline, pid, lease_len, is_write, need_data,
-              done = std::move(done)]() mutable {
+        vline, pid,
+        [this, who, vline, pid, lease_len, is_write, need_data,
+         done = std::move(done)]() mutable {
             processLease(who, vline, pid, lease_len, is_write,
                          need_data, std::move(done), true);
         });
@@ -230,13 +227,13 @@ L1xAcc::finishFill(Addr vline, Pid pid, Addr pline)
         line->pline = pline;
         _rmap.insert(pline, vline, pid);
         bookAccess(true); // fill write
-        _mshrs.complete(stallKey(vline, pid));
+        _mshrs.complete(vline, pid);
     });
 }
 
 void
 L1xAcc::allocateFrame(Addr vline, Pid pid, Addr pline,
-                      std::function<void()> installed)
+                      sim::SmallFn<void()> installed)
 {
     Tick now = _ctx.now();
     mem::CacheLine *victim = _tags.victim(
@@ -247,10 +244,12 @@ L1xAcc::allocateFrame(Addr vline, Pid pid, Addr pline,
         });
     if (!victim) {
         _stats->scalar("frame_retries") += 1;
-        _ctx.eq.scheduleIn(16, [this, vline, pid, pline,
-                                installed = std::move(installed)]() {
-            allocateFrame(vline, pid, pline, std::move(installed));
-        });
+        _ctx.eq.scheduleIn(
+            16, [this, vline, pid, pline,
+                 installed = std::move(installed)]() mutable {
+                allocateFrame(vline, pid, pline,
+                              std::move(installed));
+            });
         return;
     }
     if (victim->valid) {
@@ -289,7 +288,7 @@ L1xAcc::grant(mem::CacheLine &line, Cycles lease_len, bool is_write,
     if (_ctx.guard.fireFault(guard::FaultKind::DelayGrant))
         resp_lat += _ctx.guard.faultDelay();
     _ctx.eq.scheduleIn(resp_lat,
-                       [end, done = std::move(done)]() {
+                       [end, done = std::move(done)]() mutable {
                            done(LeaseGrant{end});
                        });
 }
@@ -356,8 +355,7 @@ L1xAcc::writeThroughStore(AccelId who, Addr vline, Pid pid)
         return;
     }
     // Write-allocate through the regular miss path.
-    std::uint64_t key = stallKey(vline, pid);
-    bool primary = _mshrs.allocate(key, [] {});
+    bool primary = _mshrs.allocate(vline, pid, [] {});
     if (primary)
         startFill(vline, pid);
 }
@@ -365,14 +363,10 @@ L1xAcc::writeThroughStore(AccelId who, Addr vline, Pid pid)
 void
 L1xAcc::wakeStalled(Addr vline, Pid pid)
 {
-    auto it = _stalled.find(stallKey(vline, pid));
-    if (it == _stalled.end())
-        return;
-    auto queue = std::move(it->second);
-    _stalled.erase(it);
-    // Replays re-stall into a fresh queue if the line locks again.
-    for (auto &fn : queue)
-        fn();
+    // complete() detaches the queue before replaying, so replays
+    // re-stall into a fresh entry if the line locks again.
+    if (_stalled.pending(vline, pid))
+        _stalled.complete(vline, pid);
 }
 
 void

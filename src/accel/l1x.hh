@@ -33,10 +33,8 @@
 #ifndef FUSION_ACCEL_L1X_HH
 #define FUSION_ACCEL_L1X_HH
 
-#include <deque>
 #include <list>
 #include <string>
-#include <unordered_map>
 
 #include "energy/sram_model.hh"
 #include "coherence/protocol.hh"
@@ -72,7 +70,7 @@ struct LeaseGrant
 class L1xAcc : public coherence::CoherentAgent
 {
   public:
-    using LeaseDone = std::function<void(const LeaseGrant &)>;
+    using LeaseDone = sim::SmallFn<void(const LeaseGrant &)>;
 
     /**
      * @param tile_link the L0X<->L1X link (response direction booked
@@ -147,14 +145,6 @@ class L1xAcc : public coherence::CoherentAgent
         FwdDone done;
     };
 
-    static std::uint64_t
-    stallKey(Addr vline, Pid pid)
-    {
-        return vline ^ (static_cast<std::uint64_t>(
-                            static_cast<std::uint32_t>(pid))
-                        << 48);
-    }
-
     void bookAccess(bool is_write);
     /** Main lease state machine, post bank-access latency. */
     void processLease(AccelId who, Addr vline, Pid pid,
@@ -168,7 +158,7 @@ class L1xAcc : public coherence::CoherentAgent
     void finishFill(Addr vline, Pid pid, Addr pline);
     /** Allocate a frame, evicting an expired victim. */
     void allocateFrame(Addr vline, Pid pid, Addr pline,
-                       std::function<void()> installed);
+                       sim::SmallFn<void()> installed);
     void wakeStalled(Addr vline, Pid pid);
     void tryRespondWbBuf(std::uint64_t id);
 
@@ -181,13 +171,15 @@ class L1xAcc : public coherence::CoherentAgent
     vm::AxRmap &_rmap;
     mem::CacheArray _tags;
     mem::BankScheduler _banks;
-    mem::MshrFile _mshrs; ///< keyed by stallKey(vline, pid)
+    mem::MshrFile _mshrs; ///< keyed by (vline, pid)
     energy::SramFigures _fig;
+    energy::ComponentId _ecL1x = energy::kInvalidComponent;
     int _agentId = -1;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
-    std::unordered_map<std::uint64_t, std::deque<std::function<void()>>>
-        _stalled;
+    /** Write-epoch stall queues — the same pooled (vline, pid)
+     *  structure as the MSHR file; wakeStalled() drains one key. */
+    mem::MshrFile _stalled;
     std::list<WbBufEntry> _wbBuffer;
     std::uint64_t _nextWbId = 1;
     stats::Group *_stats;

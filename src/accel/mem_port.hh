@@ -9,15 +9,15 @@
 #ifndef FUSION_ACCEL_MEM_PORT_HH
 #define FUSION_ACCEL_MEM_PORT_HH
 
-#include <functional>
-
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace fusion::accel
 {
 
-/** Completion callback for one memory operation. */
-using PortDone = std::function<void()>;
+/** Completion callback for one memory operation (allocation-free
+ *  move-only closure; see sim/small_fn.hh). */
+using PortDone = sim::SmallFn<void()>;
 
 /** Non-blocking memory port (Section 4: "aggressive non-blocking
  *  interface to memory"). */

@@ -33,6 +33,7 @@ L0xMesi::L0xMesi(SimContext &ctx, std::string name,
     sp.banks = 1;
     sp.kind = energy::SramKind::Cache; // no timestamp field
     _fig = energy::evaluateSram(sp);
+    _ecL0x = ctx.energy.component(energy::comp::kL0x);
     _stats = &ctx.stats.root().child(_name);
     _stReads = &_stats->scalar("reads");
     _stWrites = &_stats->scalar("writes");
@@ -47,7 +48,7 @@ L0xMesi::bookAccess(bool is_write, bool line_granular)
     double pj = is_write ? _fig.writePj : _fig.readPj;
     if (!line_granular)
         pj *= kWordAccessScale;
-    _ctx.energy.add(energy::comp::kL0x, pj);
+    _ctx.energy.add(_ecL0x, pj);
     *(is_write ? _stWrites : _stReads) += 1;
 }
 
@@ -95,7 +96,8 @@ L0xMesi::lookup(Addr vline, bool is_write, PortDone done,
             1;
     }
     bool primary = _mshrs.allocate(
-        vline, [this, vline, is_write, done = std::move(done)]() {
+        vline,
+        [this, vline, is_write, done = std::move(done)]() mutable {
             lookup(vline, is_write, std::move(done), true);
         });
     if (primary) {
@@ -165,7 +167,7 @@ L0xMesi::fillDone(Addr vline, bool is_write, bool exclusive)
 
 void
 L0xMesi::handleTileFwd(Addr vline, FwdKind kind,
-                       std::function<void(bool dirty)> done)
+                       sim::SmallFn<void(bool dirty)> done)
 {
     ++_probes;
     _stats->scalar("probes") += 1;
@@ -210,6 +212,7 @@ L1xMesi::L1xMesi(SimContext &ctx, std::uint64_t bytes,
     sp.banks = banks;
     sp.kind = energy::SramKind::Cache;
     _fig = energy::evaluateSram(sp);
+    _ecL1x = ctx.energy.component(energy::comp::kL1x);
     _agentId = llc.registerAgent(this, llc_link, ring_node);
     _stats = &ctx.stats.root().child("l1x");
     _stReads = &_stats->scalar("reads");
@@ -230,7 +233,7 @@ L1xMesi::addL0x(L0xMesi *l0x)
 void
 L1xMesi::bookAccess(bool is_write)
 {
-    _ctx.energy.add(energy::comp::kL1x,
+    _ctx.energy.add(_ecL1x,
                     is_write ? _fig.writePj : _fig.readPj);
     *(is_write ? _stWrites : _stReads) += 1;
 }
@@ -272,10 +275,10 @@ L1xMesi::arrive(int l0x_id, Addr vline, Pid pid, CoherenceReq kind,
     }
     ++_misses;
     *_stMisses += 1;
-    std::uint64_t k = key(vline, pid);
     bool primary = _mshrs.allocate(
-        k, [this, l0x_id, vline, pid, kind,
-            done = std::move(done)]() mutable {
+        vline, pid,
+        [this, l0x_id, vline, pid, kind,
+         done = std::move(done)]() mutable {
             dirAction(l0x_id, vline, pid, kind, std::move(done));
         });
     if (primary)
@@ -322,8 +325,8 @@ L1xMesi::startFill(Addr vline, Pid pid)
                                            _rmap.insert(pline,
                                                         vline, pid);
                                            bookAccess(true);
-                                           _mshrs.complete(
-                                               key(vline, pid));
+                                           _mshrs.complete(vline,
+                                                           pid);
                                        });
                      });
     });
@@ -331,7 +334,7 @@ L1xMesi::startFill(Addr vline, Pid pid)
 
 void
 L1xMesi::allocateFrame(Addr vline, Pid pid, Addr pline,
-                       std::function<void()> installed)
+                       sim::SmallFn<void()> installed)
 {
     mem::CacheLine *victim = _tags.victim(
         vline, [this](const mem::CacheLine &l) {
@@ -346,10 +349,12 @@ L1xMesi::allocateFrame(Addr vline, Pid pid, Addr pline,
         });
     if (!victim) {
         _stats->scalar("frame_retries") += 1;
-        _ctx.eq.scheduleIn(16, [this, vline, pid, pline,
-                                installed = std::move(installed)]() {
-            allocateFrame(vline, pid, pline, std::move(installed));
-        });
+        _ctx.eq.scheduleIn(
+            16, [this, vline, pid, pline,
+                 installed = std::move(installed)]() mutable {
+                allocateFrame(vline, pid, pline,
+                              std::move(installed));
+            });
         return;
     }
     if (victim->valid) {
@@ -418,7 +423,7 @@ L1xMesi::dirAction(int l0x_id, Addr vline, Pid pid,
 
 void
 L1xMesi::clearTile(int except, Addr vline, Pid pid,
-                   bool downgrade_to_s, std::function<void()> then)
+                   bool downgrade_to_s, sim::SmallFn<void()> then)
 {
     DirInfo &d = _dir[key(vline, pid)];
     struct Target
@@ -444,7 +449,7 @@ L1xMesi::clearTile(int except, Addr vline, Pid pid,
     }
     auto remaining = std::make_shared<std::size_t>(targets.size());
     auto cont =
-        std::make_shared<std::function<void()>>(std::move(then));
+        std::make_shared<sim::SmallFn<void()>>(std::move(then));
     for (const Target &t : targets) {
         ++_probesSent;
         _stats->scalar("probes_sent") += 1;
@@ -503,7 +508,8 @@ L1xMesi::respond(int l0x_id, Addr vline, Pid pid, bool exclusive,
     _tileLink->book(with_data ? MsgClass::Data : MsgClass::Control);
     finishTransaction(vline, pid);
     _ctx.eq.scheduleIn(_tileLink->latency(),
-                       [exclusive, done = std::move(done)] {
+                       [exclusive,
+                        done = std::move(done)]() mutable {
                            done(exclusive);
                        });
 }

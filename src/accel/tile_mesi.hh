@@ -33,6 +33,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "accel/mem_port.hh"
@@ -68,7 +69,7 @@ class L0xMesi : public MemPort
 
     /** Directory demand from the L1X (probe). kind as in MESI. */
     void handleTileFwd(Addr vline, coherence::FwdKind kind,
-                       std::function<void(bool dirty)> done);
+                       sim::SmallFn<void(bool dirty)> done);
 
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
@@ -91,6 +92,7 @@ class L0xMesi : public MemPort
     mem::CacheArray _tags;
     mem::MshrFile _mshrs;
     energy::SramFigures _fig;
+    energy::ComponentId _ecL0x = energy::kInvalidComponent;
     Pid _pid = 1;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
@@ -113,7 +115,7 @@ class L0xMesi : public MemPort
 class L1xMesi : public coherence::CoherentAgent
 {
   public:
-    using GrantDone = std::function<void(bool exclusive)>;
+    using GrantDone = sim::SmallFn<void(bool exclusive)>;
 
     L1xMesi(SimContext &ctx, std::uint64_t bytes,
             std::uint32_t assoc, std::uint32_t banks,
@@ -150,15 +152,23 @@ class L1xMesi : public coherence::CoherentAgent
         int owner = -1;
         std::uint32_t sharers = 0;
         bool busy = false;
-        std::deque<std::function<void()>> deferred;
+        std::deque<sim::SmallFn<void()>> deferred;
     };
 
-    static std::uint64_t
-    key(Addr vline, Pid pid)
+    /** Directory key: the (vline, pid) composite itself — an XOR
+     *  fold of the PID into the address aliases distinct lines. */
+    using LineKey = std::pair<Addr, Pid>;
+    struct LineKeyHash
     {
-        return vline ^ (static_cast<std::uint64_t>(
-                            static_cast<std::uint32_t>(pid))
-                        << 48);
+        std::size_t operator()(const LineKey &k) const
+        {
+            return static_cast<std::size_t>(
+                mem::mixLinePid(k.first, k.second));
+        }
+    };
+    static LineKey key(Addr vline, Pid pid)
+    {
+        return LineKey{vline, pid};
     }
     static std::uint32_t bit(int id)
     {
@@ -172,13 +182,13 @@ class L1xMesi : public coherence::CoherentAgent
                    coherence::CoherenceReq kind, GrantDone done);
     /** Probe tile holders (downgrade or invalidate), then @p then. */
     void clearTile(int except, Addr vline, Pid pid,
-                   bool downgrade_to_s, std::function<void()> then);
+                   bool downgrade_to_s, sim::SmallFn<void()> then);
     void respond(int l0x_id, Addr vline, Pid pid, bool exclusive,
                  bool with_data, GrantDone done);
     void finishTransaction(Addr vline, Pid pid);
     void startFill(Addr vline, Pid pid);
     void allocateFrame(Addr vline, Pid pid, Addr pline,
-                       std::function<void()> installed);
+                       sim::SmallFn<void()> installed);
 
     SimContext &_ctx;
     std::string _name = "l1x";
@@ -191,9 +201,10 @@ class L1xMesi : public coherence::CoherentAgent
     mem::BankScheduler _banks;
     mem::MshrFile _mshrs;
     energy::SramFigures _fig;
+    energy::ComponentId _ecL1x = energy::kInvalidComponent;
     int _agentId = -1;
     std::vector<L0xMesi *> _l0xs;
-    std::unordered_map<std::uint64_t, DirInfo> _dir;
+    std::unordered_map<LineKey, DirInfo, LineKeyHash> _dir;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
     std::uint64_t _probesSent = 0;

@@ -14,9 +14,9 @@
 #ifndef FUSION_COHERENCE_PROTOCOL_HH
 #define FUSION_COHERENCE_PROTOCOL_HH
 
-#include <functional>
 #include <string>
 
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace fusion::coherence
@@ -63,7 +63,7 @@ class CoherentAgent
      *             downgrade on FwdGetS; the accelerator tile always
      *             relinquishes, Section 3.2)
      */
-    using FwdDone = std::function<void(bool dirty, bool retained)>;
+    using FwdDone = sim::SmallFn<void(bool dirty, bool retained)>;
 
     /**
      * Handle a forwarded coherence demand for physical line @p pa.

@@ -248,7 +248,7 @@ System::run()
     _ctx.eq.scheduleIn(0, [this, &finished] {
         _hostCore->run(_prog.hostInit, _prog.pid, [this, &finished] {
             _accelStart = _ctx.now();
-            auto run_all = [this](std::function<void()> then) {
+            auto run_all = [this](sim::SmallFn<void()> then) {
                 if (_cfg.overlapInvocations &&
                     _cfg.kind != SystemKind::Scratch) {
                     runOverlapped(std::move(then));
@@ -303,7 +303,7 @@ System::run()
 }
 
 void
-System::runInvocation(std::size_t idx, std::function<void()> then)
+System::runInvocation(std::size_t idx, sim::SmallFn<void()> then)
 {
     if (idx >= _prog.invocations.size()) {
         then();
@@ -317,7 +317,7 @@ System::runInvocation(std::size_t idx, std::function<void()> then)
 
 void
 System::launchInvocation(std::size_t idx,
-                         std::function<void()> completion_cb)
+                         sim::SmallFn<void()> completion_cb)
 {
     const trace::Invocation &inv = _prog.invocations[idx];
     const trace::FunctionMeta &meta =
@@ -391,7 +391,7 @@ System::launchInvocation(std::size_t idx,
 }
 
 void
-System::runOverlapped(std::function<void()> then)
+System::runOverlapped(sim::SmallFn<void()> then)
 {
     std::size_t n = _prog.invocations.size();
     if (n == 0) {
@@ -413,8 +413,7 @@ System::pumpOverlap()
     if (_invRemaining == 0) {
         if (!_overlapThen)
             return; // completion already delivered reentrantly
-        auto then = std::move(_overlapThen);
-        _overlapThen = nullptr;
+        auto then = std::move(_overlapThen); // move empties it
         then();
         return;
     }
@@ -450,7 +449,7 @@ System::pumpOverlap()
 
 void
 System::runScratchWindows(std::size_t inv_idx, std::size_t widx,
-                          std::function<void()> then)
+                          sim::SmallFn<void()> then)
 {
     const trace::Invocation &inv = _prog.invocations[inv_idx];
     const trace::FunctionMeta &meta =

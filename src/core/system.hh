@@ -72,14 +72,14 @@ class System
     /** MemPort adapter for the SHARED organization. */
     class SharedFrontend;
 
-    void runInvocation(std::size_t idx, std::function<void()> then);
+    void runInvocation(std::size_t idx, sim::SmallFn<void()> then);
     void runScratchWindows(std::size_t inv_idx, std::size_t widx,
-                           std::function<void()> then);
+                           sim::SmallFn<void()> then);
     /** Dependence-driven overlapped execution (cached systems). */
-    void runOverlapped(std::function<void()> then);
+    void runOverlapped(sim::SmallFn<void()> then);
     void pumpOverlap();
     void launchInvocation(std::size_t idx,
-                          std::function<void()> completion);
+                          sim::SmallFn<void()> completion);
     void collect(RunResult &r) const;
 
     SystemConfig _cfg;
@@ -135,7 +135,7 @@ class System
     std::vector<bool> _invLaunched;
     std::vector<bool> _accelBusy;
     std::size_t _invRemaining = 0;
-    std::function<void()> _overlapThen;
+    sim::SmallFn<void()> _overlapThen;
 
     // Phase bookkeeping.
     Tick _accelStart = 0;

@@ -6,13 +6,26 @@
  * of each access against a named component in one shared Ledger; the
  * experiment harness then renders the Figure-6a-style stacked
  * breakdowns from the ledger totals.
+ *
+ * Booking is handle-based: a component registers its name once at
+ * construction via component() and receives a ComponentId indexing a
+ * flat vector of totals, so the per-access path is one indexed add —
+ * the old string-keyed add() hashed and probed a map on every cache,
+ * link and DRAM access, the hottest path in the simulator. The
+ * name-keyed views (components(), total(), totalWithPrefix(),
+ * grandTotal()) iterate in name-sorted order over components that
+ * have actually booked, which keeps reporter output — including the
+ * floating-point accumulation order of the totals — byte-identical
+ * to the map-backed ledger.
  */
 
 #ifndef FUSION_ENERGY_ENERGY_LEDGER_HH
 #define FUSION_ENERGY_ENERGY_LEDGER_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace fusion::energy
 {
@@ -41,32 +54,68 @@ inline constexpr const char *kLinkHostL1L2 = "link.hostl1_l2";
 inline constexpr const char *kLinkLlcDram = "link.llc_dram";
 } // namespace comp
 
-/** Accumulates picojoules per named component. */
+/** Index of one registered component in the ledger (see
+ *  Ledger::component()). */
+using ComponentId = std::uint32_t;
+
+/** Sentinel for "no component" (e.g. a Link with no energy names
+ *  configured). add() on it is invalid; callers gate on it. */
+inline constexpr ComponentId kInvalidComponent = 0xffffffffu;
+
+/** Accumulates picojoules per registered component. */
 class Ledger
 {
   public:
-    /** Book @p pj picojoules against @p component. */
-    void
-    add(const std::string &component, double pj)
+    /**
+     * Register (or look up) @p name and return its id. Idempotent;
+     * meant to be called once per component at construction, after
+     * which every booking is a flat vector add.
+     */
+    ComponentId
+    component(const std::string &name)
     {
-        _pj[component] += pj;
+        auto [it, inserted] = _index.try_emplace(
+            name, static_cast<ComponentId>(_vals.size()));
+        if (inserted) {
+            _vals.push_back(0.0);
+            _booked.push_back(false);
+        }
+        return it->second;
+    }
+
+    /** Book @p pj picojoules against registered component @p id. */
+    void
+    add(ComponentId id, double pj)
+    {
+        _vals[id] += pj;
+        _booked[id] = true;
+    }
+
+    /** Name-keyed booking (registers on demand; report-time and
+     *  cold paths only — hot paths hold a ComponentId). */
+    void
+    add(const std::string &name, double pj)
+    {
+        add(component(name), pj);
     }
 
     /** Total booked against @p component (0 if never seen). */
     double
     total(const std::string &component) const
     {
-        auto it = _pj.find(component);
-        return it == _pj.end() ? 0.0 : it->second;
+        auto it = _index.find(component);
+        return it == _index.end() ? 0.0 : _vals[it->second];
     }
 
-    /** Sum over all components. */
+    /** Sum over all components (name-sorted accumulation order). */
     double
     grandTotal() const
     {
         double t = 0.0;
-        for (const auto &[k, v] : _pj)
-            t += v;
+        for (const auto &[k, id] : _index) {
+            if (_booked[id])
+                t += _vals[id];
+        }
         return t;
     }
 
@@ -75,24 +124,46 @@ class Ledger
     totalWithPrefix(const std::string &prefix) const
     {
         double t = 0.0;
-        for (const auto &[k, v] : _pj) {
-            if (k.rfind(prefix, 0) == 0)
-                t += v;
+        for (const auto &[k, id] : _index) {
+            if (_booked[id] && k.rfind(prefix, 0) == 0)
+                t += _vals[id];
         }
         return t;
     }
 
-    /** All components and their totals. */
-    const std::map<std::string, double> &components() const
+    /**
+     * All components that have booked at least once, with their
+     * totals. Registration alone does not create an entry, so the
+     * view (and everything serialized from it) matches the old
+     * booked-names-only map exactly.
+     */
+    std::map<std::string, double>
+    components() const
     {
-        return _pj;
+        std::map<std::string, double> out;
+        for (const auto &[k, id] : _index) {
+            if (_booked[id])
+                out.emplace(k, _vals[id]);
+        }
+        return out;
     }
 
-    /** Zero everything. */
-    void reset() { _pj.clear(); }
+    /** Zero everything (registrations — and ids — survive). */
+    void
+    reset()
+    {
+        for (std::size_t i = 0; i < _vals.size(); ++i) {
+            _vals[i] = 0.0;
+            _booked[i] = false;
+        }
+    }
 
   private:
-    std::map<std::string, double> _pj;
+    std::map<std::string, ComponentId> _index; ///< name-sorted
+    std::vector<double> _vals;
+    /** Has add() ever run for this id? (keeps never-booked
+     *  registrations out of the reported component set) */
+    std::vector<bool> _booked;
 };
 
 } // namespace fusion::energy

@@ -22,7 +22,7 @@ HostCore::HostCore(SimContext &ctx, const HostCoreParams &p,
 
 void
 HostCore::run(const std::vector<trace::TraceOp> &ops, Pid pid,
-              std::function<void()> done)
+              sim::SmallFn<void()> done)
 {
     fusion_assert(!_active, "host core already running a stream");
     _ops = &ops;
@@ -86,8 +86,7 @@ HostCore::pump()
     if (_outstandingLoads == 0 && _outstandingStores == 0 &&
         _active) {
         _active = false;
-        auto done = std::move(_done);
-        _done = nullptr;
+        auto done = std::move(_done); // move empties _done
         done();
     }
 }

@@ -16,11 +16,11 @@
 #ifndef FUSION_HOST_HOST_CORE_HH
 #define FUSION_HOST_HOST_CORE_HH
 
-#include <functional>
 #include <vector>
 
 #include "host/host_l1.hh"
 #include "sim/sim_context.hh"
+#include "sim/small_fn.hh"
 #include "trace/trace.hh"
 #include "vm/page_table.hh"
 
@@ -47,7 +47,7 @@ class HostCore
      * Only one run() may be active at a time.
      */
     void run(const std::vector<trace::TraceOp> &ops, Pid pid,
-             std::function<void()> done);
+             sim::SmallFn<void()> done);
 
     /** True while a replay is active. */
     bool busy() const { return _active; }
@@ -70,7 +70,7 @@ class HostCore
     std::uint32_t _outstandingStores = 0;
     bool _active = false;
     bool _pumpScheduled = false;
-    std::function<void()> _done;
+    sim::SmallFn<void()> _done;
     std::uint64_t _memOps = 0;
 };
 

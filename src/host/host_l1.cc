@@ -18,9 +18,9 @@ HostL1::HostL1(SimContext &ctx, const HostL1Params &p, Llc &llc,
     : _ctx(ctx), _name(p.name), _llc(llc), _link(llc_link),
       _tags(mem::CacheGeometry{p.capacityBytes, p.assoc, kLineBytes}),
       _banks(p.banks, 1),
-      _energyComponent(p.energyComponent.empty()
-                           ? energy::comp::kHostL1
-                           : p.energyComponent)
+      _energyComponent(ctx.energy.component(
+          p.energyComponent.empty() ? energy::comp::kHostL1
+                                    : p.energyComponent))
 {
     energy::SramParams sp;
     sp.capacityBytes = p.capacityBytes;
@@ -123,11 +123,14 @@ HostL1::lookup(Addr line_addr, bool is_write, AccessDone done,
             ++_misses;
             _stats->scalar("upgrades") += 1;
         }
-        if (_mshrs.allocate(line_addr, [this, line_addr, is_write,
-                                        done = std::move(done)]() {
-                // Retry after the upgrade completes.
-                lookup(line_addr, is_write, std::move(done), true);
-            })) {
+        if (_mshrs.allocate(
+                line_addr,
+                [this, line_addr, is_write,
+                 done = std::move(done)]() mutable {
+                    // Retry after the upgrade completes.
+                    lookup(line_addr, is_write, std::move(done),
+                           true);
+                })) {
             _llc.request(_agentId, line_addr, CoherenceReq::Upgrade,
                          [this, line_addr](const LlcResponse &) {
                              fillDone(line_addr, true, true);
@@ -143,7 +146,7 @@ HostL1::lookup(Addr line_addr, bool is_write, AccessDone done,
     }
     bool primary = _mshrs.allocate(
         line_addr, [this, line_addr, is_write,
-                    done = std::move(done)]() {
+                    done = std::move(done)]() mutable {
             lookup(line_addr, is_write, std::move(done), true);
         });
     if (primary) {

@@ -13,7 +13,6 @@
 #ifndef FUSION_HOST_HOST_L1_HH
 #define FUSION_HOST_HOST_L1_HH
 
-#include <functional>
 #include <string>
 
 #include "energy/sram_model.hh"
@@ -48,7 +47,7 @@ struct HostL1Params
 class HostL1 : public coherence::CoherentAgent
 {
   public:
-    using AccessDone = std::function<void()>;
+    using AccessDone = sim::SmallFn<void()>;
 
     HostL1(SimContext &ctx, const HostL1Params &p, Llc &llc,
            interconnect::Link *llc_link);
@@ -92,7 +91,8 @@ class HostL1 : public coherence::CoherentAgent
     mem::BankScheduler _banks;
     mem::MshrFile _mshrs;
     energy::SramFigures _fig;
-    std::string _energyComponent;
+    energy::ComponentId _energyComponent =
+        energy::kInvalidComponent;
     double _wordAccessScale = 1.0;
     int _agentId = -1;
     std::uint64_t _hits = 0;

@@ -32,6 +32,7 @@ Llc::Llc(SimContext &ctx, const LlcParams &p, mem::Dram &dram)
     auto fig = energy::evaluateSram(sp);
     _bankReadPj = fig.readPj;
     _bankWritePj = fig.writePj;
+    _ecLlc = ctx.energy.component(energy::comp::kLlc);
     _stats = &ctx.stats.root().child("llc");
     _stBankReads = &_stats->scalar("bank_reads");
     _stBankWrites = &_stats->scalar("bank_writes");
@@ -132,8 +133,7 @@ void
 Llc::bankAccess(bool is_write)
 {
     *(is_write ? _stBankWrites : _stBankReads) += 1;
-    _ctx.energy.add(energy::comp::kLlc,
-                    is_write ? _bankWritePj : _bankReadPj);
+    _ctx.energy.add(_ecLlc, is_write ? _bankWritePj : _bankReadPj);
 }
 
 void
@@ -187,7 +187,7 @@ Llc::lookup(int agent, Addr pa, CoherenceReq kind, LlcDone done)
 }
 
 void
-Llc::ensurePresent(Addr pa, std::function<void()> then)
+Llc::ensurePresent(Addr pa, sim::SmallFn<void()> then)
 {
     fusion_assert(!_tags.find(pa), "ensurePresent on present line");
     mem::CacheLine *victim = _tags.victim(
@@ -198,9 +198,10 @@ Llc::ensurePresent(Addr pa, std::function<void()> then)
     if (!victim) {
         // Every way is pinned by a busy transaction; retry shortly.
         _stats->scalar("victim_retries") += 1;
-        _ctx.eq.scheduleIn(8, [this, pa, then = std::move(then)]() {
-            ensurePresent(pa, std::move(then));
-        });
+        _ctx.eq.scheduleIn(
+            8, [this, pa, then = std::move(then)]() mutable {
+                ensurePresent(pa, std::move(then));
+            });
         return;
     }
 
@@ -308,7 +309,7 @@ Llc::dirAction(int agent, Addr pa, CoherenceReq kind, LlcDone done)
 
 void
 Llc::clearRemote(int except_agent, Addr pa, bool downgrade_to_s,
-                 std::function<void()> then)
+                 sim::SmallFn<void()> then)
 {
     DirInfo &d = dirInfo(pa);
     struct Target
@@ -333,7 +334,7 @@ Llc::clearRemote(int except_agent, Addr pa, bool downgrade_to_s,
     }
 
     auto remaining = std::make_shared<std::size_t>(targets.size());
-    auto cont = std::make_shared<std::function<void()>>(
+    auto cont = std::make_shared<sim::SmallFn<void()>>(
         std::move(then));
     for (const Target &t : targets) {
         AgentInfo &ai = _agents[static_cast<std::size_t>(t.agent)];
@@ -402,9 +403,10 @@ Llc::respond(int agent, Addr pa, MsgClass cls, bool exclusive,
     _agents[static_cast<std::size_t>(agent)].link->book(cls);
     Cycles lat = pathLatency(agent, pa);
     finishTransaction(pa);
-    _ctx.eq.scheduleIn(lat, [exclusive, done = std::move(done)]() {
-        done(LlcResponse{exclusive});
-    });
+    _ctx.eq.scheduleIn(
+        lat, [exclusive, done = std::move(done)]() mutable {
+            done(LlcResponse{exclusive});
+        });
 }
 
 void

@@ -21,7 +21,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -54,10 +53,10 @@ struct LlcResponse
 };
 
 /** Completion callback for LLC MESI transactions. */
-using LlcDone = std::function<void(const LlcResponse &)>;
+using LlcDone = sim::SmallFn<void(const LlcResponse &)>;
 
 /** Completion callback for DMA transfers. */
-using DmaDone = std::function<void()>;
+using DmaDone = sim::SmallFn<void()>;
 
 /** NUCA LLC with embedded MESI directory. */
 class Llc
@@ -139,7 +138,7 @@ class Llc
         int owner = -1;
         std::uint32_t sharers = 0;
         bool busy = false;
-        std::deque<std::function<void()>> deferred;
+        std::deque<sim::SmallFn<void()>> deferred;
 
         bool
         idle() const
@@ -170,12 +169,12 @@ class Llc
                 LlcDone done);
     /** Ensure @p pa has an LLC frame; may recall a victim + touch
      *  DRAM. Continues with @p then. */
-    void ensurePresent(Addr pa, std::function<void()> then);
+    void ensurePresent(Addr pa, sim::SmallFn<void()> then);
     void dirAction(int agent, Addr pa, coherence::CoherenceReq kind,
                    LlcDone done);
     /** Invalidate/downgrade all remote holders, then @p then. */
     void clearRemote(int except_agent, Addr pa, bool downgrade_to_s,
-                     std::function<void()> then);
+                     sim::SmallFn<void()> then);
     void respond(int agent, Addr pa, interconnect::MsgClass cls,
                  bool exclusive, LlcDone done);
     void finishTransaction(Addr pa);
@@ -190,6 +189,7 @@ class Llc
     mem::CacheArray _tags;
     double _bankReadPj = 0.0;
     double _bankWritePj = 0.0;
+    energy::ComponentId _ecLlc = energy::kInvalidComponent;
     std::vector<AgentInfo> _agents;
     std::unordered_map<Addr, DirInfo> _dir;
     interconnect::Link _dramLink;

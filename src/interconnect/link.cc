@@ -6,6 +6,10 @@ namespace fusion::interconnect
 Link::Link(SimContext &ctx, const LinkParams &p)
     : _ctx(ctx), _p(p), _pjPerByte(energy::linkPjPerByte(p.cls))
 {
+    if (!_p.ctrlComponent.empty())
+        _ecCtrl = ctx.energy.component(_p.ctrlComponent);
+    if (!_p.dataComponent.empty())
+        _ecData = ctx.energy.component(_p.dataComponent);
     _stats = &ctx.stats.root().child("links").child(p.name);
     _stCtrlMsgs = &_stats->scalar("ctrl_msgs");
     _stDataMsgs = &_stats->scalar("data_msgs");
@@ -36,7 +40,7 @@ Link::Link(SimContext &ctx, const LinkParams &p)
 }
 
 void
-Link::send(MsgClass cls, std::function<void()> deliver)
+Link::send(MsgClass cls, sim::SmallFn<void()> deliver)
 {
     book(cls);
     if (deliver)
@@ -54,14 +58,14 @@ Link::book(MsgClass cls, std::uint64_t count)
     if (cls == MsgClass::Control) {
         _ctrlMsgs += count;
         *_stCtrlMsgs += static_cast<double>(count);
-        if (!_p.ctrlComponent.empty())
-            _ctx.energy.add(_p.ctrlComponent, pj);
+        if (_ecCtrl != energy::kInvalidComponent)
+            _ctx.energy.add(_ecCtrl, pj);
     } else {
         // Word and full-line payloads both count as data traffic.
         _dataMsgs += count;
         *_stDataMsgs += static_cast<double>(count);
-        if (!_p.dataComponent.empty())
-            _ctx.energy.add(_p.dataComponent, pj);
+        if (_ecData != energy::kInvalidComponent)
+            _ctx.energy.add(_ecData, pj);
     }
     *_stFlits += static_cast<double>(flits);
     *_stBytes += static_cast<double>(bytes);

@@ -11,12 +11,12 @@
 #ifndef FUSION_INTERCONNECT_LINK_HH
 #define FUSION_INTERCONNECT_LINK_HH
 
-#include <functional>
 #include <string>
 
 #include "energy/link_energy.hh"
 #include "interconnect/message.hh"
 #include "sim/sim_context.hh"
+#include "sim/small_fn.hh"
 
 namespace fusion::interconnect
 {
@@ -42,7 +42,7 @@ class Link
      * @p deliver may be empty when the caller only needs the
      * accounting (e.g. fire-and-forget acks).
      */
-    void send(MsgClass cls, std::function<void()> deliver = {});
+    void send(MsgClass cls, sim::SmallFn<void()> deliver = {});
 
     /** Book traffic without scheduling (bulk accounting paths). */
     void book(MsgClass cls, std::uint64_t count = 1);
@@ -58,6 +58,10 @@ class Link
     SimContext &_ctx;
     LinkParams _p;
     double _pjPerByte;
+    // Ledger ids resolved once; kInvalidComponent when the param's
+    // component name is empty (unbooked link).
+    energy::ComponentId _ecCtrl = energy::kInvalidComponent;
+    energy::ComponentId _ecData = energy::kInvalidComponent;
     std::uint64_t _ctrlMsgs = 0;
     std::uint64_t _dataMsgs = 0;
     std::uint64_t _flits = 0;

@@ -54,45 +54,53 @@ CacheArray::victim(Addr line_addr,
                    const std::function<bool(const CacheLine &)>
                        &evictable)
 {
+    // Selection runs inline over the set — no candidate list, this
+    // sits on every miss fill.
     CacheLine *base = setBase(setIndex(lineAlign(line_addr)));
-    std::vector<CacheLine *> candidates;
+    CacheLine *best = nullptr;
+    std::size_t candidates = 0;
     for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
         CacheLine &l = base[w];
         if (!l.valid)
             return &l;
         if (evictable && !evictable(l))
             continue;
-        candidates.push_back(&l);
+        ++candidates;
+        if (!best) {
+            best = &l;
+            continue;
+        }
+        switch (_geom.repl) {
+          case ReplPolicy::Lru:
+            if (l.lastUse < best->lastUse)
+                best = &l;
+            break;
+          case ReplPolicy::Fifo:
+            if (l.installSeq < best->installSeq)
+                best = &l;
+            break;
+          case ReplPolicy::Random:
+            break; // picked by index below
+        }
     }
-    if (candidates.empty())
+    if (!best)
         return nullptr;
-    switch (_geom.repl) {
-      case ReplPolicy::Lru: {
-        CacheLine *best = candidates[0];
-        for (CacheLine *l : candidates) {
-            if (l->lastUse < best->lastUse)
-                best = l;
-        }
-        return best;
-      }
-      case ReplPolicy::Fifo: {
-        CacheLine *best = candidates[0];
-        for (CacheLine *l : candidates) {
-            if (l->installSeq < best->installSeq)
-                best = l;
-        }
-        return best;
-      }
-      case ReplPolicy::Random: {
+    if (_geom.repl == ReplPolicy::Random) {
         // Deterministic pseudo-random pick (SplitMix-style hash of
         // the replacement clock and line address).
         std::uint64_t h = (_useClock + 1) * 0x9e3779b97f4a7c15ull ^
                           lineNumber(line_addr);
         h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
-        return candidates[h % candidates.size()];
-      }
+        std::size_t pick = h % candidates;
+        for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
+            CacheLine &l = base[w];
+            if (!l.valid || (evictable && !evictable(l)))
+                continue;
+            if (pick-- == 0)
+                return &l;
+        }
     }
-    return candidates[0];
+    return best;
 }
 
 void

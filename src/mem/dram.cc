@@ -6,10 +6,11 @@
 namespace fusion::mem
 {
 
-Dram::Dram(SimContext &ctx, const DramParams &p) : _ctx(ctx), _p(p)
+Dram::Dram(SimContext &ctx, const DramParams &p)
+    : _ctx(ctx), _p(p), _channels(p.channels)
 {
     fusion_assert(p.channels > 0, "DRAM needs at least one channel");
-    _channels.resize(p.channels);
+    _ecDram = ctx.energy.component(energy::comp::kDram);
     _stats = &ctx.stats.root().child("dram");
     _stQueued = &_stats->scalar("queued");
     _stAccesses = &_stats->scalar("accesses");
@@ -68,11 +69,11 @@ Dram::serviceNext(std::uint32_t ch)
     _rowHits += hit ? 1 : 0;
     *_stAccesses += 1;
     *_stRowHits += hit ? 1 : 0;
-    _ctx.energy.add(energy::comp::kDram, _p.accessPj);
+    _ctx.energy.add(_ecDram, _p.accessPj);
 
     // Data burst occupies the channel; completion fires after the
     // full access latency.
-    _ctx.eq.scheduleIn(lat, [cb = std::move(done)] { cb(); });
+    _ctx.eq.scheduleIn(lat, std::move(done));
     _ctx.eq.scheduleIn(_p.burstCycles,
                        [this, ch] { serviceNext(ch); });
 }

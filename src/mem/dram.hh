@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "sim/sim_context.hh"
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace fusion::mem
@@ -36,7 +36,7 @@ struct DramParams
 };
 
 /** A queued DRAM command's completion callback. */
-using DramCallback = std::function<void()>;
+using DramCallback = sim::SmallFn<void()>;
 
 /** Line-interleaved multi-channel open-page DRAM. */
 class Dram
@@ -68,6 +68,7 @@ class Dram
 
     SimContext &_ctx;
     DramParams _p;
+    energy::ComponentId _ecDram = energy::kInvalidComponent;
     std::vector<Channel> _channels;
     std::uint64_t _accesses = 0;
     std::uint64_t _rowHits = 0;

@@ -18,7 +18,11 @@ Scratchpad::Scratchpad(SimContext &ctx, std::uint64_t capacity_bytes,
     // row): scale the line-read energy down accordingly, with a
     // floor for decode/wordline costs.
     _wordAccessPj = _fig.readPj * 0.35;
+    _ecSpm = ctx.energy.component(energy::comp::kScratchpad);
     _stats = &ctx.stats.root().child(name);
+    _stReads = &_stats->scalar("reads");
+    _stWrites = &_stats->scalar("writes");
+    _stDmaLineXfers = &_stats->scalar("dma_line_xfers");
 }
 
 Cycles
@@ -28,16 +32,16 @@ Scratchpad::access(bool is_write)
         ++_writes;
     else
         ++_reads;
-    _stats->scalar(is_write ? "writes" : "reads") += 1;
-    _ctx.energy.add(energy::comp::kScratchpad, _wordAccessPj);
+    *(is_write ? _stWrites : _stReads) += 1;
+    _ctx.energy.add(_ecSpm, _wordAccessPj);
     return _fig.latency;
 }
 
 void
 Scratchpad::dmaLineAccess(bool is_write)
 {
-    _stats->scalar("dma_line_xfers") += 1;
-    _ctx.energy.add(energy::comp::kScratchpad,
+    *_stDmaLineXfers += 1;
+    _ctx.energy.add(_ecSpm,
                     is_write ? _fig.writePj : _fig.readPj);
 }
 

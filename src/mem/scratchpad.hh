@@ -61,9 +61,14 @@ class Scratchpad
     std::uint64_t _capacity;
     energy::SramFigures _fig;
     double _wordAccessPj;
+    energy::ComponentId _ecSpm = energy::kInvalidComponent;
     std::uint64_t _reads = 0;
     std::uint64_t _writes = 0;
     stats::Group *_stats;
+    // Per-access counters resolved once at construction.
+    stats::Scalar *_stReads;
+    stats::Scalar *_stWrites;
+    stats::Scalar *_stDmaLineXfers;
 };
 
 } // namespace fusion::mem

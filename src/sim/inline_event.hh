@@ -2,245 +2,25 @@
  * @file
  * InlineEvent: the allocation-free callable the event queue stores.
  *
- * std::function pays a heap allocation for any capture set past its
- * tiny SSO buffer (16 bytes on the common ABIs), and every event in
- * this simulator captures at least a component pointer plus a
- * continuation — so the old EventFn = std::function<void()> put an
- * allocator round-trip on the hot path of every scheduled event.
- *
- * InlineEvent is a move-only closure box with kInlineBytes of
- * in-object storage sized for the simulator's common capture sets
- * (component pointer + address + flags + a moved-in continuation).
- * Closures that fit are constructed directly in the buffer and never
- * touch the allocator. Oversized closures fall back to a per-thread
- * slab freelist of fixed-size blocks, so even the rare fat capture
- * (System's window-replay continuations) costs a pointer pop instead
- * of a malloc once the simulation reaches steady state.
- *
- * The type is deliberately *not* a general std::function replacement:
- * no copy, no target(), no allocators — exactly what a fire-once
- * event needs and nothing the hot path has to pay for.
+ * Since the transaction-path overhaul the implementation is the
+ * generic sim::SmallFn (sim/small_fn.hh) instantiated at void() —
+ * InlineEvent introduced the 64-byte inline buffer + thread-local
+ * slab design for the event kernel, and SmallFn generalizes it to
+ * every continuation signature in the simulator. The alias keeps the
+ * event queue's vocabulary (and the kernel documentation in
+ * DESIGN.md section 8) intact.
  */
 
 #ifndef FUSION_SIM_INLINE_EVENT_HH
 #define FUSION_SIM_INLINE_EVENT_HH
 
-#include <cstddef>
-#include <cstring>
-#include <new>
-#include <type_traits>
-#include <utility>
+#include "sim/small_fn.hh"
 
 namespace fusion
 {
 
-namespace detail
-{
-
-/** Block size of the oversized-closure slab (covers every capture
- *  set in the tree today; larger ones use plain new/delete). */
-constexpr std::size_t kEventSlabBytes = 256;
-
-struct EventSlabNode
-{
-    EventSlabNode *next;
-};
-
-/**
- * Per-thread freelist head. Each simulated system runs entirely on
- * one thread (the sweep engine gives every job its own worker), so
- * a thread-local list needs no locks; a block freed on a different
- * thread than it was allocated on simply migrates lists, which is
- * still safe.
- */
-inline thread_local EventSlabNode *eventSlabFree = nullptr;
-
-inline void *
-eventSlabAlloc(std::size_t bytes)
-{
-    if (bytes <= kEventSlabBytes) {
-        if (EventSlabNode *n = eventSlabFree) {
-            eventSlabFree = n->next;
-            return n;
-        }
-        return ::operator new(kEventSlabBytes);
-    }
-    return ::operator new(bytes);
-}
-
-inline void
-eventSlabRelease(void *p, std::size_t bytes)
-{
-    if (bytes <= kEventSlabBytes) {
-        auto *n = static_cast<EventSlabNode *>(p);
-        n->next = eventSlabFree;
-        eventSlabFree = n;
-        return;
-    }
-    ::operator delete(p);
-}
-
-} // namespace detail
-
 /** Move-only, small-buffer-optimized void() closure. */
-class InlineEvent
-{
-  public:
-    /** In-object closure storage. 64 bytes holds a this-pointer,
-     *  a couple of scalars and one moved-in std::function (32 B on
-     *  libstdc++), which covers the scheduling hot paths in
-     *  system/llc/l0x/tile_mesi. */
-    static constexpr std::size_t kInlineBytes = 64;
-
-    InlineEvent() noexcept = default;
-
-    template <typename F,
-              typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, InlineEvent> &&
-                  std::is_invocable_v<std::decay_t<F> &>>>
-    InlineEvent(F &&f) // NOLINT: implicit like std::function
-    {
-        emplace(std::forward<F>(f));
-    }
-
-    InlineEvent(InlineEvent &&other) noexcept : _ops(other._ops)
-    {
-        if (_ops) {
-            relocateFrom(other);
-            other._ops = nullptr;
-        }
-    }
-
-    InlineEvent &
-    operator=(InlineEvent &&other) noexcept
-    {
-        if (this != &other) {
-            reset();
-            _ops = other._ops;
-            if (_ops) {
-                relocateFrom(other);
-                other._ops = nullptr;
-            }
-        }
-        return *this;
-    }
-
-    InlineEvent(const InlineEvent &) = delete;
-    InlineEvent &operator=(const InlineEvent &) = delete;
-
-    ~InlineEvent() { reset(); }
-
-    explicit operator bool() const noexcept { return _ops != nullptr; }
-
-    void operator()() { _ops->invoke(_buf); }
-
-    /** Destroy the held closure (no-op when empty). */
-    void
-    reset() noexcept
-    {
-        if (_ops) {
-            if (!_ops->trivialDestroy)
-                _ops->destroy(_buf);
-            _ops = nullptr;
-        }
-    }
-
-    /** True when the closure lives in the inline buffer (tests). */
-    bool
-    isInline() const noexcept
-    {
-        return _ops != nullptr && _ops->inlineStored;
-    }
-
-  private:
-    struct Ops
-    {
-        void (*invoke)(void *);
-        void (*relocate)(void *dst, void *src) noexcept;
-        void (*destroy)(void *) noexcept;
-        bool inlineStored;
-        /** Relocation is equivalent to copying the raw buffer: true
-         *  for trivially copyable inline closures (the common case —
-         *  component pointer + scalars) and for the heap path (the
-         *  buffer holds only the block pointer). Moves then run a
-         *  fixed-size memcpy instead of an indirect call. */
-        bool trivialRelocate;
-        /** Destruction is a no-op (trivially destructible inline
-         *  closures), so the destructor skips the indirect call. */
-        bool trivialDestroy;
-    };
-
-    /** Move the closure payload of @p other (same _ops) into _buf. */
-    void
-    relocateFrom(InlineEvent &other) noexcept
-    {
-        if (_ops->trivialRelocate)
-            std::memcpy(_buf, other._buf, kInlineBytes);
-        else
-            _ops->relocate(_buf, other._buf);
-    }
-
-    template <typename Fn>
-    static constexpr bool kFitsInline =
-        sizeof(Fn) <= kInlineBytes &&
-        alignof(Fn) <= alignof(std::max_align_t) &&
-        std::is_nothrow_move_constructible_v<Fn>;
-
-    template <typename F>
-    void
-    emplace(F &&f)
-    {
-        using Fn = std::decay_t<F>;
-        if constexpr (kFitsInline<Fn>) {
-            ::new (static_cast<void *>(_buf))
-                Fn(std::forward<F>(f));
-            static constexpr Ops ops = {
-                [](void *p) {
-                    (*std::launder(reinterpret_cast<Fn *>(p)))();
-                },
-                [](void *dst, void *src) noexcept {
-                    Fn *s = std::launder(reinterpret_cast<Fn *>(src));
-                    ::new (dst) Fn(std::move(*s));
-                    s->~Fn();
-                },
-                [](void *p) noexcept {
-                    std::launder(reinterpret_cast<Fn *>(p))->~Fn();
-                },
-                true,
-                std::is_trivially_copyable_v<Fn>,
-                std::is_trivially_destructible_v<Fn>,
-            };
-            _ops = &ops;
-        } else {
-            static_assert(alignof(Fn) <= alignof(std::max_align_t),
-                          "over-aligned event closures unsupported");
-            void *mem = detail::eventSlabAlloc(sizeof(Fn));
-            ::new (mem) Fn(std::forward<F>(f));
-            *reinterpret_cast<void **>(_buf) = mem;
-            static constexpr Ops ops = {
-                [](void *p) {
-                    (**reinterpret_cast<Fn **>(p))();
-                },
-                [](void *dst, void *src) noexcept {
-                    *reinterpret_cast<void **>(dst) =
-                        *reinterpret_cast<void **>(src);
-                },
-                [](void *p) noexcept {
-                    Fn *fn = *reinterpret_cast<Fn **>(p);
-                    fn->~Fn();
-                    detail::eventSlabRelease(fn, sizeof(Fn));
-                },
-                false,
-                true,  // buffer holds just the block pointer
-                false, // block must be released
-            };
-            _ops = &ops;
-        }
-    }
-
-    const Ops *_ops = nullptr;
-    alignas(std::max_align_t) unsigned char _buf[kInlineBytes];
-};
+using InlineEvent = sim::SmallFn<void()>;
 
 } // namespace fusion
 

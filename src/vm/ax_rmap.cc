@@ -10,13 +10,17 @@ AxRmap::AxRmap(SimContext &ctx, const AxRmapParams &p)
     : _ctx(ctx), _p(p)
 {
     _stats = &ctx.stats.root().child("ax_rmap");
+    _stInserts = &_stats->scalar("inserts");
+    _stLookups = &_stats->scalar("lookups");
+    _stSynonymProbes = &_stats->scalar("synonym_probes");
+    _ecRmap = ctx.energy.component(energy::comp::kAxRmap);
 }
 
 void
 AxRmap::insert(Addr pline, Addr vline, Pid pid)
 {
     _map[lineAlign(pline)] = RmapEntry{lineAlign(vline), pid};
-    _stats->scalar("inserts") += 1;
+    *_stInserts += 1;
 }
 
 void
@@ -29,8 +33,8 @@ std::optional<RmapEntry>
 AxRmap::lookup(Addr pline)
 {
     ++_lookups;
-    _stats->scalar("lookups") += 1;
-    _ctx.energy.add(energy::comp::kAxRmap, _p.lookupPj);
+    *_stLookups += 1;
+    _ctx.energy.add(_ecRmap, _p.lookupPj);
     auto it = _map.find(lineAlign(pline));
     if (it == _map.end())
         return std::nullopt;
@@ -40,8 +44,8 @@ AxRmap::lookup(Addr pline)
 std::optional<RmapEntry>
 AxRmap::probeForSynonym(Addr pline)
 {
-    _stats->scalar("synonym_probes") += 1;
-    _ctx.energy.add(energy::comp::kAxRmap, _p.lookupPj);
+    *_stSynonymProbes += 1;
+    _ctx.energy.add(_ecRmap, _p.lookupPj);
     auto it = _map.find(lineAlign(pline));
     if (it == _map.end())
         return std::nullopt;

@@ -76,7 +76,12 @@ class AxRmap
     AxRmapParams _p;
     std::unordered_map<Addr, RmapEntry> _map;
     std::uint64_t _lookups = 0;
+    energy::ComponentId _ecRmap = energy::kInvalidComponent;
     stats::Group *_stats;
+    // Per-access counters resolved once at construction.
+    stats::Scalar *_stInserts;
+    stats::Scalar *_stLookups;
+    stats::Scalar *_stSynonymProbes;
 };
 
 } // namespace fusion::vm

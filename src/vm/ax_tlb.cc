@@ -10,14 +10,17 @@ AxTlb::AxTlb(SimContext &ctx, const AxTlbParams &p,
     : _ctx(ctx), _p(p), _pt(pt)
 {
     _stats = &ctx.stats.root().child("ax_tlb");
+    _stLookups = &_stats->scalar("lookups");
+    _stMisses = &_stats->scalar("misses");
+    _ecTlb = ctx.energy.component(energy::comp::kAxTlb);
 }
 
 void
 AxTlb::translate(Pid pid, Addr va, Translated done)
 {
     ++_lookups;
-    _stats->scalar("lookups") += 1;
-    _ctx.energy.add(energy::comp::kAxTlb, _p.lookupPj);
+    *_stLookups += 1;
+    _ctx.energy.add(_ecTlb, _p.lookupPj);
 
     Key k{pid, pageNumber(va)};
     auto it = _entries.find(k);
@@ -25,18 +28,20 @@ AxTlb::translate(Pid pid, Addr va, Translated done)
         // Refresh LRU.
         _lru.splice(_lru.begin(), _lru, it->second.second);
         Addr pa = it->second.first | pageOffset(va);
-        _ctx.eq.scheduleIn(_p.hitLatency,
-                           [pa, done = std::move(done)] { done(pa); });
+        _ctx.eq.scheduleIn(
+            _p.hitLatency,
+            [pa, done = std::move(done)]() mutable { done(pa); });
         return;
     }
 
     ++_misses;
-    _stats->scalar("misses") += 1;
+    *_stMisses += 1;
     Addr pa = _pt.translate(pid, va);
     Addr ppage_base = pa & ~static_cast<Addr>(kPageBytes - 1);
     insert(k, ppage_base);
-    _ctx.eq.scheduleIn(_p.walkLatency,
-                       [pa, done = std::move(done)] { done(pa); });
+    _ctx.eq.scheduleIn(
+        _p.walkLatency,
+        [pa, done = std::move(done)]() mutable { done(pa); });
 }
 
 void

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "sim/sim_context.hh"
+#include "sim/small_fn.hh"
 #include "vm/page_table.hh"
 
 namespace fusion::vm
@@ -35,7 +36,7 @@ struct AxTlbParams
 class AxTlb
 {
   public:
-    using Translated = std::function<void(Addr pa)>;
+    using Translated = sim::SmallFn<void(Addr pa)>;
 
     AxTlb(SimContext &ctx, const AxTlbParams &p,
           const PageTable &pt);
@@ -80,7 +81,11 @@ class AxTlb
         _entries;
     std::uint64_t _lookups = 0;
     std::uint64_t _misses = 0;
+    energy::ComponentId _ecTlb = energy::kInvalidComponent;
     stats::Group *_stats;
+    // Per-access counters resolved once at construction.
+    stats::Scalar *_stLookups;
+    stats::Scalar *_stMisses;
 };
 
 } // namespace fusion::vm

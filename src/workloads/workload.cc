@@ -1,5 +1,7 @@
 #include "workloads/workload.hh"
 
+#include <map>
+
 #include "sim/logging.hh"
 
 namespace fusion::workloads
@@ -14,11 +16,29 @@ std::unique_ptr<Workload> makeSusan();
 std::unique_ptr<Workload> makeFilter();
 std::unique_ptr<Workload> makeHistogram();
 
+namespace
+{
+
+/** Extra factories added via registerWorkload (test seam). */
+std::map<std::string, std::unique_ptr<Workload> (*)()> &
+registeredWorkloads()
+{
+    static std::map<std::string, std::unique_ptr<Workload> (*)()>
+        reg;
+    return reg;
+}
+
+} // namespace
+
 std::vector<std::string>
 workloadNames()
 {
-    return {"fft",   "disparity", "tracking", "adpcm",
-            "susan", "filter",    "histogram"};
+    std::vector<std::string> names = {
+        "fft",   "disparity", "tracking", "adpcm",
+        "susan", "filter",    "histogram"};
+    for (const auto &[name, factory] : registeredWorkloads())
+        names.push_back(name);
+    return names;
 }
 
 std::unique_ptr<Workload>
@@ -38,7 +58,22 @@ makeWorkload(const std::string &name)
         return makeFilter();
     if (name == "histogram")
         return makeHistogram();
+    auto &reg = registeredWorkloads();
+    auto it = reg.find(name);
+    if (it != reg.end())
+        return it->second();
     return nullptr;
+}
+
+void
+registerWorkload(const std::string &name,
+                 std::unique_ptr<Workload> (*factory)())
+{
+    auto &reg = registeredWorkloads();
+    if (factory)
+        reg[name] = factory;
+    else
+        reg.erase(name);
 }
 
 std::vector<trace::Program>

@@ -80,6 +80,17 @@ std::vector<std::string> workloadNames();
 /** Factory. @return nullptr for unknown names. */
 std::unique_ptr<Workload> makeWorkload(const std::string &name);
 
+/**
+ * Register an extra workload factory under @p name (nullptr removes
+ * a prior registration). Built-in names always win; registered names
+ * are appended to workloadNames(). Intended as a test seam — e.g.
+ * injecting a workload whose build() throws to exercise the sweep
+ * engine's program-cache failure path — so registration is not
+ * synchronized: register before launching sweeps.
+ */
+void registerWorkload(const std::string &name,
+                      std::unique_ptr<Workload> (*factory)());
+
 /** Build every workload at @p scale. */
 std::vector<trace::Program> buildAll(Scale scale);
 

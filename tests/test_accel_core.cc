@@ -29,10 +29,11 @@ class FixedLatencyPort : public MemPort
         issues.push_back({_ctx.now(), va, is_write});
         ++inflight;
         maxInflight = std::max(maxInflight, inflight);
-        _ctx.eq.scheduleIn(_lat, [this, done = std::move(done)] {
-            --inflight;
-            done();
-        });
+        _ctx.eq.scheduleIn(_lat,
+                           [this, done = std::move(done)]() mutable {
+                               --inflight;
+                               done();
+                           });
     }
 
     struct Issue

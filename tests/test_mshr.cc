@@ -64,6 +64,95 @@ TEST(Mshr, TargetMayReallocateSameLine)
     EXPECT_TRUE(second_round);
 }
 
+TEST(Mshr, PidsDistinguishSameLine)
+{
+    MshrFile m;
+    int a = 0, b = 0;
+    EXPECT_TRUE(m.allocate(0x100, 1, [&] { ++a; }));
+    EXPECT_TRUE(m.allocate(0x100, 2, [&] { ++b; }));
+    EXPECT_EQ(m.size(), 2u);
+    m.complete(0x100, 1);
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 0);
+    EXPECT_FALSE(m.pending(0x100, 1));
+    EXPECT_TRUE(m.pending(0x100, 2));
+    m.complete(0x100, 2);
+    EXPECT_EQ(b, 1);
+}
+
+TEST(Mshr, XorFoldCollisionPairsStayIndependent)
+{
+    // Regression: the L1X stall queues (and the MESI tile
+    // directory) used to key by vline ^ (pid << 48). These two
+    // (line, pid) pairs collide under that fold, which merged
+    // unrelated transactions; composite keying must keep them
+    // apart.
+    const Addr l1 = 0x4000;
+    const Pid p1 = 1, p2 = 3;
+    const Addr l2 =
+        l1 ^ ((static_cast<Addr>(p1) ^ static_cast<Addr>(p2))
+              << 48);
+    ASSERT_EQ(l1 ^ (static_cast<Addr>(p1) << 48),
+              l2 ^ (static_cast<Addr>(p2) << 48));
+    MshrFile m;
+    int a = 0, b = 0;
+    EXPECT_TRUE(m.allocate(l1, p1, [&] { ++a; }));
+    // Under the old keying this merged onto the first entry.
+    EXPECT_TRUE(m.allocate(l2, p2, [&] { ++b; }));
+    EXPECT_EQ(m.size(), 2u);
+    m.complete(l1, p1);
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 0);
+    EXPECT_TRUE(m.pending(l2, p2));
+    m.complete(l2, p2);
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Mshr, TargetReallocatesSameLineMidDrain)
+{
+    // The first target re-allocates the line while a second target
+    // of the *completed* entry is still queued: the old drain must
+    // finish (arrival order) and the re-allocation must land on a
+    // fresh entry, not the one being drained.
+    MshrFile m;
+    std::vector<int> order;
+    bool refired = false;
+    m.allocate(0x80, 2, [&] {
+        order.push_back(0);
+        EXPECT_TRUE(m.allocate(0x80, 2, [&] { refired = true; }));
+        EXPECT_TRUE(m.pending(0x80, 2));
+    });
+    m.allocate(0x80, 2, [&] { order.push_back(1); });
+    m.complete(0x80, 2);
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_FALSE(refired); // queued on the fresh entry
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.targets(), 1u);
+    m.complete(0x80, 2);
+    EXPECT_TRUE(refired);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.targets(), 0u);
+}
+
+TEST(Mshr, SurvivesBucketGrowth)
+{
+    // Push past the initial bucket count so grow() re-chains, then
+    // drain everything and check no entry was lost or duplicated.
+    MshrFile m;
+    int fired = 0;
+    constexpr int kN = 64;
+    for (int i = 0; i < kN; ++i) {
+        EXPECT_TRUE(m.allocate(0x1000 + 64 * static_cast<Addr>(i),
+                               i % 3, [&] { ++fired; }));
+    }
+    EXPECT_EQ(m.size(), static_cast<std::size_t>(kN));
+    for (int i = 0; i < kN; ++i)
+        m.complete(0x1000 + 64 * static_cast<Addr>(i), i % 3);
+    EXPECT_EQ(fired, kN);
+    EXPECT_EQ(m.size(), 0u);
+}
+
 TEST(MshrDeathTest, CompletingUnknownLinePanics)
 {
     MshrFile m;

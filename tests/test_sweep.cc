@@ -15,8 +15,10 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -343,6 +345,92 @@ TEST(Sweep, PoisonedJobIsIsolatedAndDeterministic)
     EXPECT_NE(report.find("\"failed\":1"), std::string::npos);
     EXPECT_NE(report.find("\"category\":\"cycle-budget\""),
               std::string::npos);
+}
+
+namespace
+{
+
+/** A workload whose build() always throws (program-cache tests). */
+class ThrowingWorkload : public workloads::Workload
+{
+  public:
+    std::string name() const override { return "boom"; }
+    std::string displayName() const override { return "BOOM"; }
+    trace::Program
+    build(workloads::Scale) const override
+    {
+        throw std::runtime_error("synthetic build failure");
+    }
+};
+
+std::unique_ptr<workloads::Workload>
+makeBoom()
+{
+    return std::make_unique<ThrowingWorkload>();
+}
+
+} // namespace
+
+TEST(Sweep, FailedProgramBuildPoisonsOnlyItsJobs)
+{
+    // The program cache builds each (workload, scale) once; when
+    // that build throws, the builder *and* every concurrent waiter
+    // on the same key must fail as isolated per-job errors while
+    // jobs keyed on other programs complete normally.
+    workloads::registerWorkload("boom", &makeBoom);
+
+    auto makeJobs = [] {
+        std::vector<core::SweepJob> jobs;
+        for (auto kind :
+             {core::SystemKind::Fusion, core::SystemKind::Shared,
+              core::SystemKind::Scratch}) {
+            core::SweepJob bad;
+            bad.cfg = core::SystemConfig::paperDefault(kind);
+            bad.workload = "boom";
+            bad.scale = workloads::Scale::Small;
+            bad.tag = std::string("boom/") +
+                      core::systemKindShortName(kind);
+            jobs.push_back(bad);
+
+            core::SweepJob ok = bad;
+            ok.workload = "adpcm";
+            ok.tag = std::string("adpcm/") +
+                     core::systemKindShortName(kind);
+            jobs.push_back(ok);
+        }
+        return jobs;
+    };
+
+    auto jobs = makeJobs();
+    for (std::size_t workers : {std::size_t{1}, std::size_t{6}}) {
+        core::SweepOptions opt;
+        opt.jobs = workers;
+        auto rs = core::runSweep(jobs, opt);
+        ASSERT_EQ(rs.size(), jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (jobs[i].workload == "boom") {
+                ASSERT_TRUE(rs[i].failed())
+                    << jobs[i].tag << " with " << workers
+                    << " workers";
+                // The builder surfaces the original exception; the
+                // waiters surface the cache's poisoned-slot error.
+                const std::string &msg = rs[i].error->message;
+                EXPECT_TRUE(
+                    msg.find("synthetic build failure") !=
+                        std::string::npos ||
+                    msg.find("program build failed for workload "
+                             "'boom'") != std::string::npos)
+                    << msg;
+            } else {
+                EXPECT_FALSE(rs[i].failed())
+                    << jobs[i].tag << " with " << workers
+                    << " workers";
+                EXPECT_GT(rs[i].totalCycles, 0u);
+            }
+        }
+    }
+
+    workloads::registerWorkload("boom", nullptr);
 }
 
 TEST(Sweep, DeterminismAnchorAcrossAllSystemKinds)
