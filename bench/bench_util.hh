@@ -26,6 +26,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,9 @@
 
 #include "core/reporters.hh"
 #include "core/runner.hh"
+#include "obs/json_lint.hh"
+#include "obs/perfetto.hh"
+#include "sim/logging.hh"
 #include "trace/analysis.hh"
 
 namespace fusion::bench
@@ -45,13 +50,24 @@ struct Options
     std::size_t jobs = sweep::defaultJobs();
     std::string jsonPath;
     bool guard = false;
+    // Telemetry (docs/OBSERVABILITY.md). All default-off: a plain
+    // harness run carries no observability state at all.
+    std::string traceOut;
+    std::string traceKinds;
+    std::size_t traceLimit = std::size_t{1} << 16;
+    Tick metricsInterval = 0;
+
+    bool telemetry() const
+    {
+        return !traceOut.empty() || metricsInterval > 0;
+    }
 };
 
 inline void
 usage(const char *argv0)
 {
     std::printf("usage: %s [--small] [--jobs N] [--json FILE] "
-                "[--guard]\n"
+                "[--guard] [--trace-out FILE]\n"
                 "  --small      CI-size inputs (default: paper "
                 "scale)\n"
                 "  --jobs N     parallel sweep workers (default: "
@@ -59,7 +75,15 @@ usage(const char *argv0)
                 "  --json FILE  write the machine-readable sweep "
                 "report\n"
                 "  --guard      enable watchdog + invariant "
-                "checkers (docs/HARDENING.md)\n",
+                "checkers (docs/HARDENING.md)\n"
+                "  --trace-out FILE       write a Perfetto span "
+                "trace (docs/OBSERVABILITY.md)\n"
+                "  --trace-limit N        spans retained per job "
+                "(default 65536)\n"
+                "  --trace-kinds a,b,...  only trace these span "
+                "kinds (default: all)\n"
+                "  --metrics-interval N   sample gauges every N "
+                "ticks into the JSON report\n",
                 argv0, sweep::defaultJobs());
 }
 
@@ -72,6 +96,8 @@ inline Options
 parseArgs(int argc, char **argv,
           std::vector<std::string> *extra = nullptr)
 {
+    // Honor FUSION_DEBUG=ACC,MESI,OBS,... for every harness.
+    Debug::initFromEnvironment();
     Options opt;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -97,6 +123,24 @@ parseArgs(int argc, char **argv,
             opt.jsonPath = next();
         } else if (a == "--guard") {
             opt.guard = true;
+        } else if (a == "--trace-out") {
+            opt.traceOut = next();
+        } else if (a == "--trace-kinds") {
+            opt.traceKinds = next();
+        } else if (a == "--trace-limit") {
+            long n = std::atol(next().c_str());
+            if (n < 1) {
+                usage(argv[0]);
+                fusion_fatal("--trace-limit must be >= 1");
+            }
+            opt.traceLimit = static_cast<std::size_t>(n);
+        } else if (a == "--metrics-interval") {
+            long n = std::atol(next().c_str());
+            if (n < 1) {
+                usage(argv[0]);
+                fusion_fatal("--metrics-interval must be >= 1");
+            }
+            opt.metricsInterval = static_cast<Tick>(n);
         } else if (a == "-h" || a == "--help") {
             usage(argv[0]);
             std::exit(0);
@@ -141,19 +185,41 @@ guardChecks()
     return g;
 }
 
+/** The telemetry knob set for the --trace-... / --metrics-... flags. */
+inline obs::ObsConfig
+obsConfig(const Options &opt)
+{
+    obs::ObsConfig oc;
+    oc.trace = !opt.traceOut.empty();
+    oc.traceLimit = opt.traceLimit;
+    oc.metricsInterval = opt.metricsInterval;
+    if (!opt.traceKinds.empty()) {
+        std::string err;
+        oc.traceKindMask = obs::parseKindMask(opt.traceKinds, &err);
+        if (!err.empty())
+            fusion_fatal("--trace-kinds: ", err);
+    }
+    return oc;
+}
+
 inline std::vector<core::RunResult>
 runSweep(const char *sweepName,
          const std::vector<sweep::SweepJob> &jobs,
          const Options &opt)
 {
-    // --guard instruments every job; jobs are otherwise untouched,
-    // so a guard-off harness run stays byte-identical.
+    // --guard / --trace-* / --metrics-interval instrument every job;
+    // jobs are otherwise untouched, so a plain harness run stays
+    // byte-identical.
     std::vector<sweep::SweepJob> guarded;
     const std::vector<sweep::SweepJob> *list = &jobs;
-    if (opt.guard) {
+    if (opt.guard || opt.telemetry()) {
         guarded = jobs;
-        for (auto &j : guarded)
-            j.cfg.guard = guardChecks();
+        for (auto &j : guarded) {
+            if (opt.guard)
+                j.cfg.guard = guardChecks();
+            if (opt.telemetry())
+                j.cfg.obs = obsConfig(opt);
+        }
         list = &guarded;
     }
 
@@ -176,6 +242,33 @@ runSweep(const char *sweepName,
                                results, /*includePerf=*/true);
         std::fprintf(stderr, "sweep report written to %s\n",
                      opt.jsonPath.c_str());
+    }
+    if (!opt.traceOut.empty()) {
+        // One Perfetto process per job; pid = submission index.
+        std::vector<obs::TraceProcess> procs;
+        std::size_t spans = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            procs.push_back(
+                obs::TraceProcess{(*list)[i].tag, results[i].trace});
+            if (results[i].trace)
+                spans += results[i].trace->retained();
+        }
+        std::string err;
+        if (!obs::writePerfettoFile(opt.traceOut, procs, &err))
+            fusion_fatal("--trace-out: ", err);
+        // Self-check: the file we just wrote must parse as JSON
+        // (this is what the ObsBenchSmoke ctest entry relies on).
+        std::ifstream in(opt.traceOut, std::ios::binary);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        if (!obs::jsonParses(buf.str(), &err)) {
+            std::fprintf(stderr,
+                         "trace %s failed JSON validation: %s\n",
+                         opt.traceOut.c_str(), err.c_str());
+            std::exit(2);
+        }
+        std::fprintf(stderr, "trace written to %s (%zu spans)\n",
+                     opt.traceOut.c_str(), spans);
     }
 
     // Fault isolation: failed jobs are recorded, siblings complete;

@@ -7,6 +7,7 @@
  */
 
 #include <cmath>
+#include <iostream>
 
 #include "bench_util.hh"
 
@@ -60,5 +61,13 @@ main(int argc, char **argv)
     std::printf("geomean speedup vs SCRATCH: SHARED %.2fx, FUSION "
                 "%.2fx\n",
                 1.0 / geo_sh, 1.0 / geo_fu);
+
+    // Telemetry runs (--metrics-interval/--trace-out) additionally
+    // carry per-histogram latency percentiles; print them after the
+    // figure. Prints nothing on a plain run.
+    std::vector<std::string> tags;
+    for (const auto &j : jobs)
+        tags.push_back(j.tag);
+    core::printLatencyTable(std::cout, tags, results);
     return 0;
 }

@@ -11,6 +11,17 @@ DmaEngine::DmaEngine(SimContext &ctx, const DmaParams &p,
     : _ctx(ctx), _p(p), _llc(llc), _link(dma_link), _pt(pt)
 {
     _stats = &ctx.stats.root().child("dma");
+    _stChunkLatency = &_stats->histogram("chunk_latency", 0, 1024, 32);
+
+    _tracer = ctx.obs.tracer();
+    if (_tracer)
+        _track = _tracer->registerTrack("dma");
+    ctx.obs.registerGauge("dma.outstanding", [this] {
+        return static_cast<double>(_outstanding);
+    });
+    ctx.obs.registerCounter("dma.line_transfers", [this] {
+        return static_cast<double>(_lineTransfers);
+    });
 
     ctx.guard.registerSnapshot("dma", [this] {
         guard::ComponentState s;
@@ -53,6 +64,11 @@ DmaEngine::fill(const std::vector<Addr> &vlines, Pid pid,
     _done = std::move(done);
     ++_dmaOps;
     _stats->scalar("fill_ops") += 1;
+    // Whole-operation span, keyed by the op ordinal (ops are
+    // serialized, so the key only needs to be unique vs chunk keys).
+    if (_tracer)
+        _tracer->begin(_track, obs::SpanKind::Dma,
+                       static_cast<Addr>(_dmaOps), _ctx.now());
     pump();
 }
 
@@ -70,6 +86,9 @@ DmaEngine::drain(const std::vector<Addr> &vlines, Pid pid,
     _done = std::move(done);
     ++_dmaOps;
     _stats->scalar("drain_ops") += 1;
+    if (_tracer)
+        _tracer->begin(_track, obs::SpanKind::Dma,
+                       static_cast<Addr>(_dmaOps), _ctx.now());
     pump();
 }
 
@@ -87,8 +106,16 @@ DmaEngine::pump()
         bool is_drain = (_state == DmaState::Drain);
         // Scratchpad side of the transfer.
         _spm->dmaLineAccess(!is_drain);
-        auto completion = [this] {
+        Tick t0 = _ctx.now();
+        if (_tracer)
+            _tracer->begin(_track, obs::SpanKind::Dma, pline, t0);
+        auto completion = [this, pline, t0] {
             --_outstanding;
+            _stChunkLatency->sample(
+                static_cast<double>(_ctx.now() - t0));
+            if (_tracer)
+                _tracer->end(_track, obs::SpanKind::Dma, pline,
+                             _ctx.now());
             _ctx.guard.noteProgress();
             pump();
         };
@@ -101,6 +128,9 @@ DmaEngine::pump()
     if (_pos >= _lines->size() && _outstanding == 0 &&
         _state != DmaState::Idle) {
         _state = DmaState::Idle;
+        if (_tracer)
+            _tracer->end(_track, obs::SpanKind::Dma,
+                         static_cast<Addr>(_dmaOps), _ctx.now());
         auto done = std::move(_done); // move empties _done
         done();
     }

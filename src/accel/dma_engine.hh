@@ -22,6 +22,7 @@
 #include "host/llc.hh"
 #include "interconnect/link.hh"
 #include "mem/scratchpad.hh"
+#include "obs/span_tracer.hh"
 #include "sim/sim_context.hh"
 #include "vm/page_table.hh"
 
@@ -96,6 +97,10 @@ class DmaEngine
     std::uint64_t _lineTransfers = 0;
     std::uint64_t _dmaOps = 0;
     stats::Group *_stats;
+    stats::Histogram *_stChunkLatency;
+    /// Telemetry span tracer (null when tracing is off).
+    obs::SpanTracer *_tracer = nullptr;
+    std::uint32_t _track = 0;
 };
 
 } // namespace fusion::accel

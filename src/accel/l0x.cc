@@ -51,6 +51,19 @@ L0x::L0x(SimContext &ctx, const L0xParams &p, L1xAcc &l1x,
     _stLoadMisses = &_stats->scalar("load_misses");
     _stStoreMisses = &_stats->scalar("store_misses");
     _stAccessLatency = &_stats->histogram("access_latency", 0, 64, 16);
+    _stHitLatency = &_stats->histogram("hit_latency", 0, 16, 16);
+    _stMissLatency = &_stats->histogram("miss_latency", 0, 512, 32);
+    _stWbDelay = &_stats->histogram("wb_delay", 0, 512, 32);
+
+    _tracer = ctx.obs.tracer();
+    if (_tracer)
+        _track = _tracer->registerTrack(p.name);
+    ctx.obs.registerGauge(p.name + ".mshrs", [this] {
+        return static_cast<double>(_mshrs.size());
+    });
+    ctx.obs.registerCounter(p.name + ".misses", [this] {
+        return static_cast<double>(_misses);
+    });
 
     ctx.guard.registerSnapshot(p.name, [this] {
         guard::ComponentState s;
@@ -117,26 +130,41 @@ L0x::access(Addr va, std::uint32_t size, bool is_write,
     Addr vline = lineAlign(va);
     bookAccess(is_write, false);
     Tick start = _ctx.now();
-    PortDone timed = [this, start,
+    if (_tracer)
+        _tracer->begin(_track, obs::SpanKind::Access, vline, start);
+    // Both wrappers below already exceed SmallFn's inline buffer (they
+    // carry a moved-in SmallFn), so the extra captures ride in the
+    // same recycled slab block — no new allocation class.
+    PortDone timed = [this, start, vline,
                       done = std::move(done)]() mutable {
         _stAccessLatency->sample(
             static_cast<double>(_ctx.now() - start));
+        if (_tracer)
+            _tracer->end(_track, obs::SpanKind::Access, vline,
+                         _ctx.now());
         done();
     };
     _ctx.eq.scheduleIn(_fig.latency,
-                       [this, vline, is_write,
+                       [this, vline, is_write, start,
                         done = std::move(timed)]() mutable {
-                           lookup(vline, is_write, std::move(done));
+                           lookup(vline, is_write, start,
+                                  std::move(done));
                        });
 }
 
 void
-L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
+L0x::lookup(Addr vline, bool is_write, Tick start, PortDone done,
+            bool is_retry)
 {
     Tick now = _ctx.now();
     mem::CacheLine *line = _tags.find(vline, _pid);
     bool lease_valid =
         line && (line->ltime >= now || line->wepochEnd >= now);
+
+    auto sampleDone = [&] {
+        (is_retry ? _stMissLatency : _stHitLatency)
+            ->sample(static_cast<double>(now - start));
+    };
 
     if (!is_write) {
         if (lease_valid) {
@@ -145,6 +173,7 @@ L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
                 *_stHits += 1;
             }
             _tags.touch(*line);
+            sampleDone();
             done();
             return;
         }
@@ -159,6 +188,7 @@ L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
             _ctx.eq.scheduleIn(_tileLink->latency(), [this, wt_line] {
                 _l1x.writeThroughStore(_p.accel, wt_line, _pid);
             });
+            sampleDone();
             done();
             return;
         }
@@ -171,6 +201,7 @@ L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
             _tags.touch(*line);
             line->dirty = true;
             noteWriteEpoch(vline, line->wepochEnd);
+            sampleDone();
             done();
             return;
         }
@@ -184,11 +215,16 @@ L0x::lookup(Addr vline, bool is_write, PortDone done, bool is_retry)
     bool need_data = !lease_valid;
     bool primary = _mshrs.allocate(
         vline,
-        [this, vline, is_write, done = std::move(done)]() mutable {
-            lookup(vline, is_write, std::move(done), true);
+        [this, vline, is_write, start,
+         done = std::move(done)]() mutable {
+            lookup(vline, is_write, start, std::move(done), true);
         });
-    if (primary)
+    if (primary) {
+        if (_tracer)
+            _tracer->phase(_track, obs::SpanKind::Access, vline,
+                           "miss", now);
         requestMiss(vline, is_write, need_data);
+    }
 }
 
 void
@@ -308,6 +344,12 @@ L0x::emitDirtyLine(mem::CacheLine &line, bool allow_forward)
     Addr vline = line.lineAddr;
     Pid pid = line.pid;
     bookAccess(false, true); // read the line out of the array
+    if (line.wepochEnd > 0 && _ctx.now() >= line.wepochEnd) {
+        // How long the dirty line lingered past its write epoch
+        // before the self-downgrade reached it.
+        _stWbDelay->sample(
+            static_cast<double>(_ctx.now() - line.wepochEnd));
+    }
 
     // Forwarding happens only at end-of-invocation self-eviction
     // (Figure 5: the producer forwards when it completes

@@ -34,6 +34,7 @@
 #include "interconnect/link.hh"
 #include "mem/cache_array.hh"
 #include "mem/mshr.hh"
+#include "obs/span_tracer.hh"
 #include "sim/sim_context.hh"
 
 namespace fusion::accel
@@ -121,7 +122,7 @@ class L0x : public MemPort
     std::size_t outstandingMshrs() const { return _mshrs.size(); }
 
   private:
-    void lookup(Addr vline, bool is_write, PortDone done,
+    void lookup(Addr vline, bool is_write, Tick start, PortDone done,
                 bool is_retry = false);
     void requestMiss(Addr vline, bool is_write, bool need_data);
     void onGrant(Addr vline, bool is_write, Tick lease_end);
@@ -168,6 +169,13 @@ class L0x : public MemPort
     stats::Scalar *_stLoadMisses;
     stats::Scalar *_stStoreMisses;
     stats::Histogram *_stAccessLatency;
+    stats::Histogram *_stHitLatency;
+    stats::Histogram *_stMissLatency;
+    /// Self-downgrade lag: writeback tick minus write-epoch expiry.
+    stats::Histogram *_stWbDelay;
+    /// Telemetry span tracer (null when tracing is off).
+    obs::SpanTracer *_tracer = nullptr;
+    std::uint32_t _track = 0;
 };
 
 } // namespace fusion::accel

@@ -36,6 +36,32 @@ L1xAcc::L1xAcc(SimContext &ctx, const L1xParams &p, host::Llc &llc,
     _stHits = &_stats->scalar("hits");
     _stMisses = &_stats->scalar("misses");
     _stBankConflicts = &_stats->scalar("bank_conflicts");
+    _stFillLatency = &_stats->histogram("fill_latency", 0, 1024, 32);
+    _stFwdLatency = &_stats->histogram("fwd_latency", 0, 1024, 32);
+
+    _tracer = ctx.obs.tracer();
+    if (_tracer)
+        _track = _tracer->registerTrack(p.name);
+    ctx.obs.registerGauge(p.name + ".mshrs", [this] {
+        return static_cast<double>(_mshrs.size());
+    });
+    ctx.obs.registerGauge(p.name + ".stalled", [this] {
+        return static_cast<double>(_stalled.targets());
+    });
+    ctx.obs.registerGauge(p.name + ".wb_buffer", [this] {
+        return static_cast<double>(_wbBuffer.size());
+    });
+    ctx.obs.registerGauge(p.name + ".locked_lines", [this] {
+        std::uint64_t locked = 0;
+        _tags.forEachValid([&](const mem::CacheLine &l) {
+            if (l.locked)
+                ++locked;
+        });
+        return static_cast<double>(locked);
+    });
+    ctx.obs.registerCounter(p.name + ".misses", [this] {
+        return static_cast<double>(_misses);
+    });
 
     ctx.guard.registerSnapshot(p.name, [this] {
         guard::ComponentState s;
@@ -119,6 +145,9 @@ L1xAcc::requestLease(AccelId who, Addr vline, Pid pid,
 {
     vline = lineAlign(vline);
     bookAccess(false);
+    if (_tracer)
+        _tracer->begin(_track, obs::SpanKind::Lease, vline,
+                       _ctx.now());
     // Bank conflicts serialize concurrent requests (16 banks,
     // line interleaved).
     Cycles bank_delay = _banks.reserve(vline, _ctx.now());
@@ -144,6 +173,9 @@ L1xAcc::processLease(AccelId who, Addr vline, Pid pid,
             // An un-expired write epoch: stall at the L1X until the
             // epoch's writeback arrives (Section 3.2).
             _stats->scalar("stalls_on_write_epoch") += 1;
+            if (_tracer)
+                _tracer->phase(_track, obs::SpanKind::Lease, vline,
+                               "stall", _ctx.now());
             DPRINTFN("ACC", "stall vline=", vline, " now=",
                      _ctx.now(), " wepochEnd=", line->wepochEnd,
                      " gtime=", line->gtime, " who=", who);
@@ -178,16 +210,21 @@ L1xAcc::processLease(AccelId who, Addr vline, Pid pid,
             processLease(who, vline, pid, lease_len, is_write,
                          need_data, std::move(done), true);
         });
-    if (primary)
+    if (primary) {
+        if (_tracer)
+            _tracer->phase(_track, obs::SpanKind::Lease, vline,
+                           "miss", _ctx.now());
         startFill(vline, pid);
+    }
 }
 
 void
 L1xAcc::startFill(Addr vline, Pid pid)
 {
+    Tick t0 = _ctx.now();
     // The TLB sits on the L1X miss path: translate before entering
     // the host tile's physical address space (Section 3.2).
-    _tlb.translate(pid, vline, [this, vline, pid](Addr pa) {
+    _tlb.translate(pid, vline, [this, vline, pid, t0](Addr pa) {
         Addr pline = lineAlign(pa);
         // Synonym filter (Appendix): if the physical line is already
         // cached in the tile under a different virtual address,
@@ -210,23 +247,24 @@ L1xAcc::startFill(Addr vline, Pid pid)
         }
         // The tile always requests exclusivity: M/E/I states only.
         _llc.request(_agentId, pline, CoherenceReq::GetX,
-                     [this, vline, pid,
-                      pline](const host::LlcResponse &) {
-                         finishFill(vline, pid, pline);
+                     [this, vline, pid, pline,
+                      t0](const host::LlcResponse &) {
+                         finishFill(vline, pid, pline, t0);
                      });
     });
 }
 
 void
-L1xAcc::finishFill(Addr vline, Pid pid, Addr pline)
+L1xAcc::finishFill(Addr vline, Pid pid, Addr pline, Tick t0)
 {
-    allocateFrame(vline, pid, pline, [this, vline, pid, pline]() {
+    allocateFrame(vline, pid, pline, [this, vline, pid, pline, t0]() {
         mem::CacheLine *line = _tags.find(vline, pid);
         fusion_assert(line, "fill lost its frame");
         line->mesi = MesiState::E;
         line->pline = pline;
         _rmap.insert(pline, vline, pid);
         bookAccess(true); // fill write
+        _stFillLatency->sample(static_cast<double>(_ctx.now() - t0));
         _mshrs.complete(vline, pid);
     });
 }
@@ -280,6 +318,12 @@ L1xAcc::grant(mem::CacheLine &line, Cycles lease_len, bool is_write,
         _stats->scalar("read_leases") += 1;
     }
     _tags.touch(line);
+    if (_tracer) {
+        // Span covers request arrival -> grant issue; the response
+        // hop is accounted in the L0X access span.
+        _tracer->end(_track, obs::SpanKind::Lease, line.lineAddr,
+                     _ctx.now());
+    }
     // Response to the L0X: data for fills, 1-flit grant otherwise.
     _tileLink->book(need_data ? MsgClass::Data : MsgClass::Control);
     Cycles resp_lat = _tileLink->latency();
@@ -396,7 +440,11 @@ L1xAcc::handleFwd(Addr pa, FwdKind kind, FwdDone done)
     w.dirty = line->dirty;
     w.awaitingL0xWb = line->locked;
     w.readyAt = std::max(_ctx.now(), line->gtime);
+    w.t0 = _ctx.now();
     w.done = std::move(done);
+    if (_tracer)
+        _tracer->begin(_track, obs::SpanKind::HostFwd, w.pline,
+                       w.t0);
     _rmap.erase(line->pline);
     _tags.invalidate(*line);
     std::uint64_t id = w.id;
@@ -421,6 +469,10 @@ L1xAcc::tryRespondWbBuf(std::uint64_t id)
         return; // already responded via another path
     if (it->awaitingL0xWb || it->readyAt > _ctx.now())
         return;
+    _stFwdLatency->sample(static_cast<double>(_ctx.now() - it->t0));
+    if (_tracer)
+        _tracer->end(_track, obs::SpanKind::HostFwd, it->pline,
+                     _ctx.now());
     auto done = std::move(it->done);
     bool dirty = it->dirty;
     _wbBuffer.erase(it);

@@ -43,6 +43,7 @@
 #include "mem/cache_array.hh"
 #include "mem/bank_scheduler.hh"
 #include "mem/mshr.hh"
+#include "obs/span_tracer.hh"
 #include "sim/sim_context.hh"
 #include "vm/ax_rmap.hh"
 #include "vm/ax_tlb.hh"
@@ -142,6 +143,7 @@ class L1xAcc : public coherence::CoherentAgent
         bool dirty = false;
         bool awaitingL0xWb = false;
         Tick readyAt = 0;
+        Tick t0 = 0; ///< demand arrival (fwd_latency histogram)
         FwdDone done;
     };
 
@@ -155,7 +157,7 @@ class L1xAcc : public coherence::CoherentAgent
                bool need_data, LeaseDone done);
     /** Miss path: translate, fetch exclusively, install. */
     void startFill(Addr vline, Pid pid);
-    void finishFill(Addr vline, Pid pid, Addr pline);
+    void finishFill(Addr vline, Pid pid, Addr pline, Tick t0);
     /** Allocate a frame, evicting an expired victim. */
     void allocateFrame(Addr vline, Pid pid, Addr pline,
                        sim::SmallFn<void()> installed);
@@ -189,6 +191,11 @@ class L1xAcc : public coherence::CoherentAgent
     stats::Scalar *_stHits;
     stats::Scalar *_stMisses;
     stats::Scalar *_stBankConflicts;
+    stats::Histogram *_stFillLatency;
+    stats::Histogram *_stFwdLatency;
+    /// Telemetry span tracer (null when tracing is off).
+    obs::SpanTracer *_tracer = nullptr;
+    std::uint32_t _track = 0;
 };
 
 } // namespace fusion::accel

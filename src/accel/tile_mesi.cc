@@ -40,6 +40,19 @@ L0xMesi::L0xMesi(SimContext &ctx, std::string name,
     _stHits = &_stats->scalar("hits");
     _stLoadMisses = &_stats->scalar("load_misses");
     _stStoreMisses = &_stats->scalar("store_misses");
+    _stAccessLatency = &_stats->histogram("access_latency", 0, 64, 16);
+    _stHitLatency = &_stats->histogram("hit_latency", 0, 16, 16);
+    _stMissLatency = &_stats->histogram("miss_latency", 0, 512, 32);
+
+    _tracer = ctx.obs.tracer();
+    if (_tracer)
+        _track = _tracer->registerTrack(_name);
+    ctx.obs.registerGauge(_name + ".mshrs", [this] {
+        return static_cast<double>(_mshrs.size());
+    });
+    ctx.obs.registerCounter(_name + ".misses", [this] {
+        return static_cast<double>(_misses);
+    });
 }
 
 void
@@ -59,16 +72,19 @@ L0xMesi::access(Addr va, std::uint32_t size, bool is_write,
     (void)size;
     Addr vline = lineAlign(va);
     bookAccess(is_write, false);
+    Tick start = _ctx.now();
+    if (_tracer)
+        _tracer->begin(_track, obs::SpanKind::Access, vline, start);
     _ctx.eq.scheduleIn(_fig.latency,
-                       [this, vline, is_write,
+                       [this, vline, is_write, start,
                         done = std::move(done)]() mutable {
-                           lookup(vline, is_write, std::move(done),
-                                  false);
+                           lookup(vline, is_write, start,
+                                  std::move(done), false);
                        });
 }
 
 void
-L0xMesi::lookup(Addr vline, bool is_write, PortDone done,
+L0xMesi::lookup(Addr vline, bool is_write, Tick start, PortDone done,
                 bool is_retry)
 {
     mem::CacheLine *line = _tags.find(vline, _pid);
@@ -85,6 +101,14 @@ L0xMesi::lookup(Addr vline, bool is_write, PortDone done,
                 line->mesi = MesiState::M;
                 line->dirty = true;
             }
+            Tick now = _ctx.now();
+            _stAccessLatency->sample(
+                static_cast<double>(now - start));
+            (is_retry ? _stMissLatency : _stHitLatency)
+                ->sample(static_cast<double>(now - start));
+            if (_tracer)
+                _tracer->end(_track, obs::SpanKind::Access, vline,
+                             now);
             done();
             return;
         }
@@ -97,10 +121,14 @@ L0xMesi::lookup(Addr vline, bool is_write, PortDone done,
     }
     bool primary = _mshrs.allocate(
         vline,
-        [this, vline, is_write, done = std::move(done)]() mutable {
-            lookup(vline, is_write, std::move(done), true);
+        [this, vline, is_write, start,
+         done = std::move(done)]() mutable {
+            lookup(vline, is_write, start, std::move(done), true);
         });
     if (primary) {
+        if (_tracer)
+            _tracer->phase(_track, obs::SpanKind::Access, vline,
+                           "miss", _ctx.now());
         CoherenceReq kind =
             !is_write ? CoherenceReq::GetS
                       : (line ? CoherenceReq::Upgrade
@@ -220,6 +248,22 @@ L1xMesi::L1xMesi(SimContext &ctx, std::uint64_t bytes,
     _stHits = &_stats->scalar("hits");
     _stMisses = &_stats->scalar("misses");
     _stDeferred = &_stats->scalar("deferred");
+
+    _tracer = ctx.obs.tracer();
+    if (_tracer)
+        _track = _tracer->registerTrack(_name);
+    ctx.obs.registerGauge(_name + ".mshrs", [this] {
+        return static_cast<double>(_mshrs.size());
+    });
+    ctx.obs.registerGauge(_name + ".dir_busy", [this] {
+        std::uint64_t busy = 0;
+        for (const auto &[k, d] : _dir)
+            busy += d.busy ? 1 : 0;
+        return static_cast<double>(busy);
+    });
+    ctx.obs.registerCounter(_name + ".misses", [this] {
+        return static_cast<double>(_misses);
+    });
 }
 
 int
@@ -244,6 +288,9 @@ L1xMesi::request(int l0x_id, Addr vline, Pid pid,
 {
     vline = lineAlign(vline);
     bookAccess(false);
+    if (_tracer)
+        _tracer->begin(_track, obs::SpanKind::MesiReq, vline,
+                       _ctx.now());
     Cycles bank_delay = _banks.reserve(vline, _ctx.now());
     _ctx.eq.scheduleIn(_fig.latency + bank_delay,
                        [this, l0x_id, vline, pid, kind,
@@ -264,6 +311,9 @@ L1xMesi::arrive(int l0x_id, Addr vline, Pid pid, CoherenceReq kind,
             arrive(l0x_id, vline, pid, kind, std::move(done));
         });
         *_stDeferred += 1;
+        if (_tracer)
+            _tracer->phase(_track, obs::SpanKind::MesiReq, vline,
+                           "defer", _ctx.now());
         return;
     }
     d.busy = true;
@@ -281,8 +331,12 @@ L1xMesi::arrive(int l0x_id, Addr vline, Pid pid, CoherenceReq kind,
          done = std::move(done)]() mutable {
             dirAction(l0x_id, vline, pid, kind, std::move(done));
         });
-    if (primary)
+    if (primary) {
+        if (_tracer)
+            _tracer->phase(_track, obs::SpanKind::MesiReq, vline,
+                           "fill", _ctx.now());
         startFill(vline, pid);
+    }
 }
 
 void
@@ -506,6 +560,9 @@ L1xMesi::respond(int l0x_id, Addr vline, Pid pid, bool exclusive,
 {
     (void)l0x_id;
     _tileLink->book(with_data ? MsgClass::Data : MsgClass::Control);
+    if (_tracer)
+        _tracer->end(_track, obs::SpanKind::MesiReq, vline,
+                     _ctx.now());
     finishTransaction(vline, pid);
     _ctx.eq.scheduleIn(_tileLink->latency(),
                        [exclusive,
@@ -560,6 +617,7 @@ L1xMesi::handleFwd(Addr pa, FwdKind kind, FwdDone done)
 {
     (void)kind;
     _stats->scalar("fwd_recv") += 1;
+    DPRINTFN("MESI", "host fwd pa=", pa, " now=", _ctx.now());
     auto entry = _rmap.lookup(pa);
     if (!entry) {
         done(false, false);

@@ -44,6 +44,7 @@
 #include "mem/bank_scheduler.hh"
 #include "mem/cache_array.hh"
 #include "mem/mshr.hh"
+#include "obs/span_tracer.hh"
 #include "vm/ax_rmap.hh"
 #include "vm/ax_tlb.hh"
 #include "vm/page_table.hh"
@@ -79,7 +80,7 @@ class L0xMesi : public MemPort
     AccelId id() const { return _id; }
 
   private:
-    void lookup(Addr vline, bool is_write, PortDone done,
+    void lookup(Addr vline, bool is_write, Tick start, PortDone done,
                 bool is_retry);
     void fillDone(Addr vline, bool is_write, bool exclusive);
     void bookAccess(bool is_write, bool line_granular);
@@ -106,6 +107,12 @@ class L0xMesi : public MemPort
     stats::Scalar *_stHits;
     stats::Scalar *_stLoadMisses;
     stats::Scalar *_stStoreMisses;
+    stats::Histogram *_stAccessLatency;
+    stats::Histogram *_stHitLatency;
+    stats::Histogram *_stMissLatency;
+    /// Telemetry span tracer (null when tracing is off).
+    obs::SpanTracer *_tracer = nullptr;
+    std::uint32_t _track = 0;
 };
 
 /**
@@ -215,6 +222,9 @@ class L1xMesi : public coherence::CoherentAgent
     stats::Scalar *_stHits;
     stats::Scalar *_stMisses;
     stats::Scalar *_stDeferred;
+    /// Telemetry span tracer (null when tracing is off).
+    obs::SpanTracer *_tracer = nullptr;
+    std::uint32_t _track = 0;
 };
 
 /** Assembled MESI-protocol tile (the FUSION-MESI design point). */

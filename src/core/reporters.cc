@@ -83,4 +83,36 @@ energyStack(const RunResult &r)
     return s;
 }
 
+void
+printLatencyTable(std::ostream &os,
+                  const std::vector<std::string> &tags,
+                  const std::vector<RunResult> &results)
+{
+    bool any = false;
+    for (const auto &r : results)
+        if (!r.latency.empty())
+            any = true;
+    if (!any)
+        return;
+
+    os << "\nlatency percentiles (cycles; telemetry run)\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        if (r.latency.empty())
+            continue;
+        os << "-- "
+           << (i < tags.size() ? tags[i] : r.workload)
+           << "\n";
+        TableWriter t(os,
+                      {"histogram", "samples", "mean", "p50", "p95",
+                       "p99", "max"},
+                      {32, 9, 9, 9, 9, 9, 9});
+        for (const auto &[name, ls] : r.latency) {
+            t.row({name, std::to_string(ls.samples), fmt(ls.mean, 1),
+                   fmt(ls.p50, 1), fmt(ls.p95, 1), fmt(ls.p99, 1),
+                   fmt(ls.max, 1)});
+        }
+    }
+}
+
 } // namespace fusion::core

@@ -58,6 +58,16 @@ struct EnergyStack
 /** Split a result's ledger into the Figure 6a categories. */
 EnergyStack energyStack(const RunResult &r);
 
+/**
+ * Print the per-histogram latency percentiles carried by telemetry
+ * runs (RunResult::latency), one section per result that has any.
+ * No-op — no output at all — when no result carries latency data,
+ * so default harness output is unchanged.
+ */
+void printLatencyTable(std::ostream &os,
+                       const std::vector<std::string> &tags,
+                       const std::vector<RunResult> &results);
+
 } // namespace fusion::core
 
 #endif // FUSION_CORE_REPORTERS_HH

@@ -169,6 +169,16 @@ RunResult::toJson(bool include_perf) const
     // Host wall-clock data is nondeterministic, so it only appears
     // when explicitly requested; default output stays byte-identical
     // to what it was before perf instrumentation existed.
+    // Telemetry blocks only appear when the run enabled them, so the
+    // default report is byte-identical to a telemetry-free build.
+    if (metrics && !metrics->empty()) {
+        os << ",\"metrics\":";
+        obs::writeSeriesJson(os, *metrics);
+    }
+    if (!latency.empty()) {
+        os << ",\"latency\":";
+        obs::writeLatencyJson(os, latency);
+    }
     if (include_perf && perf) {
         os << ",\"perf\":{\"hostSeconds\":";
         putDouble(os, perf->hostSeconds);

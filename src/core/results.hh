@@ -9,13 +9,20 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 #include <string>
 
 #include "core/system_config.hh"
+#include "obs/metrics.hh"
 #include "sim/guard/sim_error.hh"
 #include "sim/types.hh"
+
+namespace fusion::obs
+{
+class SpanTracer;
+}
 
 namespace fusion::core
 {
@@ -101,6 +108,15 @@ struct RunResult
 
     /** Host wall-clock throughput (filled by System::run()). */
     std::optional<RunPerf> perf;
+
+    // Telemetry (all empty/disengaged unless the run enabled it, so
+    // default JSON stays byte-identical to an untraced build).
+    /** Interval time series (engaged when --metrics-interval > 0). */
+    std::optional<obs::MetricsSeries> metrics;
+    /** Span trace (non-null when --trace-out was requested). */
+    std::shared_ptr<const obs::SpanTracer> trace;
+    /** Latency percentiles per stats-tree histogram. */
+    std::map<std::string, obs::LatencyStat> latency;
 
     /** Total accelerator-side cache energy (L0X/SPM + L1X), the
      *  Table 5 "AXC Cache" column. */

@@ -9,6 +9,33 @@
 namespace fusion::core
 {
 
+namespace
+{
+
+/** Walk the stats tree collecting percentile summaries for every
+ *  histogram that saw samples (dot-joined path as the key). */
+void
+harvestLatency(const stats::Group &g, const std::string &prefix,
+               std::map<std::string, obs::LatencyStat> &out)
+{
+    for (const auto &[name, h] : g.histograms()) {
+        if (h.samples() == 0)
+            continue;
+        obs::LatencyStat ls;
+        ls.samples = h.samples();
+        ls.mean = h.mean();
+        ls.p50 = h.percentile(50.0);
+        ls.p95 = h.percentile(95.0);
+        ls.p99 = h.percentile(99.0);
+        ls.max = h.maxValue();
+        out[prefix + name] = ls;
+    }
+    for (const auto &[name, child] : g.children())
+        harvestLatency(child, prefix + name + ".", out);
+}
+
+} // namespace
+
 /**
  * Translates virtual accelerator accesses for the SHARED L1X and
  * books the per-access AXC<->L1X link traffic (request message +
@@ -74,6 +101,21 @@ System::System(const SystemConfig &cfg, const trace::Program &prog)
     // components can self-register snapshots and invariants in
     // deterministic (construction) order.
     _ctx.guard.configure(cfg.guard);
+
+    // Telemetry likewise configures before components construct so
+    // they can register tracks/gauges in deterministic order. When
+    // everything is off this leaves a null tracer and no sampler —
+    // the run is byte-identical to an untraced one.
+    _ctx.obs.configure(cfg.obs);
+    _obsTracer = _ctx.obs.tracer();
+    if (_obsTracer)
+        _obsTrack = _obsTracer->registerTrack("system");
+    _ctx.obs.registerGauge("eq.pending", [this] {
+        return static_cast<double>(_ctx.eq.pending());
+    });
+    _ctx.obs.registerCounter("eq.events", [this] {
+        return static_cast<double>(_ctx.eq.executed());
+    });
 
     _stOverlapLaunches =
         &_ctx.stats.root().child("scheduler").scalar(
@@ -266,6 +308,11 @@ System::run()
         });
     });
 
+    // Interval metrics ride the event queue at Stats priority so a
+    // tick's component state is settled before the gauges are read.
+    if (Tick mi = _ctx.obs.metricsInterval(); mi > 0)
+        scheduleSample(mi);
+
     // Drain: completion plus any outstanding lease-expiry
     // housekeeping (self-downgrades schedule into the future).
     Tick finish_tick = 0;
@@ -298,8 +345,27 @@ System::run()
     r.dmaCycles = _dmaWait;
     r.funcCycles = _funcCycles;
     r.invocationCycles = _invCycles;
+    r.metrics = _ctx.obs.takeMetrics();
+    r.trace = _ctx.obs.shareTrace();
     collect(r);
     return r;
+}
+
+void
+System::scheduleSample(Tick interval)
+{
+    _ctx.eq.scheduleIn(
+        static_cast<Cycles>(interval),
+        [this, interval] {
+            _ctx.obs.sample(_ctx.now());
+            // popBucket removed this event from the pending count
+            // before invoking it, so pending() now counts only real
+            // simulation work: reschedule while any remains, else
+            // let the drain loop terminate.
+            if (_ctx.eq.pending() > 0)
+                scheduleSample(interval);
+        },
+        EventPriority::Stats);
 }
 
 void
@@ -326,9 +392,15 @@ System::launchInvocation(std::size_t idx,
         *_cores[static_cast<std::size_t>(meta.accel)];
     Tick t0 = _ctx.now();
     double e0 = _ctx.energy.grandTotal();
+    if (_obsTracer)
+        _obsTracer->begin(_obsTrack, obs::SpanKind::Invocation,
+                          static_cast<Addr>(idx), t0);
 
     auto completion = [this, idx, name = meta.name, t0, e0,
                        cb = std::move(completion_cb)]() mutable {
+        if (_obsTracer)
+            _obsTracer->end(_obsTrack, obs::SpanKind::Invocation,
+                            static_cast<Addr>(idx), _ctx.now());
         _funcCycles[name] += _ctx.now() - t0;
         // Energy attribution per function (Table 3 %En). Under
         // overlapped execution concurrent invocations share the
@@ -566,6 +638,12 @@ System::collect(RunResult &r) const
     }
 
     r.funcEnergyPj = _funcEnergyPj;
+
+    // Latency percentiles only when telemetry is on: the default
+    // RunResult (and its JSON) must stay byte-identical to an
+    // instrumentation-free build.
+    if (_cfg.obs.anyEnabled())
+        harvestLatency(root, "", r.latency);
 }
 
 } // namespace fusion::core

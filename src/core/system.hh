@@ -80,6 +80,8 @@ class System
     void pumpOverlap();
     void launchInvocation(std::size_t idx,
                           sim::SmallFn<void()> completion);
+    /** Self-rescheduling interval-metrics sampler (telemetry). */
+    void scheduleSample(Tick interval);
     void collect(RunResult &r) const;
 
     SystemConfig _cfg;
@@ -127,6 +129,10 @@ class System
     {
         return *_tiles[_tileOf[static_cast<std::size_t>(a)]];
     }
+
+    // Telemetry (null/zero when tracing is off).
+    obs::SpanTracer *_obsTracer = nullptr;
+    std::uint32_t _obsTrack = 0;
 
     // Overlap scheduling state.
     stats::Scalar *_stOverlapLaunches; ///< resolved once in the ctor

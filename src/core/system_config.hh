@@ -14,6 +14,7 @@
 #include "host/llc.hh"
 #include "mem/cache_array.hh"
 #include "mem/dram.hh"
+#include "obs/obs_config.hh"
 #include "sim/guard/guard_config.hh"
 #include "sim/types.hh"
 
@@ -83,6 +84,11 @@ struct SystemConfig
     /// default — a default run is byte-identical with or without
     /// the guard subsystem compiled in.
     guard::GuardConfig guard;
+    /// Telemetry: span tracing, interval metrics, latency digests
+    /// (docs/OBSERVABILITY.md). All off by default — a default run's
+    /// serialized output is byte-identical with telemetry compiled
+    /// in but disarmed.
+    obs::ObsConfig obs;
 
     /**
      * Check the configuration for structural mistakes (non-power-

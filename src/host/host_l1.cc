@@ -36,6 +36,14 @@ HostL1::HostL1(SimContext &ctx, const HostL1Params &p, Llc &llc,
     _stHits = &_stats->scalar("hits");
     _stMisses = &_stats->scalar("misses");
     _stBankConflicts = &_stats->scalar("bank_conflicts");
+    _stMissLatency = &_stats->histogram("miss_latency", 0, 1024, 32);
+
+    ctx.obs.registerGauge(p.name + ".mshrs", [this] {
+        return static_cast<double>(_mshrs.size());
+    });
+    ctx.obs.registerCounter(p.name + ".misses", [this] {
+        return static_cast<double>(_misses);
+    });
 
     ctx.guard.registerSnapshot(_name, [this] {
         guard::ComponentState s;
@@ -131,8 +139,13 @@ HostL1::lookup(Addr line_addr, bool is_write, AccessDone done,
                     lookup(line_addr, is_write, std::move(done),
                            true);
                 })) {
+            Tick t0 = _ctx.now();
             _llc.request(_agentId, line_addr, CoherenceReq::Upgrade,
-                         [this, line_addr](const LlcResponse &) {
+                         [this, line_addr,
+                          t0](const LlcResponse &) {
+                             _stMissLatency->sample(
+                                 static_cast<double>(_ctx.now() -
+                                                     t0));
                              fillDone(line_addr, true, true);
                          });
         }
@@ -150,11 +163,14 @@ HostL1::lookup(Addr line_addr, bool is_write, AccessDone done,
             lookup(line_addr, is_write, std::move(done), true);
         });
     if (primary) {
+        Tick t0 = _ctx.now();
         _llc.request(_agentId, line_addr,
                      is_write ? CoherenceReq::GetX
                               : CoherenceReq::GetS,
-                     [this, line_addr,
-                      is_write](const LlcResponse &r) {
+                     [this, line_addr, is_write,
+                      t0](const LlcResponse &r) {
+                         _stMissLatency->sample(
+                             static_cast<double>(_ctx.now() - t0));
                          fillDone(line_addr, is_write, r.exclusive);
                      });
     }

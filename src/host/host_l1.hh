@@ -104,6 +104,7 @@ class HostL1 : public coherence::CoherentAgent
     stats::Scalar *_stHits;
     stats::Scalar *_stMisses;
     stats::Scalar *_stBankConflicts;
+    stats::Histogram *_stMissLatency;
 };
 
 } // namespace fusion::host

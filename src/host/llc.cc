@@ -41,6 +41,16 @@ Llc::Llc(SimContext &ctx, const LlcParams &p, mem::Dram &dram)
     _stMisses = &_stats->scalar("misses");
     _stDeferred = &_stats->scalar("deferred");
 
+    _tracer = ctx.obs.tracer();
+    if (_tracer)
+        _track = _tracer->registerTrack("llc");
+    ctx.obs.registerGauge("llc.dir_entries", [this] {
+        return static_cast<double>(_dir.size());
+    });
+    ctx.obs.registerCounter("llc.requests", [this] {
+        return _stRequests->value();
+    });
+
     ctx.guard.registerSnapshot("llc", [this] {
         guard::ComponentState s;
         std::vector<Addr> busy;
@@ -141,6 +151,8 @@ Llc::request(int agent, Addr pa, CoherenceReq kind, LlcDone done)
 {
     pa = lineAlign(pa);
     *_stRequests += 1;
+    if (_tracer)
+        _tracer->begin(_track, obs::SpanKind::LlcReq, pa, _ctx.now());
     _agents[static_cast<std::size_t>(agent)].link->book(
         MsgClass::Control);
     _ctx.eq.scheduleIn(pathLatency(agent, pa),
@@ -402,6 +414,8 @@ Llc::respond(int agent, Addr pa, MsgClass cls, bool exclusive,
 {
     _agents[static_cast<std::size_t>(agent)].link->book(cls);
     Cycles lat = pathLatency(agent, pa);
+    if (_tracer)
+        _tracer->end(_track, obs::SpanKind::LlcReq, pa, _ctx.now());
     finishTransaction(pa);
     _ctx.eq.scheduleIn(
         lat, [exclusive, done = std::move(done)]() mutable {

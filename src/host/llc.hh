@@ -30,6 +30,7 @@
 #include "interconnect/ring.hh"
 #include "mem/cache_array.hh"
 #include "mem/dram.hh"
+#include "obs/span_tracer.hh"
 #include "sim/sim_context.hh"
 
 namespace fusion::host
@@ -201,6 +202,9 @@ class Llc
     stats::Scalar *_stHits;
     stats::Scalar *_stMisses;
     stats::Scalar *_stDeferred;
+    /// Telemetry span tracer (null when tracing is off).
+    obs::SpanTracer *_tracer = nullptr;
+    std::uint32_t _track = 0;
 };
 
 } // namespace fusion::host

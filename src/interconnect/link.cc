@@ -16,6 +16,15 @@ Link::Link(SimContext &ctx, const LinkParams &p)
     _stFlits = &_stats->scalar("flits");
     _stBytes = &_stats->scalar("bytes");
 
+    _live = ctx.obs.live();
+    _tracer = ctx.obs.tracer();
+    if (_tracer)
+        _track = _tracer->registerTrack("link." + p.name);
+    ctx.obs.registerGauge("link." + p.name + ".in_flight",
+                          [this] { return static_cast<double>(_inFlight); });
+    ctx.obs.registerCounter("link." + p.name + ".flits",
+                            [this] { return static_cast<double>(_flits); });
+
     // Flit conservation: total flits booked must be explainable by
     // the message counts (Word and Data payloads are folded into
     // _dataMsgs, so the data side is a band, not an equality).
@@ -43,8 +52,18 @@ void
 Link::send(MsgClass cls, sim::SmallFn<void()> deliver)
 {
     book(cls);
-    if (deliver)
-        _ctx.eq.scheduleIn(_p.latency, std::move(deliver));
+    if (deliver) {
+        if (_live) {
+            ++_inFlight;
+            _ctx.eq.scheduleIn(
+                _p.latency, [this, deliver = std::move(deliver)]() mutable {
+                    --_inFlight;
+                    deliver();
+                });
+        } else {
+            _ctx.eq.scheduleIn(_p.latency, std::move(deliver));
+        }
+    }
 }
 
 void
@@ -69,6 +88,13 @@ Link::book(MsgClass cls, std::uint64_t count)
     }
     *_stFlits += static_cast<double>(flits);
     *_stBytes += static_cast<double>(bytes);
+    if (_tracer) {
+        // Senders that book() and schedule delivery themselves use
+        // this same latency, so the span covers the real traversal.
+        Tick now = _ctx.now();
+        _tracer->complete(_track, obs::SpanKind::LinkMsg,
+                          static_cast<Addr>(cls), now, now + _p.latency);
+    }
 }
 
 } // namespace fusion::interconnect

@@ -15,6 +15,7 @@
 
 #include "energy/link_energy.hh"
 #include "interconnect/message.hh"
+#include "obs/span_tracer.hh"
 #include "sim/sim_context.hh"
 #include "sim/small_fn.hh"
 
@@ -73,6 +74,15 @@ class Link
     stats::Scalar *_stDataMsgs;
     stats::Scalar *_stFlits;
     stats::Scalar *_stBytes;
+    /// Telemetry (null when tracing is off). Each book() records a
+    /// link_msg span of exactly the link latency — booking and
+    /// delivery scheduling use the same latency on every send path.
+    obs::SpanTracer *_tracer = nullptr;
+    std::uint32_t _track = 0;
+    /// Messages booked but not yet delivered; only maintained when
+    /// telemetry is live (the in_flight gauge).
+    std::int64_t _inFlight = 0;
+    bool _live = false;
 };
 
 } // namespace fusion::interconnect

@@ -16,6 +16,23 @@ Dram::Dram(SimContext &ctx, const DramParams &p)
     _stAccesses = &_stats->scalar("accesses");
     _stRowHits = &_stats->scalar("row_hits");
 
+    ctx.obs.registerGauge("dram.busy_channels", [this] {
+        std::size_t busy = 0;
+        for (const Channel &c : _channels)
+            if (c.busy)
+                ++busy;
+        return static_cast<double>(busy);
+    });
+    ctx.obs.registerGauge("dram.queued", [this] {
+        std::size_t queued = 0;
+        for (const Channel &c : _channels)
+            queued += c.queue.size();
+        return static_cast<double>(queued);
+    });
+    ctx.obs.registerCounter("dram.accesses", [this] {
+        return static_cast<double>(_accesses);
+    });
+
     ctx.guard.registerSnapshot("dram", [this] {
         guard::ComponentState s;
         std::uint64_t queued = 0, busy = 0;

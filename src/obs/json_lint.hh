@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Dependency-free JSON well-formedness checker.
+ *
+ * The repo's reports and traces are emitted by hand-rolled writers;
+ * this recursive-descent validator lets the bench harnesses and
+ * tests assert the output actually parses (ObsBenchSmoke) without
+ * pulling in a JSON library.
+ */
+
+#ifndef FUSION_OBS_JSON_LINT_HH
+#define FUSION_OBS_JSON_LINT_HH
+
+#include <string>
+#include <string_view>
+
+namespace fusion::obs
+{
+
+/**
+ * True when @p text is one complete, well-formed JSON value
+ * (RFC 8259 grammar; no extensions). On failure, when @p err is
+ * non-null, stores the byte offset and reason.
+ */
+bool jsonParses(std::string_view text, std::string *err = nullptr);
+
+} // namespace fusion::obs
+
+#endif // FUSION_OBS_JSON_LINT_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Metrics aggregation and JSON emission.
+ *
+ * Doubles print through the same shortest-round-trip "%.17g" used by
+ * core::RunResult::toJson so telemetry blocks inherit the repo's
+ * byte-identical determinism guarantee.
+ */
+
+#include "obs/metrics.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace fusion::obs
+{
+
+namespace
+{
+
+void
+putDouble(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+putUint(std::ostream &os, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    os << buf;
+}
+
+} // namespace
+
+void
+accumulate(std::map<std::string, GaugeSummary> &agg,
+           const MetricsSeries &series)
+{
+    for (std::size_t i = 0; i < series.names.size(); ++i) {
+        GaugeSummary &g = agg[series.names[i]];
+        for (const MetricsRow &row : series.rows) {
+            if (i >= row.values.size())
+                continue;
+            double v = row.values[i];
+            if (g.n == 0) {
+                g.min = v;
+                g.max = v;
+            } else {
+                g.min = v < g.min ? v : g.min;
+                g.max = v > g.max ? v : g.max;
+            }
+            g.sum += v;
+            ++g.n;
+        }
+    }
+}
+
+void
+writeSeriesJson(std::ostream &os, const MetricsSeries &series)
+{
+    os << "{\"interval\":";
+    putUint(os, series.interval);
+    os << ",\"series\":[";
+    for (std::size_t i = 0; i < series.names.size(); ++i) {
+        if (i)
+            os << ',';
+        os << '"' << series.names[i] << '"';
+    }
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < series.rows.size(); ++r) {
+        if (r)
+            os << ',';
+        os << '[';
+        putUint(os, series.rows[r].tick);
+        for (double v : series.rows[r].values) {
+            os << ',';
+            putDouble(os, v);
+        }
+        os << ']';
+    }
+    os << "]}";
+}
+
+void
+writeSummaryJson(std::ostream &os,
+                 const std::map<std::string, GaugeSummary> &agg)
+{
+    os << '{';
+    bool first = true;
+    for (const auto &[name, g] : agg) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << name << "\":{\"min\":";
+        putDouble(os, g.min);
+        os << ",\"mean\":";
+        putDouble(os, g.mean());
+        os << ",\"max\":";
+        putDouble(os, g.max);
+        os << '}';
+    }
+    os << '}';
+}
+
+void
+writeLatencyJson(std::ostream &os,
+                 const std::map<std::string, LatencyStat> &latency)
+{
+    os << '{';
+    bool first = true;
+    for (const auto &[name, s] : latency) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << name << "\":{\"samples\":";
+        putUint(os, s.samples);
+        os << ",\"mean\":";
+        putDouble(os, s.mean);
+        os << ",\"p50\":";
+        putDouble(os, s.p50);
+        os << ",\"p95\":";
+        putDouble(os, s.p95);
+        os << ",\"p99\":";
+        putDouble(os, s.p99);
+        os << ",\"max\":";
+        putDouble(os, s.max);
+        os << '}';
+    }
+    os << '}';
+}
+
+} // namespace fusion::obs

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Interval-metrics data model: the time series a run's sampler
+ * produces, latency-percentile summaries derived from histograms,
+ * and the JSON writers shared by RunResult and the sweep report.
+ */
+
+#ifndef FUSION_OBS_METRICS_HH
+#define FUSION_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fusion::obs
+{
+
+/** One sampler firing: the tick plus one value per registered series. */
+struct MetricsRow
+{
+    Tick tick = 0;
+    std::vector<double> values;
+};
+
+/**
+ * A run's interval time series. `names[i]` labels `rows[*].values[i]`;
+ * gauges come first, then counter rates (per-interval deltas).
+ */
+struct MetricsSeries
+{
+    Tick interval = 0;
+    std::vector<std::string> names;
+    std::vector<MetricsRow> rows;
+
+    bool
+    empty() const
+    {
+        return rows.empty();
+    }
+};
+
+/** Min/mean/max aggregate of one series across samples (and jobs). */
+struct GaugeSummary
+{
+    double min = 0;
+    double max = 0;
+    double sum = 0;
+    std::uint64_t n = 0;
+
+    double
+    mean() const
+    {
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
+};
+
+/** Latency-histogram digest surfaced in RunResult::toJson. */
+struct LatencyStat
+{
+    std::uint64_t samples = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double max = 0;
+};
+
+/** Fold every sample of @p series into @p agg, keyed by series name. */
+void accumulate(std::map<std::string, GaugeSummary> &agg,
+                const MetricsSeries &series);
+
+/** `{"interval":N,"series":["a",...],"rows":[[tick,v,...],...]}` */
+void writeSeriesJson(std::ostream &os, const MetricsSeries &series);
+
+/** `{"name":{"min":..,"mean":..,"max":..},...}` (map order = sorted). */
+void writeSummaryJson(std::ostream &os,
+                      const std::map<std::string, GaugeSummary> &agg);
+
+/** `{"name":{"samples":..,"mean":..,"p50":..,...},...}` */
+void writeLatencyJson(std::ostream &os,
+                      const std::map<std::string, LatencyStat> &latency);
+
+} // namespace fusion::obs
+
+#endif // FUSION_OBS_METRICS_HH

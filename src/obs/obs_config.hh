@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Configuration of the telemetry subsystem (docs/OBSERVABILITY.md).
+ *
+ * Everything here defaults to *off*: a default run constructs the
+ * Telemetry object but never records a span or a sample, and its
+ * serialized output is byte-identical to a build without the obs
+ * module. The sweep/bench harnesses populate this from the shared
+ * --trace-out / --trace-limit / --trace-kinds / --metrics-interval
+ * flags (bench_util.hh).
+ */
+
+#ifndef FUSION_OBS_OBS_CONFIG_HH
+#define FUSION_OBS_OBS_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace fusion::obs
+{
+
+/** Telemetry knobs carried inside core::SystemConfig. */
+struct ObsConfig
+{
+    /** Record transaction spans (SpanTracer armed). */
+    bool trace = false;
+    /** Bitmask over SpanKind: which span kinds are recorded. */
+    std::uint32_t traceKindMask = ~0u;
+    /** Span ring-buffer capacity; the oldest spans are overwritten
+     *  once a run records more than this many. */
+    std::size_t traceLimit = std::size_t{1} << 16;
+    /** Interval-metrics sampling period in ticks (0 = off). */
+    Tick metricsInterval = 0;
+
+    /** True when any telemetry feature is armed. */
+    bool
+    anyEnabled() const
+    {
+        return trace || metricsInterval > 0;
+    }
+};
+
+} // namespace fusion::obs
+
+#endif // FUSION_OBS_OBS_CONFIG_HH

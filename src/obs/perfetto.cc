@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Perfetto trace_event JSON writer.
+ *
+ * Timestamps are emitted in raw simulator ticks: the viewer labels
+ * the axis in microseconds, but all relative placement and zooming
+ * behave correctly and the numbers read directly as ticks.
+ */
+
+#include "obs/perfetto.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace fusion::obs
+{
+
+namespace
+{
+
+void
+putUint(std::ostream &os, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    os << buf;
+}
+
+void
+putEscaped(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+void
+writeMeta(std::ostream &os, bool &first, const char *what,
+          std::size_t pid, std::uint64_t tid, const std::string &name)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"" << what << "\",\"pid\":";
+    putUint(os, pid);
+    if (what[0] == 't') { // thread_name
+        os << ",\"tid\":";
+        putUint(os, tid);
+    }
+    os << ",\"args\":{\"name\":\"";
+    putEscaped(os, name);
+    os << "\"}}";
+}
+
+} // namespace
+
+void
+writePerfetto(std::ostream &os, const std::vector<TraceProcess> &procs)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    for (std::size_t pid = 0; pid < procs.size(); ++pid) {
+        const TraceProcess &p = procs[pid];
+        if (!p.tracer)
+            continue;
+        writeMeta(os, first, "process_name", pid, 0, p.name);
+        const auto &tracks = p.tracer->tracks();
+        for (std::size_t tid = 0; tid < tracks.size(); ++tid)
+            writeMeta(os, first, "thread_name", pid, tid, tracks[tid]);
+
+        for (const SpanRecord &s : p.tracer->sortedSpans()) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            Tick dur = s.end >= s.begin ? s.end - s.begin : 0;
+            os << "{\"ph\":\"X\",\"name\":\"" << spanKindName(s.kind)
+               << "\",\"cat\":\"" << spanKindName(s.kind)
+               << "\",\"ts\":";
+            putUint(os, s.begin);
+            os << ",\"dur\":";
+            putUint(os, dur);
+            os << ",\"pid\":";
+            putUint(os, pid);
+            os << ",\"tid\":";
+            putUint(os, s.track);
+            os << ",\"args\":{\"addr\":\"0x";
+            char hex[24];
+            std::snprintf(hex, sizeof(hex), "%" PRIx64,
+                          static_cast<std::uint64_t>(s.addr));
+            os << hex << '"';
+            for (std::uint8_t i = 0; i < s.numPhases; ++i) {
+                os << ",\"" << s.phases[i].name << "\":";
+                putUint(os, s.phases[i].tick);
+            }
+            os << "}}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+bool
+writePerfettoFile(const std::string &path,
+                  const std::vector<TraceProcess> &procs, std::string *err)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        if (err)
+            *err = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    std::size_t spans = 0, dropped = 0;
+    for (const TraceProcess &p : procs) {
+        if (!p.tracer)
+            continue;
+        spans += p.tracer->retained();
+        dropped += p.tracer->dropped();
+    }
+    DPRINTFN("OBS", "exporting ", spans, " spans to ", path,
+             " (", dropped, " overwritten by the ring)");
+    writePerfetto(os, procs);
+    os.flush();
+    if (!os) {
+        if (err)
+            *err = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace fusion::obs

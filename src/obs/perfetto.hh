@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Chrome/Perfetto `trace_event` JSON export for recorded spans.
+ *
+ * Emits the legacy JSON trace format (the "JSON Array Format" with a
+ * traceEvents wrapper), which ui.perfetto.dev and chrome://tracing
+ * both open directly. Each simulated job becomes one process (pid =
+ * job index, process_name = job tag) and each component track one
+ * thread row, so a whole sweep lands in a single file with the
+ * SHARED / FUSION variants side by side.
+ */
+
+#ifndef FUSION_OBS_PERFETTO_HH
+#define FUSION_OBS_PERFETTO_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/span_tracer.hh"
+
+namespace fusion::obs
+{
+
+/** One exported process: a job's tag plus its recorded trace. */
+struct TraceProcess
+{
+    std::string name;
+    std::shared_ptr<const SpanTracer> tracer;
+};
+
+/** Write the merged trace for @p procs to @p os. */
+void writePerfetto(std::ostream &os, const std::vector<TraceProcess> &procs);
+
+/**
+ * Write the merged trace to @p path. Returns false (and fills @p err
+ * when non-null) if the file cannot be written.
+ */
+bool writePerfettoFile(const std::string &path,
+                       const std::vector<TraceProcess> &procs,
+                       std::string *err = nullptr);
+
+} // namespace fusion::obs
+
+#endif // FUSION_OBS_PERFETTO_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Telemetry facade implementation.
+ */
+
+#include "obs/telemetry.hh"
+
+#include "sim/logging.hh"
+
+namespace fusion::obs
+{
+
+void
+Telemetry::configure(const ObsConfig &cfg)
+{
+    _cfg = cfg;
+    if (_cfg.trace) {
+        _tracer = std::make_shared<SpanTracer>(_cfg);
+        DPRINTFN("OBS", "span tracer armed, limit=", _cfg.traceLimit,
+                 " kindMask=0x", std::hex, _cfg.traceKindMask);
+    }
+    _series = MetricsSeries{};
+    _series.interval = _cfg.metricsInterval;
+    if (_cfg.metricsInterval > 0)
+        DPRINTFN("OBS", "interval metrics armed, interval=",
+                 _cfg.metricsInterval);
+}
+
+void
+Telemetry::sample(Tick now)
+{
+    if (_series.names.empty()) {
+        // First firing: freeze the column order (gauges then
+        // counters, each in registration = construction order) and
+        // baseline the counters so the first row reports the delta
+        // from tick 0.
+        for (const auto &[name, fn] : _gauges)
+            _series.names.push_back(name);
+        for (const auto &[name, fn] : _counters)
+            _series.names.push_back(name);
+        _lastCounters.assign(_counters.size(), 0.0);
+        DPRINTFN("OBS", "metrics sampler first firing at tick ", now,
+                 ", ", _series.names.size(), " columns");
+    }
+
+    MetricsRow row;
+    row.tick = now;
+    row.values.reserve(_gauges.size() + _counters.size());
+    for (const auto &[name, fn] : _gauges)
+        row.values.push_back(fn());
+    for (std::size_t i = 0; i < _counters.size(); ++i) {
+        double v = _counters[i].second();
+        row.values.push_back(v - _lastCounters[i]);
+        _lastCounters[i] = v;
+    }
+    _series.rows.push_back(std::move(row));
+}
+
+std::optional<MetricsSeries>
+Telemetry::takeMetrics()
+{
+    if (_series.rows.empty())
+        return std::nullopt;
+    MetricsSeries out = std::move(_series);
+    _series = MetricsSeries{};
+    _series.interval = _cfg.metricsInterval;
+    return out;
+}
+
+} // namespace fusion::obs

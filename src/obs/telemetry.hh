@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-context telemetry facade: owns the SpanTracer and the interval
+ * sampler's gauge/counter registry.
+ *
+ * One Telemetry lives inside every SimContext, mirroring the guard
+ * subsystem: core::System calls configure() *before* constructing
+ * components, components self-register gauges / tracks in their
+ * constructors (deterministic construction order ⇒ deterministic
+ * track and series ids), and the System drives sample() off the
+ * event queue every metricsInterval ticks.
+ *
+ * Pay-for-what-you-use: with telemetry disabled, tracer() is null —
+ * components gate span code on one cached-pointer branch — and
+ * sample() never runs. Registration itself always happens; it is
+ * construction-time-only and costs nothing per event.
+ */
+
+#ifndef FUSION_OBS_TELEMETRY_HH
+#define FUSION_OBS_TELEMETRY_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/obs_config.hh"
+#include "obs/span_tracer.hh"
+
+namespace fusion::obs
+{
+
+class Telemetry
+{
+  public:
+    using ReadFn = std::function<double()>;
+
+    /** Arm features per @p cfg. Call once, before components construct. */
+    void configure(const ObsConfig &cfg);
+
+    /** Span tracer, or nullptr when tracing is off. Cache this. */
+    SpanTracer *
+    tracer()
+    {
+        return _tracer.get();
+    }
+
+    /** True when any feature is armed (spans or interval metrics). */
+    bool
+    live() const
+    {
+        return _cfg.anyEnabled();
+    }
+
+    Tick
+    metricsInterval() const
+    {
+        return _cfg.metricsInterval;
+    }
+
+    /** Register an instantaneous occupancy series (read at each sample). */
+    void
+    registerGauge(std::string name, ReadFn fn)
+    {
+        _gauges.emplace_back(std::move(name), std::move(fn));
+    }
+
+    /**
+     * Register a monotonically increasing counter; the sampler emits
+     * its per-interval delta as the series value.
+     */
+    void
+    registerCounter(std::string name, ReadFn fn)
+    {
+        _counters.emplace_back(std::move(name), std::move(fn));
+    }
+
+    /** Take one sample row at @p now. Driven by core::System. */
+    void sample(Tick now);
+
+    /** Move the accumulated series out (engaged only when sampling ran). */
+    std::optional<MetricsSeries> takeMetrics();
+
+    /** Shared view of the trace for RunResult (null when tracing off). */
+    std::shared_ptr<const SpanTracer>
+    shareTrace() const
+    {
+        return _tracer;
+    }
+
+  private:
+    ObsConfig _cfg;
+    std::shared_ptr<SpanTracer> _tracer;
+    std::vector<std::pair<std::string, ReadFn>> _gauges;
+    std::vector<std::pair<std::string, ReadFn>> _counters;
+    std::vector<double> _lastCounters;
+    MetricsSeries _series;
+};
+
+} // namespace fusion::obs
+
+#endif // FUSION_OBS_TELEMETRY_HH

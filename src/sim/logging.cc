@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <cctype>
 #include <cstring>
 #include <mutex>
 #include <set>
@@ -100,21 +101,51 @@ Debug::enabled(std::string_view category)
     return categorySet().find(category) != categorySet().end();
 }
 
+bool
+Debug::isKnown(std::string_view category)
+{
+    for (const char *known : kKnownCategories)
+        if (category == known)
+            return true;
+    return false;
+}
+
 void
 Debug::initFromEnvironment()
 {
     const char *env = std::getenv("FUSION_DEBUG");
     if (!env)
         return;
-    std::string spec(env);
+    std::string_view spec(env);
     std::size_t pos = 0;
     while (pos < spec.size()) {
         std::size_t comma = spec.find(',', pos);
-        if (comma == std::string::npos)
+        if (comma == std::string_view::npos)
             comma = spec.size();
-        if (comma > pos)
-            enable(spec.substr(pos, comma - pos));
+        std::string_view name = spec.substr(pos, comma - pos);
         pos = comma + 1;
+        // Tolerate "ACC, MESI" and stray blanks between commas.
+        while (!name.empty() &&
+               std::isspace(static_cast<unsigned char>(name.front())))
+            name.remove_prefix(1);
+        while (!name.empty() &&
+               std::isspace(static_cast<unsigned char>(name.back())))
+            name.remove_suffix(1);
+        if (name.empty())
+            continue;
+        if (!isKnown(name)) {
+            std::string valid;
+            for (const char *known : kKnownCategories) {
+                if (!valid.empty())
+                    valid += ", ";
+                valid += known;
+            }
+            fusion_warn("FUSION_DEBUG: unknown category '", name,
+                        "' (known: ", valid, ")");
+        }
+        // Enable even when unknown: tests and out-of-tree code may
+        // instrument private categories; the warn is advisory.
+        enable(name);
     }
 }
 

@@ -54,13 +54,28 @@ void informImpl(const std::string &msg);
 class Debug
 {
   public:
-    /** Enable one category by name ("ACC", "MESI", "DMA", ...). */
+    /**
+     * Categories instrumented in-tree; initFromEnvironment() warns
+     * when FUSION_DEBUG names anything else. Keep in sync with the
+     * DPRINTFN call sites.
+     */
+    static constexpr const char *kKnownCategories[] = {
+        "ACC", "MESI", "OBS",
+    };
+
+    /** Enable one category by name ("ACC", "MESI", "OBS", ...). */
     static void enable(std::string_view category);
     /** Disable one category by name. */
     static void disable(std::string_view category);
     /** True if the category is enabled. */
     static bool enabled(std::string_view category);
-    /** Parse FUSION_DEBUG from the environment (comma separated). */
+    /** True if the category has an in-tree DPRINTFN site. */
+    static bool isKnown(std::string_view category);
+    /**
+     * Parse FUSION_DEBUG from the environment: a comma-separated
+     * category list. Entries are whitespace-trimmed; unknown names
+     * warn (they still enable, for out-of-tree categories).
+     */
     static void initFromEnvironment();
 };
 

@@ -8,6 +8,7 @@
 #define FUSION_SIM_SIM_CONTEXT_HH
 
 #include "energy/energy_ledger.hh"
+#include "obs/telemetry.hh"
 #include "sim/event_queue.hh"
 #include "sim/guard/registry.hh"
 #include "sim/stats.hh"
@@ -25,6 +26,7 @@ struct SimContext
     stats::Registry stats;
     energy::Ledger energy;
     guard::GuardRegistry guard;
+    obs::Telemetry obs;
 
     /** Current simulated time. */
     Tick now() const { return eq.now(); }

@@ -75,6 +75,56 @@ class Histogram
         }
     }
 
+    /**
+     * Estimate the value at percentile @p p (0..100) by linear
+     * interpolation. Mass inside a bucket interpolates across the
+     * bucket's bounds; underflow mass interpolates over
+     * [minValue, lo) and overflow mass over [hi, maxValue], so the
+     * estimate is defined (and bounded by the observed extremes)
+     * even when samples fell outside the bucketed range.
+     */
+    double
+    percentile(double p) const
+    {
+        if (_samples == 0)
+            return 0.0;
+        p = std::min(std::max(p, 0.0), 100.0);
+        // Continuous rank: p==0 -> min, p==100 -> max.
+        double rank = p / 100.0 * static_cast<double>(_samples);
+        double seen = 0.0;
+
+        auto interp = [&](double count, double lo, double hi) {
+            // Fraction of this bin's mass below the target rank.
+            double f = count > 0 ? (rank - seen) / count : 0.0;
+            f = std::min(std::max(f, 0.0), 1.0);
+            return lo + f * (hi - lo);
+        };
+
+        if (_underflow && rank <= seen + _underflow)
+            return interp(static_cast<double>(_underflow), _min,
+                          std::min(_lo, _max));
+        seen += static_cast<double>(_underflow);
+
+        double width = (_hi - _lo) / static_cast<double>(_counts.size());
+        for (std::size_t b = 0; b < _counts.size(); ++b) {
+            double count = static_cast<double>(_counts[b]);
+            if (count > 0 && rank <= seen + count) {
+                double blo = _lo + width * static_cast<double>(b);
+                // Clamp to observed extremes so a single-sample
+                // bucket reports the sample, not the bucket edge.
+                return std::min(std::max(interp(count, blo, blo + width),
+                                         _min),
+                                _max);
+            }
+            seen += count;
+        }
+
+        if (_overflow)
+            return interp(static_cast<double>(_overflow),
+                          std::max(_hi, _min), _max);
+        return _max;
+    }
+
     std::uint64_t samples() const { return _samples; }
     double sum() const { return _sum; }
     double mean() const { return _samples ? _sum / _samples : 0.0; }

@@ -273,6 +273,19 @@ reportJson(const std::string &sweepName,
             ++failed;
     if (failed != 0)
         os << ",\"failed\":" << failed;
+    // Sweep-level gauge aggregate (min/mean/max per gauge across
+    // every sampled job). Only present when some job carried interval
+    // metrics, so default reports stay byte-identical.
+    {
+        std::map<std::string, obs::GaugeSummary> summary;
+        for (const auto &r : results)
+            if (r.metrics)
+                obs::accumulate(summary, *r.metrics);
+        if (!summary.empty()) {
+            os << ",\"metricsSummary\":";
+            obs::writeSummaryJson(os, summary);
+        }
+    }
     // Sweep-level aggregate of the per-run wall-clock data; only on
     // request, for the same determinism reasons as RunResult::perf.
     if (includePerf) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -30,6 +32,51 @@ TEST(Debug, DprintfnIsGated)
     Debug::enable("ENABLED_CAT");
     DPRINTFN("ENABLED_CAT", "value=", 42);
     Debug::disable("ENABLED_CAT");
+}
+
+TEST(Debug, KnownCategoryList)
+{
+    EXPECT_TRUE(Debug::isKnown("ACC"));
+    EXPECT_TRUE(Debug::isKnown("MESI"));
+    EXPECT_TRUE(Debug::isKnown("OBS"));
+    EXPECT_FALSE(Debug::isKnown("TESTCAT"));
+    EXPECT_FALSE(Debug::isKnown("acc")); // case-sensitive
+}
+
+TEST(Debug, InitFromEnvironmentTrimsWhitespace)
+{
+    // "ACC, MESI ,,  " must enable exactly ACC and MESI: entries are
+    // trimmed and empties skipped.
+    ::setenv("FUSION_DEBUG", " ACC, MESI ,,  ", 1);
+    testing::internal::CaptureStderr();
+    Debug::initFromEnvironment();
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_TRUE(Debug::enabled("ACC"));
+    EXPECT_TRUE(Debug::enabled("MESI"));
+    EXPECT_FALSE(Debug::enabled(""));
+    EXPECT_FALSE(Debug::enabled(" ACC"));
+    // Both names are known, so no warning was printed.
+    EXPECT_EQ(err.find("unknown category"), std::string::npos) << err;
+    Debug::disable("ACC");
+    Debug::disable("MESI");
+    ::unsetenv("FUSION_DEBUG");
+}
+
+TEST(Debug, InitFromEnvironmentWarnsOnUnknownButStillEnables)
+{
+    ::setenv("FUSION_DEBUG", "NOSUCHCAT", 1);
+    testing::internal::CaptureStderr();
+    Debug::initFromEnvironment();
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("unknown category 'NOSUCHCAT'"),
+              std::string::npos)
+        << err;
+    // The warning lists the valid vocabulary...
+    EXPECT_NE(err.find("ACC"), std::string::npos) << err;
+    // ...but the category is enabled anyway (advisory warning).
+    EXPECT_TRUE(Debug::enabled("NOSUCHCAT"));
+    Debug::disable("NOSUCHCAT");
+    ::unsetenv("FUSION_DEBUG");
 }
 
 TEST(Rng, DeterministicAcrossInstances)

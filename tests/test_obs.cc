@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem (src/obs/): span tracer
+ * mechanics, kind-mask parsing, interval metrics, Perfetto export,
+ * the JSON linter, and — most importantly — the determinism anchors:
+ * telemetry output is byte-identical across identical runs on every
+ * system kind, and default (telemetry-off) output is unchanged.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "core/runner.hh"
+#include "obs/json_lint.hh"
+#include "obs/metrics.hh"
+#include "obs/perfetto.hh"
+#include "obs/span_tracer.hh"
+#include "sweep/sweep.hh"
+
+namespace fusion::obs
+{
+namespace
+{
+
+ObsConfig
+allOn(Tick interval = 256)
+{
+    ObsConfig oc;
+    oc.trace = true;
+    oc.metricsInterval = interval;
+    return oc;
+}
+
+// ---------------------------------------------------------------
+// SpanTracer unit tests.
+// ---------------------------------------------------------------
+
+TEST(SpanTracer, RecordsBeginEndSpans)
+{
+    SpanTracer t(allOn());
+    auto trk = t.registerTrack("comp");
+    t.begin(trk, SpanKind::Access, 0x40, 10);
+    t.end(trk, SpanKind::Access, 0x40, 25);
+    ASSERT_EQ(t.retained(), 1u);
+    auto spans = t.sortedSpans();
+    EXPECT_EQ(spans[0].begin, 10u);
+    EXPECT_EQ(spans[0].end, 25u);
+    EXPECT_EQ(spans[0].addr, 0x40u);
+    EXPECT_EQ(spans[0].track, trk);
+    EXPECT_EQ(spans[0].kind, SpanKind::Access);
+}
+
+TEST(SpanTracer, ReentrantBeginsNest)
+{
+    // Secondary MSHR targets joining an outstanding miss re-begin
+    // the same key: one span from first begin to last end.
+    SpanTracer t(allOn());
+    auto trk = t.registerTrack("comp");
+    t.begin(trk, SpanKind::Lease, 0x80, 5);
+    t.begin(trk, SpanKind::Lease, 0x80, 7);
+    t.end(trk, SpanKind::Lease, 0x80, 9);
+    EXPECT_EQ(t.retained(), 0u); // still one level open
+    t.end(trk, SpanKind::Lease, 0x80, 12);
+    ASSERT_EQ(t.retained(), 1u);
+    auto spans = t.sortedSpans();
+    EXPECT_EQ(spans[0].begin, 5u);
+    EXPECT_EQ(spans[0].end, 12u);
+}
+
+TEST(SpanTracer, PhasesAttachToOpenSpan)
+{
+    SpanTracer t(allOn());
+    auto trk = t.registerTrack("comp");
+    t.begin(trk, SpanKind::Access, 0x40, 1);
+    t.phase(trk, SpanKind::Access, 0x40, "miss", 3);
+    t.end(trk, SpanKind::Access, 0x40, 8);
+    auto spans = t.sortedSpans();
+    ASSERT_EQ(spans.size(), 1u);
+    ASSERT_EQ(spans[0].numPhases, 1u);
+    EXPECT_STREQ(spans[0].phases[0].name, "miss");
+    EXPECT_EQ(spans[0].phases[0].tick, 3u);
+}
+
+TEST(SpanTracer, UnmatchedEndIsIgnored)
+{
+    SpanTracer t(allOn());
+    auto trk = t.registerTrack("comp");
+    t.end(trk, SpanKind::Access, 0x40, 8); // no matching begin
+    EXPECT_EQ(t.retained(), 0u);
+    EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(SpanTracer, RingOverwritesOldestWhenFull)
+{
+    ObsConfig oc = allOn();
+    oc.traceLimit = 4;
+    SpanTracer t(oc);
+    auto trk = t.registerTrack("comp");
+    for (Tick i = 0; i < 6; ++i)
+        t.complete(trk, SpanKind::LinkMsg, i, i * 10, i * 10 + 1);
+    EXPECT_EQ(t.recorded(), 6u);
+    EXPECT_EQ(t.dropped(), 2u);
+    auto spans = t.sortedSpans();
+    ASSERT_EQ(spans.size(), 4u);
+    // The two oldest (begin 0 and 10) were recycled.
+    EXPECT_EQ(spans.front().begin, 20u);
+    EXPECT_EQ(spans.back().begin, 50u);
+}
+
+TEST(SpanTracer, KindMaskFiltersAtRecordTime)
+{
+    ObsConfig oc = allOn();
+    oc.traceKindMask = spanKindBit(SpanKind::Access);
+    SpanTracer t(oc);
+    auto trk = t.registerTrack("comp");
+    t.begin(trk, SpanKind::Lease, 0x40, 1);
+    t.end(trk, SpanKind::Lease, 0x40, 2);
+    t.complete(trk, SpanKind::LinkMsg, 0, 1, 2);
+    t.begin(trk, SpanKind::Access, 0x40, 3);
+    t.end(trk, SpanKind::Access, 0x40, 4);
+    auto spans = t.sortedSpans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].kind, SpanKind::Access);
+}
+
+TEST(SpanKinds, ParseKindMask)
+{
+    std::string err;
+    EXPECT_EQ(parseKindMask("", &err), ~0u); // empty = everything
+    EXPECT_EQ(parseKindMask("access", &err),
+              spanKindBit(SpanKind::Access));
+    EXPECT_EQ(parseKindMask("access,lease", &err),
+              spanKindBit(SpanKind::Access) |
+                  spanKindBit(SpanKind::Lease));
+    // Whitespace and case are tolerated.
+    EXPECT_EQ(parseKindMask(" Access , LEASE ", &err),
+              spanKindBit(SpanKind::Access) |
+                  spanKindBit(SpanKind::Lease));
+    EXPECT_TRUE(err.empty());
+    // Unknown names fail loudly, naming the offender and the
+    // valid vocabulary.
+    EXPECT_EQ(parseKindMask("access,bogus", &err), 0u);
+    EXPECT_NE(err.find("bogus"), std::string::npos) << err;
+    EXPECT_NE(err.find("link_msg"), std::string::npos) << err;
+}
+
+TEST(SpanKinds, NamesAreStable)
+{
+    EXPECT_STREQ(spanKindName(SpanKind::Invocation), "invocation");
+    EXPECT_STREQ(spanKindName(SpanKind::Access), "access");
+    EXPECT_STREQ(spanKindName(SpanKind::Lease), "lease");
+    EXPECT_STREQ(spanKindName(SpanKind::MesiReq), "mesi_req");
+    EXPECT_STREQ(spanKindName(SpanKind::LlcReq), "llc_req");
+    EXPECT_STREQ(spanKindName(SpanKind::HostFwd), "host_fwd");
+    EXPECT_STREQ(spanKindName(SpanKind::Dma), "dma");
+    EXPECT_STREQ(spanKindName(SpanKind::LinkMsg), "link_msg");
+}
+
+// ---------------------------------------------------------------
+// JSON linter.
+// ---------------------------------------------------------------
+
+TEST(JsonLint, AcceptsValidDocuments)
+{
+    EXPECT_TRUE(jsonParses("{}"));
+    EXPECT_TRUE(jsonParses("[]"));
+    EXPECT_TRUE(jsonParses("{\"a\":[1,2.5,-3e4],\"b\":null,"
+                           "\"c\":true,\"d\":\"x\\\"y\"}"));
+    EXPECT_TRUE(jsonParses(" [ {\"nested\":{\"deep\":[]}} ] "));
+}
+
+TEST(JsonLint, RejectsInvalidDocuments)
+{
+    std::string err;
+    EXPECT_FALSE(jsonParses("", &err));
+    EXPECT_FALSE(jsonParses("{", &err));
+    EXPECT_FALSE(jsonParses("{\"a\":}", &err));
+    EXPECT_FALSE(jsonParses("[1,2,]", &err));
+    EXPECT_FALSE(jsonParses("{} trailing", &err));
+    EXPECT_FALSE(jsonParses("'single'", &err));
+    EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------
+// End-to-end: telemetry on real runs across every system kind.
+// ---------------------------------------------------------------
+
+core::RunResult
+runWith(core::SystemKind kind, const trace::Program &p,
+        const ObsConfig &oc)
+{
+    core::SystemConfig cfg = core::SystemConfig::paperDefault(kind);
+    cfg.obs = oc;
+    return core::runProgram(cfg, p);
+}
+
+class ObsAllSystems
+    : public ::testing::TestWithParam<core::SystemKind>
+{
+};
+
+TEST_P(ObsAllSystems, TelemetryOutputIsDeterministic)
+{
+    // The determinism anchor: two identical runs with tracing and
+    // interval metrics produce byte-identical result JSON and
+    // byte-identical Perfetto traces.
+    trace::Program p =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    core::RunResult a = runWith(GetParam(), p, allOn());
+    core::RunResult b = runWith(GetParam(), p, allOn());
+
+    EXPECT_EQ(a.toJson(), b.toJson());
+
+    ASSERT_TRUE(a.trace);
+    ASSERT_TRUE(b.trace);
+    std::ostringstream ta, tb;
+    writePerfetto(ta, {TraceProcess{"job", a.trace}});
+    writePerfetto(tb, {TraceProcess{"job", b.trace}});
+    EXPECT_GT(a.trace->retained(), 0u);
+    EXPECT_EQ(ta.str(), tb.str());
+
+    // And the trace parses as JSON.
+    std::string err;
+    EXPECT_TRUE(jsonParses(ta.str(), &err)) << err;
+}
+
+TEST_P(ObsAllSystems, DisabledTelemetryLeavesResultUntouched)
+{
+    trace::Program p =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    core::RunResult plain = runWith(GetParam(), p, ObsConfig{});
+    EXPECT_FALSE(plain.metrics.has_value());
+    EXPECT_EQ(plain.trace, nullptr);
+    EXPECT_TRUE(plain.latency.empty());
+    std::string json = plain.toJson();
+    EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+    EXPECT_EQ(json.find("\"latency\""), std::string::npos);
+
+    // A telemetry run must not perturb the simulation itself: the
+    // simulated metrics are identical with and without telemetry.
+    core::RunResult traced = runWith(GetParam(), p, allOn());
+    EXPECT_EQ(plain.totalCycles, traced.totalCycles);
+    EXPECT_EQ(plain.accelCycles, traced.accelCycles);
+    EXPECT_DOUBLE_EQ(plain.totalPj(), traced.totalPj());
+}
+
+TEST_P(ObsAllSystems, MetricsSeriesIsWellFormed)
+{
+    trace::Program p =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    core::RunResult r = runWith(GetParam(), p, allOn(512));
+    ASSERT_TRUE(r.metrics.has_value());
+    const MetricsSeries &m = *r.metrics;
+    EXPECT_EQ(m.interval, 512u);
+    EXPECT_FALSE(m.names.empty());
+    ASSERT_FALSE(m.rows.empty());
+    Tick prev = 0;
+    for (const MetricsRow &row : m.rows) {
+        EXPECT_EQ(row.values.size(), m.names.size());
+        EXPECT_GT(row.tick, prev); // strictly increasing
+        EXPECT_EQ(row.tick % 512, 0u);
+        prev = row.tick;
+    }
+    // The series JSON itself parses.
+    std::ostringstream os;
+    writeSeriesJson(os, m);
+    std::string err;
+    EXPECT_TRUE(jsonParses(os.str(), &err)) << err;
+    // Latency percentiles were harvested and are ordered.
+    ASSERT_FALSE(r.latency.empty());
+    for (const auto &[name, ls] : r.latency) {
+        EXPECT_GT(ls.samples, 0u) << name;
+        EXPECT_LE(ls.p50, ls.p95) << name;
+        EXPECT_LE(ls.p95, ls.p99) << name;
+        EXPECT_LE(ls.p99, ls.max) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ObsAllSystems,
+    ::testing::Values(core::SystemKind::Scratch,
+                      core::SystemKind::Shared,
+                      core::SystemKind::Fusion,
+                      core::SystemKind::FusionDx,
+                      core::SystemKind::FusionMesi),
+    [](const auto &info) {
+        std::string n = core::systemKindName(info.param);
+        std::string out;
+        for (char c : n)
+            if (c != '-')
+                out += c;
+        return out;
+    });
+
+std::unordered_set<std::string>
+spanKindsOf(const core::RunResult &r)
+{
+    std::unordered_set<std::string> kinds;
+    for (const SpanRecord &s : r.trace->sortedSpans())
+        kinds.insert(spanKindName(s.kind));
+    return kinds;
+}
+
+TEST(ObsCoverage, FusionTracesAccLeaseLlcAndLinks)
+{
+    trace::Program p =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    core::RunResult r =
+        runWith(core::SystemKind::Fusion, p, allOn());
+    ASSERT_TRUE(r.trace);
+    auto kinds = spanKindsOf(r);
+    EXPECT_TRUE(kinds.count("invocation"));
+    EXPECT_TRUE(kinds.count("access"));   // ACC L0X
+    EXPECT_TRUE(kinds.count("lease"));    // L1X lease grant
+    EXPECT_TRUE(kinds.count("llc_req"));  // host LLC/directory
+    EXPECT_TRUE(kinds.count("link_msg")); // interconnect
+}
+
+TEST(ObsCoverage, FusionMesiTracesMesiRequests)
+{
+    trace::Program p =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    core::RunResult r =
+        runWith(core::SystemKind::FusionMesi, p, allOn());
+    ASSERT_TRUE(r.trace);
+    auto kinds = spanKindsOf(r);
+    EXPECT_TRUE(kinds.count("access"));   // MESI L0X
+    EXPECT_TRUE(kinds.count("mesi_req")); // intra-tile directory
+}
+
+TEST(ObsCoverage, ScratchTracesDmaTransfers)
+{
+    trace::Program p =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    core::RunResult r =
+        runWith(core::SystemKind::Scratch, p, allOn());
+    ASSERT_TRUE(r.trace);
+    auto kinds = spanKindsOf(r);
+    EXPECT_TRUE(kinds.count("dma"));
+    EXPECT_TRUE(kinds.count("llc_req") == 0 ||
+                true); // scratch may not issue MESI requests
+}
+
+TEST(ObsCoverage, KindMaskLimitsRecordedSpans)
+{
+    trace::Program p =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    ObsConfig oc = allOn();
+    oc.traceKindMask = spanKindBit(SpanKind::Lease);
+    core::RunResult r = runWith(core::SystemKind::Fusion, p, oc);
+    ASSERT_TRUE(r.trace);
+    auto kinds = spanKindsOf(r);
+    EXPECT_EQ(kinds.size(), 1u);
+    EXPECT_TRUE(kinds.count("lease"));
+}
+
+// ---------------------------------------------------------------
+// Sweep integration: metricsSummary aggregation.
+// ---------------------------------------------------------------
+
+TEST(ObsSweep, ReportCarriesMetricsSummaryOnlyWhenSampled)
+{
+    std::vector<sweep::SweepJob> jobs(2);
+    jobs[0].cfg =
+        core::SystemConfig::paperDefault(core::SystemKind::Fusion);
+    jobs[0].workload = "adpcm";
+    jobs[0].scale = workloads::Scale::Small;
+    jobs[0].tag = "adpcm/FU";
+    jobs[1] = jobs[0];
+    jobs[1].cfg =
+        core::SystemConfig::paperDefault(core::SystemKind::Shared);
+    jobs[1].tag = "adpcm/SH";
+
+    auto plain = sweep::runSweep(jobs);
+    std::string plain_json = sweep::reportJson("obs", jobs, plain);
+    EXPECT_EQ(plain_json.find("metricsSummary"), std::string::npos);
+
+    for (auto &j : jobs)
+        j.cfg.obs = allOn(512);
+    auto sampled = sweep::runSweep(jobs);
+    std::string json = sweep::reportJson("obs", jobs, sampled);
+    EXPECT_NE(json.find("\"metricsSummary\""), std::string::npos);
+    std::string err;
+    EXPECT_TRUE(jsonParses(json, &err)) << err;
+
+    // Determinism extends to the whole report.
+    auto again = sweep::runSweep(jobs);
+    EXPECT_EQ(json, sweep::reportJson("obs", jobs, again));
+
+    // Summary aggregation is min <= mean <= max per gauge.
+    std::map<std::string, GaugeSummary> sum;
+    for (const auto &r : sampled)
+        if (r.metrics)
+            accumulate(sum, *r.metrics);
+    ASSERT_FALSE(sum.empty());
+    for (const auto &[name, g] : sum) {
+        EXPECT_LE(g.min, g.mean()) << name;
+        EXPECT_LE(g.mean(), g.max) << name;
+    }
+}
+
+} // namespace
+} // namespace fusion::obs

@@ -76,6 +76,69 @@ TEST(Histogram, UnderAndOverflow)
     EXPECT_EQ(h.overflow(), 2u);
 }
 
+TEST(Histogram, PercentileInterpolatesWithinBuckets)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5); // one sample per bucket
+    // p0/p100 pin to the observed extremes.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 9.5);
+    // Half the mass lies below 5.0 (buckets 0..4).
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+    // p95 lands in the last bucket: rank 9.5 with 9 seen -> half way
+    // through [9, 10), clamped to max 9.5.
+    EXPECT_DOUBLE_EQ(h.percentile(95.0), 9.5);
+    EXPECT_GE(h.percentile(99.0), h.percentile(95.0));
+    // Monotone in p.
+    for (int p = 10; p <= 100; p += 10)
+        EXPECT_GE(h.percentile(p), h.percentile(p - 10));
+}
+
+TEST(Histogram, PercentileSingleSampleBucketReportsTheSample)
+{
+    // Interpolation is clamped to the observed extremes, so one
+    // sample reports itself at every percentile rather than a
+    // bucket-edge artifact.
+    Histogram h(0.0, 64.0, 16);
+    h.sample(7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 7.0);
+}
+
+TEST(Histogram, PercentileHandlesUnderAndOverflowMass)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(10.0);
+    h.sample(100.0);
+    // All mass is in the under/overflow bins; the estimate stays
+    // inside [min, max] and is monotone.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), -1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+    double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, -1.0);
+    EXPECT_LE(p50, 100.0);
+    // The p50 rank (1.5 of 3) is half way through the overflow bin
+    // spanning [10, 100].
+    EXPECT_DOUBLE_EQ(p50, 32.5);
+    // Pure-underflow percentiles interpolate over [min, lo).
+    double p10 = h.percentile(10.0);
+    EXPECT_GE(p10, -1.0);
+    EXPECT_LE(p10, 0.0);
+}
+
+TEST(Histogram, PercentileEmptyAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0); // no samples
+    h.sample(4.0);
+    // Out-of-range p clamps instead of reading out of bounds.
+    EXPECT_DOUBLE_EQ(h.percentile(-5.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(250.0), h.percentile(100.0));
+}
+
 TEST(Group, ChildrenAreStable)
 {
     Group g("root");
