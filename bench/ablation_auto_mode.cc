@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation — AUTO mode vs the static organizations: the
+ * orchestrator (src/orchestrator/) picks a coherence mode per
+ * invocation; this harness runs every workload under AUTO and under
+ * the four static systems of the paper's evaluation and reports how
+ * close AUTO lands to the per-workload best static choice (which no
+ * single static system achieves across the whole suite).
+ *
+ * --system K[,K...] overrides the static comparison set; AUTO is
+ * always included.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hh"
+#include "orchestrator/orchestrator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fusion;
+    auto opt = bench::parseArgs(argc, argv);
+    bench::banner("Ablation: AUTO mode vs static organizations",
+                  "dynamic per-invocation mode selection (no paper "
+                  "counterpart)");
+
+    // The static field AUTO competes against.
+    std::vector<core::SystemKind> statics = bench::kindsOrDefault(
+        opt, {core::SystemKind::Scratch, core::SystemKind::Shared,
+              core::SystemKind::Fusion, core::SystemKind::FusionDx});
+    statics.erase(std::remove(statics.begin(), statics.end(),
+                              core::SystemKind::Auto),
+                  statics.end());
+    if (statics.empty())
+        fusion_fatal("--system: need at least one static kind to "
+                     "compare AUTO against");
+    const std::size_t nk = statics.size();
+
+    const auto names = workloads::workloadNames();
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &name : names) {
+        for (auto kind : statics)
+            jobs.push_back(bench::job(kind, name, opt.scale));
+        jobs.push_back(
+            bench::job(core::SystemKind::Auto, name, opt.scale));
+    }
+    auto results = bench::runSweep("ablation_auto_mode", jobs, opt);
+
+    std::printf("%-8s |", "bench");
+    for (auto kind : statics)
+        std::printf(" %10s", core::systemKindShortName(kind));
+    std::printf(" | %10s %9s %3s | %s\n", "auto", "vs best", "sw",
+                "mode mix");
+    std::printf("%s\n", std::string(96, '-').c_str());
+
+    std::size_t within = 0;
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::size_t base = w * (nk + 1);
+        std::uint64_t best = ~0ull;
+        std::printf("%-8s |",
+                    bench::displayName(names[w]).c_str());
+        for (std::size_t i = 0; i < nk; ++i) {
+            std::uint64_t c = results[base + i].accelCycles;
+            best = std::min(best, c);
+            std::printf(" %10llu",
+                        static_cast<unsigned long long>(c));
+        }
+        const core::RunResult &au = results[base + nk];
+        double ratio = static_cast<double>(au.accelCycles) /
+                       static_cast<double>(best);
+        // "Within" = the per-invocation choice plus its switch
+        // costs lands inside 5% of the best static system.
+        if (ratio <= 1.05)
+            ++within;
+        std::string mix;
+        for (const auto &[mode, n] : au.modeInvocations) {
+            if (!mix.empty())
+                mix += " ";
+            mix += mode + ":" + std::to_string(n);
+        }
+        std::printf(" | %10llu %8.3fx %3llu | %s\n",
+                    static_cast<unsigned long long>(au.accelCycles),
+                    ratio,
+                    static_cast<unsigned long long>(au.modeSwitches),
+                    mix.c_str());
+    }
+    std::printf("%s\n", std::string(96, '-').c_str());
+    std::printf("AUTO within-or-better than the best static system "
+                "(<= 1.05x) on %zu of %zu workloads\n",
+                within, names.size());
+    return 0;
+}

@@ -44,9 +44,12 @@ main(int argc, char **argv)
     const auto kScales = {workloads::Scale::Small,
                           workloads::Scale::Paper,
                           workloads::Scale::Large};
-    const auto kKinds = {core::SystemKind::Scratch,
-                         core::SystemKind::Shared,
-                         core::SystemKind::Fusion};
+    // --system overrides the compared set; the first kind listed
+    // becomes the ratio baseline.
+    const auto kKinds = bench::kindsOrDefault(
+        opt, {core::SystemKind::Scratch, core::SystemKind::Shared,
+              core::SystemKind::Fusion});
+    const std::size_t nk = kKinds.size();
     std::vector<sweep::SweepJob> jobs;
     for (const auto &name : kNames)
         for (auto scale : kScales)
@@ -58,29 +61,37 @@ main(int argc, char **argv)
     auto results =
         bench::runSweep("ablation_input_scale", jobs, opt);
 
-    std::printf("%-8s %-6s %10s | %8s %8s | %14s\n", "bench",
-                "scale", "WSet(kB)", "SH/SC", "FU/SC",
-                "FU energy/SC");
+    const char *base = core::systemKindShortName(kKinds.front());
+    std::printf("%-8s %-6s %10s |", "bench", "scale", "WSet(kB)");
+    for (std::size_t i = 1; i < nk; ++i) {
+        std::printf(" %5s/%s",
+                    core::systemKindShortName(kKinds[i]), base);
+    }
+    std::printf(" | %14s\n",
+                (std::string("last energy/") + base).c_str());
     std::printf("%s\n", std::string(66, '-').c_str());
 
     std::size_t idx = 0;
     for (const auto &name : kNames) {
         for (auto scale : kScales) {
-            const core::RunResult &sc = results[idx++];
-            const core::RunResult &sh = results[idx++];
-            const core::RunResult &fu = results[idx++];
+            const core::RunResult &sc = results[idx];
             std::printf(
-                "%-8s %-6s %10.1f | %8.3f %8.3f | %13.3f\n",
+                "%-8s %-6s %10.1f |",
                 scale == workloads::Scale::Small
                     ? bench::displayName(name).c_str()
                     : "",
                 scaleName(scale),
-                static_cast<double>(sc.workingSetBytes) / 1024.0,
-                static_cast<double>(sh.accelCycles) /
-                    static_cast<double>(sc.accelCycles),
-                static_cast<double>(fu.accelCycles) /
-                    static_cast<double>(sc.accelCycles),
-                fu.hierarchyPj() / sc.hierarchyPj());
+                static_cast<double>(sc.workingSetBytes) / 1024.0);
+            for (std::size_t i = 1; i < nk; ++i) {
+                const core::RunResult &r = results[idx + i];
+                std::printf(" %8.3f",
+                            static_cast<double>(r.accelCycles) /
+                                static_cast<double>(sc.accelCycles));
+            }
+            const core::RunResult &last = results[idx + nk - 1];
+            std::printf(" | %13.3f\n",
+                        last.hierarchyPj() / sc.hierarchyPj());
+            idx += nk;
         }
         std::printf("\n");
     }

@@ -12,6 +12,8 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    const auto kKind =
+        bench::kindOrDefault(opt, core::SystemKind::Fusion);
     bench::banner("Ablation: L0X capacity sweep (FUSION)",
                   "design space between Lessons 3 and 7");
 
@@ -21,7 +23,7 @@ main(int argc, char **argv)
     std::vector<sweep::SweepJob> jobs;
     for (const auto &name : kNames) {
         for (std::uint64_t bytes : kSizes) {
-            auto j = bench::job(core::SystemKind::Fusion, name,
+            auto j = bench::job(kKind, name,
                                 opt.scale);
             j.cfg.l0xBytes = bytes;
             j.tag += "/l0x=" + std::to_string(bytes);

@@ -15,6 +15,8 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    const auto kKind =
+        bench::kindOrDefault(opt, core::SystemKind::Fusion);
     bench::banner("Ablation: lease-time sensitivity (FUSION)",
                   "design choice behind Table 3's LT column");
 
@@ -34,7 +36,7 @@ main(int argc, char **argv)
                     16, static_cast<Cycles>(
                             static_cast<double>(f.leaseTime) * s));
             }
-            auto j = bench::job(core::SystemKind::Fusion, name,
+            auto j = bench::job(kKind, name,
                                 opt.scale);
             j.prog = std::move(scaled);
             j.tag += "/lt=" + core::fmt(s, 2);

@@ -15,6 +15,8 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    const auto kKind =
+        bench::kindOrDefault(opt, core::SystemKind::Fusion);
     bench::banner("Ablation: tile collocation (FUSION)",
                   "Section 4's collocation assumption");
 
@@ -23,7 +25,7 @@ main(int argc, char **argv)
     std::vector<sweep::SweepJob> jobs;
     for (const auto &name : names) {
         for (std::uint32_t tiles : kTiles) {
-            auto j = bench::job(core::SystemKind::Fusion, name,
+            auto j = bench::job(kKind, name,
                                 opt.scale);
             j.cfg.numTiles = tiles;
             j.tag += "/tiles=" + std::to_string(tiles);

@@ -17,6 +17,7 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    bench::noteFixedComparison(opt, "the overlap ablation (FUSION vs FUSION-Dx)");
     bench::banner("Ablation: overlapped invocation execution",
                   "Figure 5's producer/consumer concurrency");
 

@@ -13,6 +13,8 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    const auto kKind =
+        bench::kindOrDefault(opt, core::SystemKind::Fusion);
     bench::banner("Ablation: L0X replacement policy (FUSION)",
                   "design-space extension beyond the paper");
 
@@ -29,7 +31,7 @@ main(int argc, char **argv)
     std::vector<sweep::SweepJob> jobs;
     for (const auto &name : names) {
         for (const auto &pol : kPolicies) {
-            auto j = bench::job(core::SystemKind::Fusion, name,
+            auto j = bench::job(kKind, name,
                                 opt.scale);
             j.cfg.l0xRepl = pol.p;
             j.tag += std::string("/") + pol.name;

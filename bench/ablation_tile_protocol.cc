@@ -35,6 +35,7 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    bench::noteFixedComparison(opt, "the tile-protocol ablation (FUSION vs FUSION-MESI)");
     bench::banner("Ablation: intra-tile protocol, ACC vs MESI",
                   "the protocol choice of Section 3.2");
 

@@ -50,6 +50,10 @@ struct Options
     std::size_t jobs = sweep::defaultJobs();
     std::string jsonPath;
     bool guard = false;
+    /** --system selection (empty: the harness's own default set).
+     *  Harnesses whose comparison is intrinsically fixed print a
+     *  note and ignore it. */
+    std::vector<core::SystemKind> systems;
     // Telemetry (docs/OBSERVABILITY.md). All default-off: a plain
     // harness run carries no observability state at all.
     std::string traceOut;
@@ -67,13 +71,19 @@ inline void
 usage(const char *argv0)
 {
     std::printf("usage: %s [--small] [--jobs N] [--json FILE] "
-                "[--guard] [--trace-out FILE]\n"
+                "[--guard] [--system K[,K...]] [--trace-out FILE]\n"
                 "  --small      CI-size inputs (default: paper "
                 "scale)\n"
                 "  --jobs N     parallel sweep workers (default: "
                 "%zu)\n"
                 "  --json FILE  write the machine-readable sweep "
                 "report\n"
+                "  --system K[,K...]  system kind(s): auto, "
+                "scratch, shared, fusion,\n"
+                "               fusion-dx, fusion-mesi (short "
+                "names accepted;\n"
+                "               fixed-comparison harnesses ignore "
+                "this)\n"
                 "  --guard      enable watchdog + invariant "
                 "checkers (docs/HARDENING.md)\n"
                 "  --trace-out FILE       write a Perfetto span "
@@ -85,6 +95,33 @@ usage(const char *argv0)
                 "  --metrics-interval N   sample gauges every N "
                 "ticks into the JSON report\n",
                 argv0, sweep::defaultJobs());
+}
+
+/** Parse a comma-separated --system value into @p out or die. */
+inline void
+parseSystemList(const char *argv0, const std::string &vals,
+                std::vector<core::SystemKind> &out)
+{
+    std::stringstream ss(vals);
+    std::string tok;
+    bool any = false;
+    while (std::getline(ss, tok, ',')) {
+        if (tok.empty())
+            continue;
+        auto k = core::parseSystemKind(tok);
+        if (!k) {
+            usage(argv0);
+            fusion_fatal("--system: unknown system kind '", tok,
+                         "' (want auto, scratch, shared, fusion, "
+                         "fusion-dx, or fusion-mesi)");
+        }
+        out.push_back(*k);
+        any = true;
+    }
+    if (!any) {
+        usage(argv0);
+        fusion_fatal("--system: empty system list");
+    }
 }
 
 /**
@@ -108,7 +145,14 @@ parseArgs(int argc, char **argv,
             }
             return argv[++i];
         };
-        if (a == "--small") {
+        // --system accepts both "--system K" and "--system=K".
+        if (a.rfind("--system=", 0) == 0) {
+            parseSystemList(argv[0], a.substr(9), opt.systems);
+            continue;
+        }
+        if (a == "--system") {
+            parseSystemList(argv[0], next(), opt.systems);
+        } else if (a == "--small") {
             opt.scale = workloads::Scale::Small;
         } else if (a == "--paper") {
             opt.scale = workloads::Scale::Paper;
@@ -154,17 +198,51 @@ parseArgs(int argc, char **argv,
     return opt;
 }
 
-/** Shorthand for the common (paper-default system, workload) job. */
+/** Shorthand for the common (paper-preset system, workload) job. */
 inline sweep::SweepJob
 job(core::SystemKind kind, const std::string &workload,
     workloads::Scale scale)
 {
     sweep::SweepJob j;
-    j.cfg = core::SystemConfig::paperDefault(kind);
+    j.cfg = core::SystemConfig::preset(
+        core::SystemConfig::Preset::Paper, kind);
     j.workload = workload;
     j.scale = scale;
     j.tag = workload + "/" + core::systemKindShortName(kind);
     return j;
+}
+
+/** The --system list, or @p defaults when the flag was not given. */
+inline std::vector<core::SystemKind>
+kindsOrDefault(const Options &opt,
+               std::vector<core::SystemKind> defaults)
+{
+    return opt.systems.empty() ? std::move(defaults) : opt.systems;
+}
+
+/** A single-system harness's kind: the first --system value (extras
+ *  are rejected), or @p fallback. */
+inline core::SystemKind
+kindOrDefault(const Options &opt, core::SystemKind fallback)
+{
+    if (opt.systems.empty())
+        return fallback;
+    if (opt.systems.size() > 1)
+        fusion_fatal("--system: this harness runs exactly one "
+                     "system kind");
+    return opt.systems.front();
+}
+
+/** Fixed-comparison harnesses call this to ignore --system. */
+inline void
+noteFixedComparison(const Options &opt, const char *what)
+{
+    if (!opt.systems.empty()) {
+        std::fprintf(stderr,
+                     "note: %s compares a fixed set of systems; "
+                     "--system ignored\n",
+                     what);
+    }
 }
 
 /**

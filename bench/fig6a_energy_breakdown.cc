@@ -18,9 +18,11 @@ main(int argc, char **argv)
                   "to SCRATCH)",
                   "Figure 6a (Section 5.2, Lessons 3-4)");
 
-    const auto kKinds = {core::SystemKind::Scratch,
-                         core::SystemKind::Shared,
-                         core::SystemKind::Fusion};
+    // --system overrides the compared set; the first kind listed
+    // becomes the normalization baseline.
+    const auto kKinds = bench::kindsOrDefault(
+        opt, {core::SystemKind::Scratch, core::SystemKind::Shared,
+              core::SystemKind::Fusion});
     const auto names = workloads::workloadNames();
     std::vector<sweep::SweepJob> jobs;
     for (const auto &name : names)
@@ -41,7 +43,7 @@ main(int argc, char **argv)
             const core::RunResult &r = results[idx++];
             core::EnergyStack s = core::energyStack(r);
             double hier = r.hierarchyPj();
-            if (kind == core::SystemKind::Scratch)
+            if (kind == kKinds.front())
                 scratch_total = hier;
             double n = scratch_total > 0 ? hier / scratch_total : 0;
             auto frac = [&](double pj) {
@@ -49,7 +51,7 @@ main(int argc, char **argv)
             };
             std::printf("%-8s %-6s %7.3f | %6.3f %6.3f %6.3f %6.3f "
                         "%6.3f %6.3f\n",
-                        kind == core::SystemKind::Scratch
+                        kind == kKinds.front()
                             ? bench::displayName(name).c_str()
                             : "",
                         core::systemKindShortName(kind), n,

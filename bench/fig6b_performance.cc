@@ -4,6 +4,9 @@
  * the DMA-transfer-bound benchmarks favour the cached systems while
  * small-working-set benchmarks favour the scratchpad; FUSION's
  * private L0Xs recover the loss SHARED suffers on them.
+ *
+ * --system K[,K...] overrides the compared systems; the first kind
+ * listed becomes the normalization baseline.
  */
 
 #include <cmath>
@@ -19,48 +22,55 @@ main(int argc, char **argv)
     bench::banner("Figure 6b: Cycle time normalized to SCRATCH",
                   "Figure 6b (Section 5.1, Lessons 1-2)");
 
-    const auto kKinds = {
-        core::SystemKind::Scratch, core::SystemKind::Shared,
-        core::SystemKind::Fusion, core::SystemKind::FusionDx};
+    const auto kinds = bench::kindsOrDefault(
+        opt, {core::SystemKind::Scratch, core::SystemKind::Shared,
+              core::SystemKind::Fusion, core::SystemKind::FusionDx});
+    const std::size_t nk = kinds.size();
     const auto names = workloads::workloadNames();
     std::vector<sweep::SweepJob> jobs;
     for (const auto &name : names)
-        for (auto kind : kKinds)
+        for (auto kind : kinds)
             jobs.push_back(bench::job(kind, name, opt.scale));
     auto results = bench::runSweep("fig6b_performance", jobs, opt);
 
-    std::printf("%-8s %12s %8s | %8s %8s %8s   %s\n", "bench",
-                "SC cycles", "DMA%", "SH", "FU", "FU-Dx",
-                "(fraction of SCRATCH cycle time; lower is better)");
+    const char *base = core::systemKindShortName(kinds.front());
+    std::printf("%-8s %12s %8s |", "bench", "base cycles", "DMA%");
+    for (std::size_t i = 1; i < nk; ++i)
+        std::printf(" %8s", core::systemKindShortName(kinds[i]));
+    std::printf("   (fraction of %s cycle time; lower is "
+                "better)\n",
+                base);
     std::printf("%s\n", std::string(86, '-').c_str());
 
-    double geo_sh = 1.0, geo_fu = 1.0;
+    std::vector<double> geo(nk, 1.0);
     int n = 0;
     for (std::size_t w = 0; w < names.size(); ++w) {
-        const core::RunResult &sc = results[w * 4];
-        double ratios[3];
-        for (int i = 0; i < 3; ++i) {
-            const core::RunResult &r =
-                results[w * 4 + 1 + static_cast<std::size_t>(i)];
-            ratios[i] = static_cast<double>(r.accelCycles) /
-                        static_cast<double>(sc.accelCycles);
-        }
-        std::printf("%-8s %12llu %7.1f%% | %8.3f %8.3f %8.3f\n",
+        const core::RunResult &sc = results[w * nk];
+        std::printf("%-8s %12llu %7.1f%% |",
                     bench::displayName(names[w]).c_str(),
                     static_cast<unsigned long long>(sc.accelCycles),
                     100.0 * static_cast<double>(sc.dmaCycles) /
-                        static_cast<double>(sc.accelCycles),
-                    ratios[0], ratios[1], ratios[2]);
-        geo_sh *= ratios[0];
-        geo_fu *= ratios[1];
+                        static_cast<double>(sc.accelCycles));
+        for (std::size_t i = 1; i < nk; ++i) {
+            const core::RunResult &r = results[w * nk + i];
+            double ratio = static_cast<double>(r.accelCycles) /
+                           static_cast<double>(sc.accelCycles);
+            geo[i] *= ratio;
+            std::printf(" %8.3f", ratio);
+        }
+        std::printf("\n");
         ++n;
     }
-    geo_sh = std::pow(geo_sh, 1.0 / n);
-    geo_fu = std::pow(geo_fu, 1.0 / n);
     std::printf("%s\n", std::string(86, '-').c_str());
-    std::printf("geomean speedup vs SCRATCH: SHARED %.2fx, FUSION "
-                "%.2fx\n",
-                1.0 / geo_sh, 1.0 / geo_fu);
+    if (n > 0 && nk > 1) {
+        std::printf("geomean speedup vs %s:", base);
+        for (std::size_t i = 1; i < nk; ++i) {
+            std::printf(" %s %.2fx",
+                        core::systemKindShortName(kinds[i]),
+                        1.0 / std::pow(geo[i], 1.0 / n));
+        }
+        std::printf("\n");
+    }
 
     // Telemetry runs (--metrics-interval/--trace-out) additionally
     // carry per-histogram latency percentiles; print them after the

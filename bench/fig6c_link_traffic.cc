@@ -16,9 +16,9 @@ main(int argc, char **argv)
     bench::banner("Figure 6c: Link traffic breakdown",
                   "Figure 6c (Section 5.2, Lessons 3-4)");
 
-    const auto kKinds = {
-        core::SystemKind::Scratch, core::SystemKind::Shared,
-        core::SystemKind::Fusion, core::SystemKind::FusionDx};
+    const auto kKinds = bench::kindsOrDefault(
+        opt, {core::SystemKind::Scratch, core::SystemKind::Shared,
+              core::SystemKind::Fusion, core::SystemKind::FusionDx});
     const auto names = workloads::workloadNames();
     std::vector<sweep::SweepJob> jobs;
     for (const auto &name : names)
@@ -37,7 +37,7 @@ main(int argc, char **argv)
             const core::RunResult &r = results[idx++];
             std::printf(
                 "%-8s %-6s | %12llu %12llu %12llu %12llu %10llu\n",
-                kind == core::SystemKind::Scratch
+                kind == kKinds.front()
                     ? bench::displayName(name).c_str()
                     : "",
                 core::systemKindShortName(kind),

@@ -12,6 +12,7 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    bench::noteFixedComparison(opt, "Figure 7 (FUSION vs AXC-LARGE FUSION)");
     bench::banner("Figure 7: AXC-Large vs AXC-Small (FUSION)",
                   "Figure 7 (Section 5.5, Lesson 7)");
 
@@ -21,7 +22,8 @@ main(int argc, char **argv)
         jobs.push_back(bench::job(core::SystemKind::Fusion, name,
                                   opt.scale));
         sweep::SweepJob lg = jobs.back();
-        lg.cfg = core::SystemConfig::axcLarge(
+        lg.cfg = core::SystemConfig::preset(
+            core::SystemConfig::Preset::AxcLarge,
             core::SystemKind::Fusion);
         lg.tag += "/large";
         jobs.push_back(std::move(lg));

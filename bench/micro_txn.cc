@@ -233,8 +233,9 @@ runWorkload(const std::string &workload, workloads::Scale scale,
     auto prog = core::buildProgram(workload, scale);
     if (!prog)
         fusion_fatal(core::unknownWorkloadMessage(workload));
-    auto cfg =
-        core::SystemConfig::paperDefault(core::SystemKind::Fusion);
+    auto cfg = core::SystemConfig::preset(
+        core::SystemConfig::Preset::Paper,
+        core::SystemKind::Fusion);
 
     Row r;
     r.name = workload;

@@ -16,6 +16,7 @@ main(int argc, char **argv)
     // Table 1 is trace profiling + the serial host-replay profile —
     // no system sweep — but shares the harness CLI for uniformity.
     auto opt = bench::parseArgs(argc, argv);
+    bench::noteFixedComparison(opt, "Table 1 (workload characterization)");
     auto scale = opt.scale;
     bench::banner("Table 1: Accelerator Characteristics",
                   "Table 1 (Section 2)");

@@ -34,10 +34,13 @@ main(int argc, char **argv)
     using namespace fusion;
     // Static configuration dump — accepts the shared CLI so every
     // harness responds to the same flags.
-    bench::parseArgs(argc, argv);
+    auto opt = bench::parseArgs(argc, argv);
+    bench::noteFixedComparison(opt,
+                               "Table 2 (system parameters)");
     bench::banner("Table 2: System parameters", "Table 2 (Section 4)");
 
-    auto cfg = core::SystemConfig::paperDefault(
+    auto cfg = core::SystemConfig::preset(
+        core::SystemConfig::Preset::Paper,
         core::SystemKind::Fusion);
 
     std::printf("Host core: 2 GHz, %u-wide issue, %u in-flight "
@@ -73,7 +76,9 @@ main(int argc, char **argv)
     printSram("Host L1",
               {cfg.hostL1Bytes, cfg.hostL1Assoc, 64, 1,
                energy::SramKind::Cache});
-    auto large = core::SystemConfig::axcLarge(core::SystemKind::Fusion);
+    auto large = core::SystemConfig::preset(
+        core::SystemConfig::Preset::AxcLarge,
+        core::SystemKind::Fusion);
     printSram("L0X-Large",
               {large.l0xBytes, large.l0xAssoc, 64, 1,
                energy::SramKind::TimestampCache});

@@ -14,6 +14,8 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    const auto kKind =
+        bench::kindOrDefault(opt, core::SystemKind::Fusion);
     bench::banner("Table 3: Accelerator Execution Metrics",
                   "Table 3 (Section 4)");
 
@@ -26,7 +28,7 @@ main(int argc, char **argv)
     for (const auto &name : names) {
         progs.push_back(std::make_shared<const trace::Program>(
             bench::mustBuild(name, opt.scale)));
-        auto j = bench::job(core::SystemKind::Fusion, name,
+        auto j = bench::job(kKind, name,
                             opt.scale);
         j.prog = progs.back();
         jobs.push_back(std::move(j));

@@ -14,6 +14,7 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    bench::noteFixedComparison(opt, "Table 4 (FUSION write-back vs write-through)");
     bench::banner("Table 4: Write-through vs writeback L0X "
                   "bandwidth (flits)",
                   "Table 4 (Section 5.3, Lesson 5)");

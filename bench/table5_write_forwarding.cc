@@ -26,11 +26,13 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    bench::noteFixedComparison(opt, "Table 5 (FUSION vs FUSION-Dx)");
     bench::banner("Table 5: Inter-AXC write forwarding (FUSION-Dx)",
                   "Table 5 (Section 5.4, Lesson 6)");
 
     // Paper-style per-block delta from the energy model.
-    auto cfg = core::SystemConfig::paperDefault(
+    auto cfg = core::SystemConfig::preset(
+        core::SystemConfig::Preset::Paper,
         core::SystemKind::Fusion);
     energy::SramParams l1xp{cfg.l1xBytes, cfg.l1xAssoc, 64,
                             cfg.l1xBanks,

@@ -13,6 +13,8 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    const auto kKind =
+        bench::kindOrDefault(opt, core::SystemKind::Fusion);
     bench::banner("Table 6: Virtual memory table lookups (FUSION)",
                   "Table 6 (Section 5.6, Lesson 8)");
 
@@ -22,7 +24,7 @@ main(int argc, char **argv)
     for (const auto &name : names) {
         progs.push_back(std::make_shared<const trace::Program>(
             bench::mustBuild(name, opt.scale)));
-        auto j = bench::job(core::SystemKind::Fusion, name,
+        auto j = bench::job(kKind, name,
                             opt.scale);
         j.prog = progs.back();
         jobs.push_back(std::move(j));

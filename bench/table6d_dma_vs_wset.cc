@@ -13,13 +13,15 @@ main(int argc, char **argv)
 {
     using namespace fusion;
     auto opt = bench::parseArgs(argc, argv);
+    const auto kKind =
+        bench::kindOrDefault(opt, core::SystemKind::Scratch);
     bench::banner("Table 6d: DMA traffic vs working set (SCRATCH)",
                   "Figure 6d table (Section 5.2)");
 
     const auto names = workloads::workloadNames();
     std::vector<sweep::SweepJob> jobs;
     for (const auto &name : names)
-        jobs.push_back(bench::job(core::SystemKind::Scratch, name,
+        jobs.push_back(bench::job(kKind, name,
                                   opt.scale));
     auto results = bench::runSweep("table6d_dma_vs_wset", jobs, opt);
 

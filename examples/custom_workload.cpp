@@ -110,7 +110,8 @@ main()
          {core::SystemKind::Scratch, core::SystemKind::Shared,
           core::SystemKind::Fusion, core::SystemKind::FusionDx}) {
         auto r = core::runProgram(
-            core::SystemConfig::paperDefault(kind), prog);
+            core::SystemConfig::preset(
+            core::SystemConfig::Preset::Paper, kind), prog);
         std::printf("%-10s %12llu %14.3f\n",
                     core::systemKindName(kind),
                     static_cast<unsigned long long>(r.accelCycles),

@@ -65,7 +65,8 @@ main(int argc, char **argv)
     for (std::uint64_t l0x : kL0x) {
         for (std::uint64_t l1x_kb : kL1xKb) {
             core::SweepJob j;
-            j.cfg = core::SystemConfig::paperDefault(
+            j.cfg = core::SystemConfig::preset(
+                core::SystemConfig::Preset::Paper,
                 core::SystemKind::Fusion);
             j.cfg.l0xBytes = l0x;
             j.cfg.l1xBytes = l1x_kb * 1024;

@@ -100,7 +100,8 @@ main(int argc, char **argv)
          {core::SystemKind::Scratch, core::SystemKind::Shared,
           core::SystemKind::Fusion, core::SystemKind::FusionDx}) {
         auto r = core::runProgram(
-            core::SystemConfig::paperDefault(kind), prog);
+            core::SystemConfig::preset(
+            core::SystemConfig::Preset::Paper, kind), prog);
         // In SCRATCH the shared tmp_1 array crosses the expensive
         // tile<->L2 link twice (out of AXC-1, into AXC-2); the
         // coherent hierarchies keep it inside the tile.
@@ -118,7 +119,8 @@ main(int argc, char **argv)
     for (auto kind :
          {core::SystemKind::Scratch, core::SystemKind::Fusion}) {
         auto r = core::runProgram(
-            core::SystemConfig::paperDefault(kind), prog);
+            core::SystemConfig::preset(
+            core::SystemConfig::Preset::Paper, kind), prog);
         std::printf("  %-10s %llu line transfers across the "
                     "tile<->L2 boundary\n",
                     core::systemKindName(kind),

@@ -51,7 +51,8 @@ main(int argc, char **argv)
          {core::SystemKind::Scratch, core::SystemKind::Shared,
           core::SystemKind::Fusion, core::SystemKind::FusionDx,
           core::SystemKind::FusionMesi}) {
-        auto cfg = core::SystemConfig::paperDefault(kind);
+        auto cfg = core::SystemConfig::preset(
+            core::SystemConfig::Preset::Paper, kind);
         core::RunResult r = core::runProgram(cfg, prog);
         if (kind == core::SystemKind::Scratch)
             scratch = r;

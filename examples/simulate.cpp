@@ -56,18 +56,12 @@ usage(const char *argv0)
 bool
 parseSystem(const std::string &s, core::SystemKind &out)
 {
-    if (s == "scratch")
-        out = core::SystemKind::Scratch;
-    else if (s == "shared")
-        out = core::SystemKind::Shared;
-    else if (s == "fusion")
-        out = core::SystemKind::Fusion;
-    else if (s == "fusion-dx" || s == "fusiondx")
-        out = core::SystemKind::FusionDx;
-    else if (s == "fusion-mesi" || s == "fusionmesi")
-        out = core::SystemKind::FusionMesi;
-    else
+    // Canonical names + aliases (including "auto" for the
+    // orchestrator) live next to SystemKind itself.
+    auto k = core::parseSystemKind(s);
+    if (!k)
         return false;
+    out = *k;
     return true;
 }
 
@@ -81,7 +75,8 @@ main(int argc, char **argv)
     std::string workload = "adpcm";
     core::SystemKind kind = core::SystemKind::Fusion;
     workloads::Scale scale = workloads::Scale::Small;
-    core::SystemConfig cfg = core::SystemConfig::paperDefault(kind);
+    core::SystemConfig cfg = core::SystemConfig::preset(
+            core::SystemConfig::Preset::Paper, kind);
     std::string stats_path;
 
     for (int i = 1; i < argc; ++i) {

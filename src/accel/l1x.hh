@@ -119,6 +119,8 @@ class L1xAcc : public coherence::CoherentAgent
     Cycles latency() const { return _fig.latency; }
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
+    /** LLC agent id assigned at registration (fwdsToAgent key). */
+    int agentId() const { return _agentId; }
 
     /** Flush every line to the host (end-of-program barrier). */
     void flushAll();

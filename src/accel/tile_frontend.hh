@@ -1,0 +1,139 @@
+/**
+ * @file
+ * TileFrontend: one uniform interface over the four accelerator-side
+ * organizations the paper compares (SCRATCH scratchpads + oracle
+ * DMA, the SHARED MESI L1X, the FUSION ACC tile, and the
+ * FUSION-MESI directory tile).
+ *
+ * core::System used to wire each organization through two parallel
+ * `switch (cfg.kind)` blocks over per-kind member soup; every new
+ * consumer of "the accelerator side" (the AUTO-mode orchestrator,
+ * tests, teardown) had to re-enumerate the kinds. A frontend owns
+ * its organization's components, launches invocations on it, and
+ * reports its counters — System holds frontends, not organizations.
+ *
+ * Under a static SystemKind exactly one frontend exists and the
+ * construction order matches the pre-refactor wiring, so stats,
+ * energy components, guard registrations and event timing — and
+ * therefore the serialized RunResult — are byte-identical to the
+ * old switch-based System (tests/test_frontend_equivalence.cc pins
+ * this against golden hashes). Under SystemKind::Auto every static
+ * frontend is constructed and the orchestrator activates one per
+ * invocation; same-named stats/energy entries from different
+ * frontends deliberately merge into aggregate counters.
+ */
+
+#ifndef FUSION_ACCEL_TILE_FRONTEND_HH
+#define FUSION_ACCEL_TILE_FRONTEND_HH
+
+#include <memory>
+#include <vector>
+
+#include "accel/accel_core.hh"
+#include "accel/tile.hh"
+#include "core/results.hh"
+#include "core/system_config.hh"
+#include "host/llc.hh"
+#include "sim/small_fn.hh"
+#include "trace/trace.hh"
+#include "vm/page_table.hh"
+
+namespace fusion::accel
+{
+
+/** Everything a frontend needs to assemble its organization. */
+struct FrontendEnv
+{
+    SimContext &ctx;
+    const core::SystemConfig &cfg;
+    const trace::Program &prog;
+    host::Llc &llc;
+    const vm::PageTable &pt;
+    /** max(1, prog.accelCount()) — one core/L0X/SPM per accel. */
+    std::uint32_t numAccels;
+};
+
+/**
+ * Online counter snapshot the orchestrator differences across an
+ * invocation (working-set, miss-rate and forwarding estimates).
+ */
+struct FrontendCounters
+{
+    std::uint64_t l0xHits = 0;
+    std::uint64_t l0xMisses = 0;
+    std::uint64_t l1xHits = 0;
+    std::uint64_t l1xMisses = 0;
+    std::uint64_t l0xForwards = 0;
+    std::uint64_t dmaOps = 0;
+    std::uint64_t dmaBytes = 0;
+};
+
+/** One accelerator-side organization behind a uniform interface. */
+class TileFrontend
+{
+  public:
+    explicit TileFrontend(core::SystemKind kind) : _kind(kind) {}
+    virtual ~TileFrontend() = default;
+
+    TileFrontend(const TileFrontend &) = delete;
+    TileFrontend &operator=(const TileFrontend &) = delete;
+
+    /** The static organization this frontend implements. */
+    core::SystemKind kind() const { return _kind; }
+
+    /**
+     * Run invocation @p idx of the bound program on @p core through
+     * this organization's memory port; @p done fires when the
+     * invocation — including any frontend epilogue such as FUSION's
+     * end-of-invocation forwarding — has completed.
+     */
+    virtual void launch(std::size_t idx, AccelCore &core,
+                        sim::SmallFn<void()> done) = 0;
+
+    /** Whether data-independent invocations may overlap (SCRATCH
+     *  cannot: one DMA engine serializes the windows). */
+    virtual bool supportsOverlap() const { return true; }
+
+    /**
+     * Orchestrator hooks. activate() runs before the first
+     * invocation after a switch to this frontend; deactivate() when
+     * switching away, flushing whatever protocol state the
+     * organization can flush (FUSION drains dirty L0X/L1X lines;
+     * the LLC directory keeps the rest coherent across frontends).
+     */
+    virtual void activate() {}
+    virtual void deactivate() {}
+
+    /** Current counter totals (monotonic; snapshot + difference). */
+    virtual FrontendCounters counters() const = 0;
+
+    /**
+     * Accumulate this organization's counters into @p r. Additive
+     * on purpose: under AUTO every constructed frontend reports
+     * into the same RunResult.
+     */
+    virtual void collect(core::RunResult &r) const = 0;
+
+    /** Cycles accelerators sat blocked on DMA (SCRATCH only). */
+    virtual Tick dmaWaitCycles() const { return 0; }
+
+    /** The FUSION tile set, or null (System::tiles() accessor). */
+    virtual std::vector<std::unique_ptr<FusionTile>> *fusionTiles()
+    {
+        return nullptr;
+    }
+
+  private:
+    core::SystemKind _kind;
+};
+
+/**
+ * Construct the frontend for one *static* @p kind (panics on
+ * SystemKind::Auto — the orchestrator composes static frontends).
+ */
+std::unique_ptr<TileFrontend>
+makeTileFrontend(core::SystemKind kind, const FrontendEnv &env);
+
+} // namespace fusion::accel
+
+#endif // FUSION_ACCEL_TILE_FRONTEND_HH

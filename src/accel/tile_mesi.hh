@@ -152,6 +152,8 @@ class L1xMesi : public coherence::CoherentAgent
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
     std::uint64_t probesSent() const { return _probesSent; }
+    /** LLC agent id assigned at registration (fwdsToAgent key). */
+    int agentId() const { return _agentId; }
 
   private:
     struct DirInfo

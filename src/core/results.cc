@@ -166,6 +166,12 @@ RunResult::toJson(bool include_perf) const
     putUint(os, "l0xForwards", l0xForwards);
     putUint(os, "l1xHits", l1xHits);
     putUint(os, "l1xMisses", l1xMisses);
+    // AUTO-mode block: only present when the orchestrator ran, so
+    // every static kind's JSON is byte-identical to pre-AUTO output.
+    if (!modeInvocations.empty()) {
+        putUint(os, "modeSwitches", modeSwitches);
+        putMap(os, "modeInvocations", modeInvocations);
+    }
     // Host wall-clock data is nondeterministic, so it only appears
     // when explicitly requested; default output stays byte-identical
     // to what it was before perf instrumentation existed.

@@ -90,6 +90,14 @@ struct RunResult
     /** Accelerator working set (unique lines * 64 B). */
     std::uint64_t workingSetBytes = 0;
 
+    // AUTO mode (SystemKind::Auto only; empty/zero otherwise so
+    // static-kind JSON stays byte-identical to pre-orchestrator
+    // output).
+    /** Coherence-mode transitions the orchestrator performed. */
+    std::uint64_t modeSwitches = 0;
+    /** Invocations run under each mode, keyed by short name. */
+    std::map<std::string, std::uint64_t> modeInvocations;
+
     // L0X behaviour (Tables 4 & 5).
     std::uint64_t l0xFills = 0;
     std::uint64_t l0xWritebacks = 0;

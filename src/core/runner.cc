@@ -37,7 +37,10 @@ runBaselineSystems(const trace::Program &prog)
     for (SystemKind k : {SystemKind::Scratch, SystemKind::Shared,
                          SystemKind::Fusion}) {
         out.push_back(
-            runProgram(SystemConfig::paperDefault(k), prog));
+            runProgram(
+                SystemConfig::preset(
+                    SystemConfig::Preset::Paper, k),
+                prog));
     }
     return out;
 }
@@ -47,7 +50,8 @@ hostProfile(const trace::Program &prog)
 {
     // Replay every invocation on a host-only system; attribute
     // cycles per function.
-    SystemConfig cfg = SystemConfig::paperDefault(
+    SystemConfig cfg = SystemConfig::preset(
+        SystemConfig::Preset::Paper,
         SystemKind::Shared); // host side only is used
     SimContext ctx;
     vm::PageTable pt;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "orchestrator/orchestrator.hh"
 #include "sim/guard/watchdog.hh"
 #include "sim/logging.hh"
 
@@ -35,64 +36,6 @@ harvestLatency(const stats::Group &g, const std::string &prefix,
 }
 
 } // namespace
-
-/**
- * Translates virtual accelerator accesses for the SHARED L1X and
- * books the per-access AXC<->L1X link traffic (request message +
- * word response) that makes SHARED expensive in link energy
- * (Section 5.2; Figure 6c's "L0X->L1X MSG" / "L1X->L0X DATA" for
- * the SHARED design).
- */
-class System::SharedFrontend : public accel::MemPort
-{
-  public:
-    SharedFrontend(SimContext &ctx, host::HostL1 &l1x,
-                   interconnect::Link &link,
-                   const vm::PageTable &pt, Pid pid)
-        : _ctx(ctx), _l1x(l1x), _link(link), _pt(pt), _pid(pid)
-    {
-    }
-
-    void
-    access(Addr va, std::uint32_t size, bool is_write,
-           accel::PortDone done) override
-    {
-        (void)size;
-        Addr pa = _pt.translate(_pid, va);
-        // Request: 1 flit (+ the store's word payload).
-        _link.book(is_write ? interconnect::MsgClass::Word
-                            : interconnect::MsgClass::Control);
-        _ctx.eq.scheduleIn(
-            _link.latency(),
-            [this, pa, is_write, done = std::move(done)]() mutable {
-                _l1x.access(pa, is_write,
-                            [this, is_write,
-                             done = std::move(done)]() mutable {
-                                // Response: word payload for loads,
-                                // ack for stores.
-                                _link.book(
-                                    is_write
-                                        ? interconnect::MsgClass::
-                                              Control
-                                        : interconnect::MsgClass::
-                                              Word);
-                                _ctx.eq.scheduleIn(
-                                    _link.latency(),
-                                    [done = std::move(
-                                         done)]() mutable {
-                                        done();
-                                    });
-                            });
-            });
-    }
-
-  private:
-    SimContext &_ctx;
-    host::HostL1 &_l1x;
-    interconnect::Link &_link;
-    const vm::PageTable &_pt;
-    Pid _pid;
-};
 
 System::System(const SystemConfig &cfg, const trace::Program &prog)
     : _cfg(cfg), _prog(prog)
@@ -162,120 +105,66 @@ System::System(const SystemConfig &cfg, const trace::Program &prog)
             _ctx, ap, static_cast<AccelId>(a)));
     }
 
-    switch (cfg.kind) {
-      case SystemKind::Scratch: {
-        for (std::uint32_t a = 0; a < num_accels; ++a) {
-            _spms.push_back(std::make_unique<mem::Scratchpad>(
-                _ctx, cfg.scratchpadBytes,
-                "axc" + std::to_string(a) + ".spm"));
-            _spmPorts.push_back(
-                std::make_unique<accel::ScratchpadFrontend>(
-                    _ctx, *_spms.back()));
-        }
-        // The DMA engine resides at the LLC; its transfer path to
-        // the tile is the same physical link class as L1X<->L2 and
-        // books against the same components so energy stacks are
-        // comparable across systems. Latency includes the average
-        // ring traversal.
-        _dmaLink = std::make_unique<interconnect::Link>(
-            _ctx, interconnect::LinkParams{
-                      "dma", energy::LinkClass::L1xToL2, 7,
-                      energy::comp::kLinkL1xL2Msg,
-                      energy::comp::kLinkL1xL2Data});
-        accel::DmaParams dp;
-        dp.maxOutstanding = cfg.dmaMaxOutstanding;
-        _dma = std::make_unique<accel::DmaEngine>(
-            _ctx, dp, *_llc, _dmaLink.get(), _pt);
-        _windows.resize(prog.invocations.size());
-        break;
-      }
-      case SystemKind::Shared: {
-        _sharedTileLink = std::make_unique<interconnect::Link>(
-            _ctx, interconnect::LinkParams{
-                      "l0x_l1x", energy::LinkClass::AxcToL1x, 1,
-                      energy::comp::kLinkL0xL1xMsg,
-                      energy::comp::kLinkL0xL1xData});
-        _sharedLlcLink = std::make_unique<interconnect::Link>(
-            _ctx, interconnect::LinkParams{
-                      "l1x_l2", energy::LinkClass::L1xToL2, 3,
-                      energy::comp::kLinkL1xL2Msg,
-                      energy::comp::kLinkL1xL2Data});
-        host::HostL1Params sp;
-        sp.name = "l1x";
-        sp.capacityBytes = cfg.l1xBytes;
-        sp.assoc = cfg.l1xAssoc;
-        sp.banks = cfg.l1xBanks;
-        sp.energyComponent = energy::comp::kL1x;
-        sp.ringNode = 4; // the tile sits across the ring
-        sp.wordAccessScale = 0.5;
-        _sharedL1x = std::make_unique<host::HostL1>(
-            _ctx, sp, *_llc, _sharedLlcLink.get());
-        _sharedPort = std::make_unique<SharedFrontend>(
-            _ctx, *_sharedL1x, *_sharedTileLink, _pt, prog.pid);
-        break;
-      }
-      case SystemKind::FusionMesi: {
-        _mesiTile = std::make_unique<accel::MesiTile>(
-            _ctx, num_accels, cfg.l0xBytes, cfg.l0xAssoc,
-            cfg.l1xBytes, cfg.l1xAssoc, cfg.l1xBanks, *_llc, _pt);
-        for (std::uint32_t a = 0; a < num_accels; ++a)
-            _mesiTile->l0x(static_cast<AccelId>(a))
-                .setPid(prog.pid);
-        break;
-      }
-      case SystemKind::Fusion:
-      case SystemKind::FusionDx: {
-        std::uint32_t num_tiles =
-            std::min(std::max(1u, cfg.numTiles), num_accels);
-        // Block-partition accelerators over the tiles.
-        std::uint32_t per =
-            (num_accels + num_tiles - 1) / num_tiles;
-        _tileOf.resize(num_accels);
-        _localId.resize(num_accels);
-        for (std::uint32_t t = 0; t < num_tiles; ++t) {
-            std::uint32_t lo = t * per;
-            std::uint32_t hi =
-                std::min(num_accels, (t + 1) * per);
-            if (lo >= hi)
-                break;
-            accel::TileParams tp;
-            tp.numAccels = hi - lo;
-            tp.l0xBytes = cfg.l0xBytes;
-            tp.l0xAssoc = cfg.l0xAssoc;
-            tp.l0xRepl = cfg.l0xRepl;
-            tp.writeThrough = cfg.l0xWriteThrough;
-            tp.enableDx = cfg.kind == SystemKind::FusionDx;
-            tp.l1x.capacityBytes = cfg.l1xBytes;
-            tp.l1x.assoc = cfg.l1xAssoc;
-            tp.l1x.banks = cfg.l1xBanks;
-            tp.l1x.name = num_tiles == 1
-                              ? std::string("l1x")
-                              : "l1x" + std::to_string(t);
-            // Spread tiles over the far side of the ring.
-            tp.l1x.ringNode = 4 + t;
-            _tiles.push_back(std::make_unique<accel::FusionTile>(
-                _ctx, tp, *_llc, _pt));
-            for (std::uint32_t a = lo; a < hi; ++a) {
-                _tileOf[a] = t;
-                _localId[a] = static_cast<AccelId>(a - lo);
-            }
-        }
-        if (cfg.kind == SystemKind::FusionDx)
-            _fwdPlan = trace::planForwarding(prog);
-        // Lease lengths are per accelerated function; prime each
-        // L0X with its function's LT so Dx pushes landing before
-        // the consumer's first invocation carry the right lease.
-        for (const auto &f : _prog.functions) {
-            tileFor(f.accel)
-                .l0x(_localId[static_cast<std::size_t>(f.accel)])
-                .setFunction(f.leaseTime, prog.pid);
-        }
-        break;
-      }
+    // Accelerator-side organization(s). A static kind constructs
+    // exactly one frontend here — the same components, in the same
+    // order, the old per-kind wiring built, so the serialized
+    // output is byte-identical across the refactor. AUTO constructs
+    // every static frontend (same-named stats/energy entries merge
+    // into aggregates) plus the orchestrator that picks one per
+    // invocation.
+    accel::FrontendEnv env{_ctx, _cfg, _prog, *_llc, _pt,
+                           num_accels};
+    if (cfg.kind == SystemKind::Auto) {
+        for (SystemKind k : kStaticSystemKinds)
+            _frontends.push_back(accel::makeTileFrontend(k, env));
+        _orch = std::make_unique<orch::Orchestrator>(_ctx, _cfg,
+                                                     _prog);
+        // AUTO invariant: one invocation in flight at most, and
+        // never without an active frontend (single active frontend
+        // per invocation).
+        _ctx.guard.registerInvariant(
+            "orchestrator",
+            [this](const guard::InvariantContext &,
+                   std::vector<std::string> &out) {
+                if (_invInFlight > 1) {
+                    out.push_back(
+                        "AUTO mode must run serially; " +
+                        std::to_string(_invInFlight) +
+                        " invocations in flight");
+                }
+                if (_invInFlight == 1 && _active == nullptr) {
+                    out.push_back("invocation in flight with no "
+                                  "active frontend");
+                }
+            });
+    } else {
+        _frontends.push_back(
+            accel::makeTileFrontend(cfg.kind, env));
+        _active = _frontends.front().get();
     }
 }
 
 System::~System() = default;
+
+accel::TileFrontend *
+System::frontendFor(SystemKind kind)
+{
+    for (auto &f : _frontends) {
+        if (f->kind() == kind)
+            return f.get();
+    }
+    return nullptr;
+}
+
+std::vector<std::unique_ptr<accel::FusionTile>> *
+System::fusionTiles()
+{
+    for (auto &f : _frontends) {
+        if (auto *ts = f->fusionTiles())
+            return ts;
+    }
+    return nullptr;
+}
 
 RunResult
 System::run()
@@ -291,8 +180,12 @@ System::run()
         _hostCore->run(_prog.hostInit, _prog.pid, [this, &finished] {
             _accelStart = _ctx.now();
             auto run_all = [this](sim::SmallFn<void()> then) {
-                if (_cfg.overlapInvocations &&
-                    _cfg.kind != SystemKind::Scratch) {
+                // AUTO runs serially (the orchestrator's decisions
+                // are per-invocation and the switch flush is a
+                // barrier); static frontends opt in or out of
+                // overlap (SCRATCH's one DMA engine serializes).
+                if (_cfg.overlapInvocations && !_orch &&
+                    _active->supportsOverlap()) {
                     runOverlapped(std::move(then));
                 } else {
                     runInvocation(0, std::move(then));
@@ -342,7 +235,8 @@ System::run()
     r.kind = _cfg.kind;
     r.totalCycles = finish_tick;
     r.accelCycles = _accelEnd - _accelStart;
-    r.dmaCycles = _dmaWait;
+    for (const auto &f : _frontends)
+        r.dmaCycles += f->dmaWaitCycles();
     r.funcCycles = _funcCycles;
     r.invocationCycles = _invCycles;
     r.metrics = _ctx.obs.takeMetrics();
@@ -409,57 +303,56 @@ System::launchInvocation(std::size_t idx,
         if (_invCycles.size() < _prog.invocations.size())
             _invCycles.resize(_prog.invocations.size(), 0);
         _invCycles[idx] = _ctx.now() - t0;
+        if (_orch) {
+            _orch->afterInvocation(idx, _active->counters(),
+                                   _ctx.now() - t0,
+                                   _ctx.energy.grandTotal() - e0);
+        }
+        --_invInFlight;
         cb();
     };
 
-    switch (_cfg.kind) {
-      case SystemKind::Scratch:
-        runScratchWindows(idx, 0, std::move(completion));
+    auto do_launch = [this, idx, &core,
+                      completion =
+                          std::move(completion)]() mutable {
+        ++_invInFlight;
+        if (_orch)
+            _orch->beforeLaunch(idx, _active->counters());
+        _active->launch(idx, core, std::move(completion));
+    };
+
+    if (!_orch) {
+        do_launch();
         return;
-      case SystemKind::Shared:
-        core.run(inv, meta.mlp, *_sharedPort, std::move(completion));
-        return;
-      case SystemKind::FusionMesi:
-        core.run(inv, meta.mlp, _mesiTile->l0x(meta.accel),
-                 std::move(completion));
-        return;
-      case SystemKind::Fusion:
-      case SystemKind::FusionDx: {
-        accel::FusionTile &tile = tileFor(meta.accel);
-        AccelId local =
-            _localId[static_cast<std::size_t>(meta.accel)];
-        accel::L0x &l0 = tile.l0x(local);
-        l0.setFunction(meta.leaseTime, _prog.pid);
-        if (_cfg.kind == SystemKind::FusionDx) {
-            auto it = _fwdPlan.find(static_cast<std::uint32_t>(idx));
-            // Only consumers on the *same* tile can receive pushes
-            // (the L0X-L0X link is intra-tile); remap their ids to
-            // tile-local indices.
-            std::unordered_map<Addr, trace::ForwardHint> local_plan;
-            if (it != _fwdPlan.end()) {
-                std::uint32_t my_tile =
-                    _tileOf[static_cast<std::size_t>(meta.accel)];
-                for (const auto &[line, hint] : it->second) {
-                    auto ci = static_cast<std::size_t>(
-                        hint.consumer);
-                    if (_tileOf[ci] == my_tile) {
-                        local_plan[line] = trace::ForwardHint{
-                            _localId[ci], hint.earlyOk};
-                    }
-                }
-            }
-            tile.installForwardPlan(local, local_plan);
-        }
-        core.run(inv, meta.mlp, l0,
-                 [this, &tile, local,
-                  completion = std::move(completion)]() mutable {
-                     tile.finishInvocation(local);
-                     completion();
-                 });
-        return;
-      }
     }
-    fusion_panic("unhandled system kind");
+
+    // AUTO: ask the orchestrator which organization runs this
+    // invocation; pay the modeled flush cost when it differs from
+    // the active one.
+    SystemKind want = _orch->decide(idx);
+    accel::TileFrontend *next = frontendFor(want);
+    fusion_assert(next != nullptr, "no frontend for decided mode ",
+                  systemKindName(want));
+    if (_active == next) {
+        do_launch();
+        return;
+    }
+    if (_active == nullptr) {
+        // First invocation: adopting the initial mode is free.
+        _active = next;
+        _active->activate();
+        do_launch();
+        return;
+    }
+    SystemKind from = _active->kind();
+    _active->deactivate();
+    _active = next;
+    _orch->transition(
+        from, want, _orch->flushLinesBefore(idx),
+        [this, do_launch = std::move(do_launch)]() mutable {
+            _active->activate();
+            do_launch();
+        });
 }
 
 void
@@ -520,54 +413,6 @@ System::pumpOverlap()
 }
 
 void
-System::runScratchWindows(std::size_t inv_idx, std::size_t widx,
-                          sim::SmallFn<void()> then)
-{
-    const trace::Invocation &inv = _prog.invocations[inv_idx];
-    const trace::FunctionMeta &meta =
-        _prog.functions[static_cast<std::size_t>(inv.func)];
-    auto &wins = _windows[inv_idx];
-    if (widx == 0 && wins.empty()) {
-        wins = trace::segmentWindows(
-            inv, _cfg.scratchpadBytes / kLineBytes);
-    }
-    if (widx >= wins.size()) {
-        then();
-        return;
-    }
-    const trace::DmaWindow &w = wins[widx];
-    auto spm_idx = static_cast<std::size_t>(meta.accel);
-    mem::Scratchpad &spm = *_spms[spm_idx];
-    accel::ScratchpadFrontend &port = *_spmPorts[spm_idx];
-    accel::AccelCore &core = *_cores[spm_idx];
-
-    Tick fill_start = _ctx.now();
-    _dma->fill(w.readLines, _prog.pid, spm,
-               [this, inv_idx, widx, &inv, &w, &spm, &port, &core,
-                meta, fill_start, then = std::move(then)]() mutable {
-        _dmaWait += _ctx.now() - fill_start;
-        _residentLines.clear();
-        _residentLines.insert(w.readLines.begin(),
-                              w.readLines.end());
-        _residentLines.insert(w.dirtyLines.begin(),
-                              w.dirtyLines.end());
-        port.setResidentLines(_residentLines);
-        core.run(inv, meta.mlp, port, w.beginOp, w.endOp,
-                 [this, inv_idx, widx, &w, &spm,
-                  then = std::move(then)]() mutable {
-            Tick drain_start = _ctx.now();
-            _dma->drain(w.dirtyLines, _prog.pid, spm,
-                        [this, inv_idx, widx, drain_start,
-                         then = std::move(then)]() mutable {
-                _dmaWait += _ctx.now() - drain_start;
-                runScratchWindows(inv_idx, widx + 1,
-                                  std::move(then));
-            });
-        });
-    });
-}
-
-void
 System::collect(RunResult &r) const
 {
     r.energyPj = _ctx.energy.components();
@@ -598,43 +443,16 @@ System::collect(RunResult &r) const
                       link_scalar("dma", "data_msgs");
     r.l0xL0xDataMsgs = link_scalar("l0x_l0x", "data_msgs");
 
-    for (std::size_t t = 0; t < _tiles.size(); ++t) {
-        accel::FusionTile *tile = _tiles[t].get();
-        r.axTlbLookups += tile->tlb().lookups();
-        r.axRmapLookups += tile->rmap().lookups();
-        r.l1xHits += tile->l1x().hits();
-        r.l1xMisses += tile->l1x().misses();
-        for (std::uint32_t a = 0; a < tile->numAccels(); ++a) {
-            const accel::L0x &l0 =
-                tile->l0x(static_cast<AccelId>(a));
-            r.l0xFills += l0.fills();
-            r.l0xWritebacks += l0.writebacksSent();
-            r.l0xForwards += l0.forwardsOut();
-        }
-        // Host L1 is agent 0; tiles follow in construction order.
-        r.fwdsToTile += _llc->fwdsToAgent(static_cast<int>(1 + t));
-    }
-    if (_sharedL1x) {
-        r.l1xHits = _sharedL1x->hits();
-        r.l1xMisses = _sharedL1x->misses();
-        r.fwdsToTile = _llc->fwdsToAgent(1);
-    }
-    if (_mesiTile) {
-        r.axTlbLookups = _mesiTile->tlb().lookups();
-        r.axRmapLookups = _mesiTile->rmap().lookups();
-        r.l1xHits = _mesiTile->l1x().hits();
-        r.l1xMisses = _mesiTile->l1x().misses();
-        for (std::uint32_t a = 0; a < _mesiTile->numAccels(); ++a) {
-            const accel::L0xMesi &l0 =
-                _mesiTile->l0x(static_cast<AccelId>(a));
-            r.l0xFills += l0.fills();
-            r.l0xWritebacks += l0.writebacks();
-        }
-        r.fwdsToTile = _llc->fwdsToAgent(1);
-    }
-    if (_dma) {
-        r.dmaOps = _dma->dmaOps();
-        r.dmaBytes = _dma->bytesTransferred();
+    // Per-organization counters come from the frontends. Additive:
+    // under AUTO every constructed frontend reports into the same
+    // result (the RunResult fields all start at zero, so a single
+    // static frontend reproduces the old per-kind blocks exactly).
+    for (const auto &f : _frontends)
+        f->collect(r);
+
+    if (_orch) {
+        r.modeSwitches = _orch->switches();
+        r.modeInvocations = _orch->modeInvocations();
     }
 
     r.funcEnergyPj = _funcEnergyPj;

@@ -2,9 +2,11 @@
  * @file
  * The top-level simulated system: one host tile (core, L1, NUCA LLC
  * with directory MESI, DRAM) plus the accelerator organization the
- * SystemConfig selects — scratchpads + oracle DMA, a shared MESI
- * L1X, or the FUSION tile (L0Xs + ACC L1X, optionally with Dx
- * forwarding).
+ * SystemConfig selects, held behind the uniform TileFrontend
+ * interface — scratchpads + oracle DMA, a shared MESI L1X, the
+ * FUSION tile (L0Xs + ACC L1X, optionally with Dx forwarding), the
+ * FUSION-MESI directory tile, or (SystemKind::Auto) all of them
+ * with the orchestrator picking one per invocation.
  *
  * System::run() executes a whole captured Program: the host writes
  * the inputs, the accelerated invocations run in program order
@@ -17,24 +19,25 @@
 #define FUSION_CORE_SYSTEM_HH
 
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "accel/accel_core.hh"
-#include "accel/dma_engine.hh"
-#include "accel/scratchpad_frontend.hh"
 #include "accel/tile.hh"
-#include "accel/tile_mesi.hh"
+#include "accel/tile_frontend.hh"
 #include "core/results.hh"
 #include "core/system_config.hh"
 #include "host/host_core.hh"
 #include "host/host_l1.hh"
 #include "host/llc.hh"
 #include "mem/dram.hh"
-#include "mem/scratchpad.hh"
 #include "trace/analysis.hh"
 #include "trace/trace.hh"
 #include "vm/page_table.hh"
+
+namespace fusion::orch
+{
+class Orchestrator;
+}
 
 namespace fusion::core
 {
@@ -55,26 +58,29 @@ class System
     /** Simulation services (tests poke at stats/energy). */
     SimContext &ctx() { return _ctx; }
     const SystemConfig &config() const { return _cfg; }
-    /** The first FUSION tile (null for SCRATCH/SHARED). */
+    /** The first FUSION tile (null for SCRATCH/SHARED/MESI). */
     accel::FusionTile *tile()
     {
-        return _tiles.empty() ? nullptr : _tiles.front().get();
+        auto *ts = fusionTiles();
+        return ts && !ts->empty() ? ts->front().get() : nullptr;
     }
-    /** All FUSION tiles. */
+    /** All FUSION tiles (empty for organizations without one). */
     std::vector<std::unique_ptr<accel::FusionTile>> &tiles()
     {
-        return _tiles;
+        auto *ts = fusionTiles();
+        return ts ? *ts : _noTiles;
     }
     host::Llc &llc() { return *_llc; }
     vm::PageTable &pageTable() { return _pt; }
 
-  private:
-    /** MemPort adapter for the SHARED organization. */
-    class SharedFrontend;
+    /** The frontend currently running invocations (AUTO: changes
+     *  over the run; null until the first invocation launches). */
+    accel::TileFrontend *activeFrontend() { return _active; }
+    /** The AUTO-mode orchestrator (null for static kinds). */
+    orch::Orchestrator *orchestrator() { return _orch.get(); }
 
+  private:
     void runInvocation(std::size_t idx, sim::SmallFn<void()> then);
-    void runScratchWindows(std::size_t inv_idx, std::size_t widx,
-                           sim::SmallFn<void()> then);
     /** Dependence-driven overlapped execution (cached systems). */
     void runOverlapped(sim::SmallFn<void()> then);
     void pumpOverlap();
@@ -83,6 +89,11 @@ class System
     /** Self-rescheduling interval-metrics sampler (telemetry). */
     void scheduleSample(Tick interval);
     void collect(RunResult &r) const;
+
+    /** Frontend registered for @p kind (null when absent). */
+    accel::TileFrontend *frontendFor(SystemKind kind);
+    /** The FUSION tile vector of whichever frontend has one. */
+    std::vector<std::unique_ptr<accel::FusionTile>> *fusionTiles();
 
     SystemConfig _cfg;
     const trace::Program &_prog;
@@ -99,36 +110,19 @@ class System
     // Accelerator cores (all organizations).
     std::vector<std::unique_ptr<accel::AccelCore>> _cores;
 
-    // SCRATCH organization.
-    std::vector<std::unique_ptr<mem::Scratchpad>> _spms;
-    std::vector<std::unique_ptr<accel::ScratchpadFrontend>>
-        _spmPorts;
-    std::unique_ptr<interconnect::Link> _dmaLink;
-    std::unique_ptr<accel::DmaEngine> _dma;
-    /// Per-invocation window decomposition (lazy).
-    mutable std::vector<std::vector<trace::DmaWindow>> _windows;
-    std::unordered_set<Addr> _residentLines;
-
-    // SHARED organization.
-    std::unique_ptr<interconnect::Link> _sharedTileLink;
-    std::unique_ptr<interconnect::Link> _sharedLlcLink;
-    std::unique_ptr<host::HostL1> _sharedL1x;
-    std::unique_ptr<SharedFrontend> _sharedPort;
-
-    // FUSION organizations. Accelerators are block-partitioned
-    // over the tiles; _tileOf/_localId map a global AccelId to its
-    // tile and the L0X index within it.
-    std::vector<std::unique_ptr<accel::FusionTile>> _tiles;
-    std::vector<std::uint32_t> _tileOf;
-    std::vector<AccelId> _localId;
-    trace::ForwardPlan _fwdPlan;
-    /// FUSION-MESI: the conventional intra-tile protocol.
-    std::unique_ptr<accel::MesiTile> _mesiTile;
-
-    accel::FusionTile &tileFor(AccelId a)
-    {
-        return *_tiles[_tileOf[static_cast<std::size_t>(a)]];
-    }
+    // Accelerator-side organizations behind the uniform frontend
+    // interface. Static kinds hold exactly one (constructed in the
+    // same order the old per-kind wiring was, for byte-identical
+    // output); AUTO holds every static frontend plus the
+    // orchestrator that picks between them.
+    std::vector<std::unique_ptr<accel::TileFrontend>> _frontends;
+    accel::TileFrontend *_active = nullptr;
+    std::unique_ptr<orch::Orchestrator> _orch;
+    /// Invocations launched and not yet completed (guard: AUTO must
+    /// run serially on a single active frontend).
+    std::size_t _invInFlight = 0;
+    /// Empty fallback so tiles() can return a reference.
+    std::vector<std::unique_ptr<accel::FusionTile>> _noTiles;
 
     // Telemetry (null/zero when tracing is off).
     obs::SpanTracer *_obsTracer = nullptr;
@@ -146,7 +140,6 @@ class System
     // Phase bookkeeping.
     Tick _accelStart = 0;
     Tick _accelEnd = 0;
-    Tick _dmaWait = 0;
     std::map<std::string, std::uint64_t> _funcCycles;
     std::map<std::string, double> _funcEnergyPj;
     std::vector<std::uint64_t> _invCycles;

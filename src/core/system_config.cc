@@ -1,5 +1,7 @@
 #include "core/system_config.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <sstream>
 
 namespace fusion::core
@@ -30,6 +32,8 @@ systemKindShortName(SystemKind k)
         return "FU-Dx";
       case SystemKind::FusionMesi:
         return "FU-M";
+      case SystemKind::Auto:
+        return "AU";
     }
     return "?";
 }
@@ -48,8 +52,60 @@ systemKindName(SystemKind k)
         return "FUSION-Dx";
       case SystemKind::FusionMesi:
         return "FUSION-MESI";
+      case SystemKind::Auto:
+        return "AUTO";
     }
     return "?";
+}
+
+const char *
+systemKindCliName(SystemKind k)
+{
+    switch (k) {
+      case SystemKind::Scratch:
+        return "scratch";
+      case SystemKind::Shared:
+        return "shared";
+      case SystemKind::Fusion:
+        return "fusion";
+      case SystemKind::FusionDx:
+        return "fusion-dx";
+      case SystemKind::FusionMesi:
+        return "fusion-mesi";
+      case SystemKind::Auto:
+        return "auto";
+    }
+    return "?";
+}
+
+std::optional<SystemKind>
+parseSystemKind(std::string_view name)
+{
+    std::string s(name);
+    std::transform(s.begin(), s.end(), s.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    constexpr SystemKind kAll[] = {
+        SystemKind::Scratch,  SystemKind::Shared,
+        SystemKind::Fusion,   SystemKind::FusionDx,
+        SystemKind::FusionMesi, SystemKind::Auto};
+    auto lower = [](const char *cs) {
+        std::string out(cs);
+        std::transform(out.begin(), out.end(), out.begin(),
+                       [](char c) {
+                           return static_cast<char>(std::tolower(
+                               static_cast<unsigned char>(c)));
+                       });
+        return out;
+    };
+    for (SystemKind k : kAll) {
+        if (s == systemKindCliName(k) ||
+            s == lower(systemKindShortName(k)) ||
+            s == lower(systemKindName(k)))
+            return k;
+    }
+    return std::nullopt;
 }
 
 std::vector<std::string>
@@ -113,26 +169,63 @@ SystemConfig::validate() const
     if (hostCore.storeQueue == 0)
         err("host core store queue must be nonzero");
 
+    // Orchestrator knobs (AUTO mode only; harmless but checked
+    // regardless so a bad sweep axis fails loudly).
+    if (orchestrator.epsilon < 0.0 || orchestrator.epsilon > 1.0)
+        err("orchestrator epsilon must be in [0, 1], got ",
+            orchestrator.epsilon);
+    if (orchestrator.minDwell == 0)
+        err("orchestrator minDwell must be nonzero");
+    if (orchestrator.staticMode == SystemKind::Auto)
+        err("orchestrator staticMode must be a static system kind");
+    if (orchestrator.switchPjPerLine < 0.0)
+        err("orchestrator switchPjPerLine must be non-negative");
+    if (kind == SystemKind::Auto && overlapInvocations)
+        err("AUTO mode runs invocations serially; "
+            "overlapInvocations is not supported");
+
     return errs;
+}
+
+SystemConfig
+SystemConfig::preset(Preset preset, SystemKind kind)
+{
+    SystemConfig c;
+    c.kind = kind;
+    switch (preset) {
+      case Preset::Paper:
+        break;
+      case Preset::AxcLarge:
+        c.scratchpadBytes = 8 * 1024;
+        c.l0xBytes = 8 * 1024;
+        c.l1xBytes = 256 * 1024;
+        break;
+    }
+    return c;
+}
+
+const char *
+presetName(SystemConfig::Preset p)
+{
+    switch (p) {
+      case SystemConfig::Preset::Paper:
+        return "paper";
+      case SystemConfig::Preset::AxcLarge:
+        return "axc-large";
+    }
+    return "?";
 }
 
 SystemConfig
 SystemConfig::paperDefault(SystemKind kind)
 {
-    SystemConfig c;
-    c.kind = kind;
-    return c;
+    return preset(Preset::Paper, kind);
 }
 
 SystemConfig
 SystemConfig::axcLarge(SystemKind kind)
 {
-    SystemConfig c;
-    c.kind = kind;
-    c.scratchpadBytes = 8 * 1024;
-    c.l0xBytes = 8 * 1024;
-    c.l1xBytes = 256 * 1024;
-    return c;
+    return preset(Preset::AxcLarge, kind);
 }
 
 } // namespace fusion::core

@@ -7,7 +7,9 @@
 #ifndef FUSION_CORE_SYSTEM_CONFIG_HH
 #define FUSION_CORE_SYSTEM_CONFIG_HH
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "host/host_core.hh"
@@ -21,22 +23,84 @@
 namespace fusion::core
 {
 
-/** The four evaluated organizations. */
+/** The four evaluated organizations, plus the dynamic selector. */
 enum class SystemKind
 {
-    Scratch,   ///< per-accelerator scratchpads + oracle DMA
-    Shared,    ///< one shared L1X per tile, full MESI participant
-    Fusion,    ///< private L0Xs + shared L1X under ACC
-    FusionDx,  ///< FUSION + direct L0X->L0X write forwarding
-    FusionMesi ///< FUSION geometry with a conventional directory
-               ///< MESI protocol inside the tile (the design ACC
-               ///< is argued against; see docs/PROTOCOL.md)
+    Scratch,    ///< per-accelerator scratchpads + oracle DMA
+    Shared,     ///< one shared L1X per tile, full MESI participant
+    Fusion,     ///< private L0Xs + shared L1X under ACC
+    FusionDx,   ///< FUSION + direct L0X->L0X write forwarding
+    FusionMesi, ///< FUSION geometry with a conventional directory
+                ///< MESI protocol inside the tile (the design ACC
+                ///< is argued against; see docs/PROTOCOL.md)
+    Auto        ///< per-invocation mode selection by the
+                ///< orchestrator (src/orchestrator/): every static
+                ///< organization is instantiated and an online
+                ///< policy picks one per invocation, paying a
+                ///< modeled flush/DMA cost on each switch
 };
+
+/** Number of *static* organizations (excludes Auto). */
+inline constexpr std::size_t kNumStaticSystemKinds = 5;
+
+/** The five static organizations, in enum order. */
+inline constexpr SystemKind kStaticSystemKinds[kNumStaticSystemKinds] = {
+    SystemKind::Scratch, SystemKind::Shared, SystemKind::Fusion,
+    SystemKind::FusionDx, SystemKind::FusionMesi};
 
 /** Short display name used in tables ("SC", "SH", "FU", "FU-Dx"). */
 const char *systemKindShortName(SystemKind k);
 /** Full display name ("SCRATCH", ...). */
 const char *systemKindName(SystemKind k);
+/** Canonical CLI spelling ("scratch", "fusion-dx", "auto", ...). */
+const char *systemKindCliName(SystemKind k);
+
+/**
+ * Parse a CLI spelling of a system kind. Accepts the canonical long
+ * names (auto|scratch|shared|fusion|fusion-dx|fusion-mesi), the
+ * short table names from systemKindShortName (sc|sh|fu|fu-dx|fu-m|au)
+ * and the full display names ("FUSION-MESI"); matching is
+ * case-insensitive. Returns nullopt for anything else.
+ */
+std::optional<SystemKind> parseSystemKind(std::string_view name);
+
+/** Policy choices for the AUTO-mode orchestrator. */
+enum class OrchPolicy
+{
+    Threshold,     ///< Table 3-seeded working-set / forwarding
+                   ///< heuristic (deterministic default)
+    EpsilonGreedy, ///< per-(function, mode) bandit, deterministic
+                   ///< SplitMix64 exploration
+    StaticBest     ///< always pick staticMode (debug / forced mode)
+};
+
+/**
+ * AUTO-mode orchestrator knobs (SystemKind::Auto only; ignored by
+ * the static organizations so their output stays byte-identical).
+ */
+struct OrchestratorConfig
+{
+    OrchPolicy policy = OrchPolicy::Threshold;
+    /** Forced mode for OrchPolicy::StaticBest. */
+    SystemKind staticMode = SystemKind::Fusion;
+    /** Exploration rate for OrchPolicy::EpsilonGreedy. */
+    double epsilon = 0.1;
+    /** Seed for the learner's deterministic PRNG. */
+    std::uint64_t rngSeed = 0x5eedf00dULL;
+    /** Invocations a mode must dwell before another switch is
+     *  considered (hysteresis against thrashing). */
+    std::uint32_t minDwell = 2;
+    /** Modeled mode-switch transition cost: a flush/DMA event of
+     *  fixed + per-flushed-line cycles, plus per-line energy. */
+    Cycles switchFixedCycles = 200;
+    Cycles switchCyclesPerLine = 4;
+    double switchPjPerLine = 15.0;
+    /** Threshold policy: forward-fraction above which FUSION-Dx is
+     *  selected, and the footprint-to-L1X ratio above which a
+     *  streaming invocation falls back to SCRATCH. */
+    double dxForwardFraction = 0.02;
+    double scratchFootprintRatio = 4.0;
+};
 
 /** Complete system configuration. */
 struct SystemConfig
@@ -89,6 +153,8 @@ struct SystemConfig
     /// serialized output is byte-identical with telemetry compiled
     /// in but disarmed.
     obs::ObsConfig obs;
+    /// AUTO-mode orchestrator (kind == SystemKind::Auto only).
+    OrchestratorConfig orchestrator;
 
     /**
      * Check the configuration for structural mistakes (non-power-
@@ -101,15 +167,26 @@ struct SystemConfig
      */
     std::vector<std::string> validate() const;
 
-    /** The paper's default configuration for @p kind. */
+    /** Named parameter presets (Table 2 and Section 5.5). */
+    enum class Preset
+    {
+        Paper,   ///< the paper's default Table 2 configuration
+        AxcLarge ///< Section 5.5 "AXC-Large": 8 KB L0X (and
+                 ///< scratchpad) with a 256 KB L1X
+    };
+
+    /** The canonical factory: @p preset parameters for @p kind. */
+    static SystemConfig preset(Preset preset, SystemKind kind);
+
+    /** @deprecated Use preset(Preset::Paper, kind). */
     static SystemConfig paperDefault(SystemKind kind);
 
-    /**
-     * The Section 5.5 "AXC-Large" variant: 8 KB L0X (and
-     * scratchpad) with a 256 KB L1X.
-     */
+    /** @deprecated Use preset(Preset::AxcLarge, kind). */
     static SystemConfig axcLarge(SystemKind kind);
 };
+
+/** CLI spelling of a preset ("paper", "axc-large"). */
+const char *presetName(SystemConfig::Preset p);
 
 } // namespace fusion::core
 

@@ -71,6 +71,8 @@ class HostL1 : public coherence::CoherentAgent
 
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
+    /** LLC agent id assigned at registration (fwdsToAgent key). */
+    int agentId() const { return _agentId; }
 
   private:
     /** State/tag check after the array access latency. @p is_retry

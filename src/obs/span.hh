@@ -38,6 +38,7 @@ enum class SpanKind : std::uint8_t
     HostFwd,    ///< host-initiated forward buffered at the L1X
     Dma,        ///< DMA operation / per-line chunk (SCRATCH)
     LinkMsg,    ///< message traversing an interconnect link
+    ModeSwitch, ///< orchestrator coherence-mode transition (AUTO)
     NumKinds,
 };
 

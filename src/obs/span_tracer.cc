@@ -16,8 +16,9 @@ namespace
 {
 
 constexpr const char *kKindNames[] = {
-    "invocation", "access", "lease", "mesi_req",
-    "llc_req",    "host_fwd", "dma",  "link_msg",
+    "invocation", "access",   "lease", "mesi_req",
+    "llc_req",    "host_fwd", "dma",   "link_msg",
+    "mode_switch",
 };
 
 static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==

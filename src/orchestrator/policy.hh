@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Pluggable per-invocation coherence-mode selection policies for
+ * SystemKind::Auto (ROADMAP item 4, after Cohmeleon and "A Case for
+ * Fine-grain Coherence Specialization in Heterogeneous Systems").
+ *
+ * A policy sees one InvocationOutlook — the trace-derived working
+ * set and producer->consumer forwarding fraction of the invocation
+ * about to run, plus online miss-rate estimates maintained by the
+ * orchestrator — and picks the static organization to run it under.
+ * After the invocation retires it observes the realized cycles and
+ * energy, which is what lets the learner improve.
+ */
+
+#ifndef FUSION_ORCHESTRATOR_POLICY_HH
+#define FUSION_ORCHESTRATOR_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/system_config.hh"
+
+namespace fusion::orch
+{
+
+/** What is known about an invocation before it runs. */
+struct InvocationOutlook
+{
+    /** Function index into Program::functions. */
+    std::uint32_t func = 0;
+    /** Unique lines this invocation touches (trace-derived). */
+    std::uint64_t footprintLines = 0;
+    /** Fraction of those lines whose next toucher is a load by a
+     *  different accelerator (the FUSION-Dx forwarding signal). */
+    double forwardFraction = 0.0;
+    /** Online L0X/L1X miss-rate estimates for this function (EWMA
+     *  over retired invocations; 0 before any history exists). */
+    double l0xMissRate = 0.0;
+    double l1xMissRate = 0.0;
+};
+
+/** What an invocation cost once it retired. */
+struct InvocationOutcome
+{
+    core::SystemKind mode = core::SystemKind::Fusion;
+    std::uint64_t cycles = 0;
+    double energyPj = 0.0;
+};
+
+/** One mode-selection policy. */
+class ModePolicy
+{
+  public:
+    virtual ~ModePolicy() = default;
+
+    /** Display name ("threshold", "epsilon-greedy", ...). */
+    virtual const char *name() const = 0;
+
+    /** Pick the static mode to run this invocation under. */
+    virtual core::SystemKind choose(const InvocationOutlook &o) = 0;
+
+    /** Feed back the realized cost (no-op for static policies). */
+    virtual void
+    observe(const InvocationOutlook &o, const InvocationOutcome &res)
+    {
+        (void)o;
+        (void)res;
+    }
+};
+
+/** Policy factory keyed on cfg.orchestrator.policy. */
+std::unique_ptr<ModePolicy> makePolicy(const core::SystemConfig &cfg);
+
+} // namespace fusion::orch
+
+#endif // FUSION_ORCHESTRATOR_POLICY_HH

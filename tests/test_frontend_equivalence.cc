@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Determinism anchor for the TileFrontend refactor: the serialized
+ * RunResult of every static system kind must stay byte-identical to
+ * the pre-refactor (switch-based core::System) output. The golden
+ * FNV-1a hashes below were recorded from the seed tree immediately
+ * before the frontends were introduced; a mismatch means the
+ * refactor changed construction order, stat naming, or scheduling —
+ * not just "a number moved".
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+
+namespace fusion::core
+{
+namespace
+{
+
+/** FNV-1a 64-bit, the same hash the sweep engine uses for golden
+ *  run fingerprints. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+struct GoldenRun
+{
+    const char *workload;
+    SystemKind kind;
+    std::uint64_t hash;
+};
+
+// Recorded from the seed (pre-TileFrontend) tree:
+//   fnv1a(runProgram(SystemConfig::paperDefault(kind),
+//                    *buildProgram(workload, Scale::Small)).toJson())
+constexpr GoldenRun kGolden[] = {
+    {"adpcm", SystemKind::Scratch, 0x7917dacb329ac80cull},
+    {"adpcm", SystemKind::Shared, 0x22d56ecdba89ca8eull},
+    {"adpcm", SystemKind::Fusion, 0x71248aec94ea7684ull},
+    {"adpcm", SystemKind::FusionDx, 0xe9618fc4fdc1401aull},
+    {"adpcm", SystemKind::FusionMesi, 0x7ed91a81f7587a68ull},
+    {"fft", SystemKind::Scratch, 0xe31eea07cba154beull},
+    {"fft", SystemKind::Shared, 0x7926f0519b30b428ull},
+    {"fft", SystemKind::Fusion, 0x00613cf437140a7cull},
+    {"fft", SystemKind::FusionDx, 0x2cfbc1e32d213911ull},
+    {"fft", SystemKind::FusionMesi, 0x8644822fc08167fcull},
+    {"histogram", SystemKind::Scratch, 0xad36fbf560a86c8cull},
+    {"histogram", SystemKind::Shared, 0x825ca8981f3149b8ull},
+    {"histogram", SystemKind::Fusion, 0x649266069aa6635full},
+    {"histogram", SystemKind::FusionDx, 0x97c437972abdd3abull},
+    {"histogram", SystemKind::FusionMesi, 0x5f83b6be5548c7cdull},
+};
+
+class FrontendEquivalence
+    : public ::testing::TestWithParam<GoldenRun>
+{
+};
+
+TEST_P(FrontendEquivalence, JsonByteIdenticalToSeed)
+{
+    const GoldenRun &g = GetParam();
+    trace::Program p =
+        *buildProgram(g.workload, workloads::Scale::Small);
+    RunResult r = runProgram(SystemConfig::paperDefault(g.kind), p);
+    EXPECT_EQ(fnv1a(r.toJson()), g.hash)
+        << "serialized output for " << g.workload << "/"
+        << systemKindName(g.kind)
+        << " diverged from the pre-frontend seed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Golden, FrontendEquivalence, ::testing::ValuesIn(kGolden),
+    [](const auto &info) {
+        std::string name = info.param.workload;
+        name += "_";
+        for (const char *c = systemKindName(info.param.kind); *c;
+             ++c) {
+            if ((*c >= 'A' && *c <= 'Z') ||
+                (*c >= 'a' && *c <= 'z') ||
+                (*c >= '0' && *c <= '9'))
+                name += *c;
+        }
+        return name;
+    });
+
+// The preset() satellite: the deprecated forwarders must stay exact
+// synonyms of the new factory (same serialized config behavior).
+TEST(FrontendEquivalence, PresetMatchesDeprecatedForwarders)
+{
+    for (SystemKind k : kStaticSystemKinds) {
+        SystemConfig via_preset =
+            SystemConfig::preset(SystemConfig::Preset::Paper, k);
+        SystemConfig via_fwd = SystemConfig::paperDefault(k);
+        trace::Program p =
+            *buildProgram("adpcm", workloads::Scale::Small);
+        EXPECT_EQ(runProgram(via_preset, p).toJson(),
+                  runProgram(via_fwd, p).toJson())
+            << systemKindName(k);
+
+        SystemConfig big_preset =
+            SystemConfig::preset(SystemConfig::Preset::AxcLarge, k);
+        SystemConfig big_fwd = SystemConfig::axcLarge(k);
+        EXPECT_EQ(big_preset.l1xBytes, big_fwd.l1xBytes);
+        EXPECT_EQ(big_preset.l0xBytes, big_fwd.l0xBytes);
+        EXPECT_EQ(big_preset.scratchpadBytes,
+                  big_fwd.scratchpadBytes);
+    }
+}
+
+} // namespace
+} // namespace fusion::core
