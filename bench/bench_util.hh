@@ -60,11 +60,14 @@ struct Options
     std::string traceKinds;
     std::size_t traceLimit = std::size_t{1} << 16;
     Tick metricsInterval = 0;
+    /** --fault/--fault-seed: armed on every job (docs/HARDENING.md). */
+    guard::FaultSchedule faults;
 
     bool telemetry() const
     {
         return !traceOut.empty() || metricsInterval > 0;
     }
+    bool faultsArmed() const { return !faults.empty(); }
 };
 
 inline void
@@ -93,7 +96,17 @@ usage(const char *argv0)
                 "  --trace-kinds a,b,...  only trace these span "
                 "kinds (default: all)\n"
                 "  --metrics-interval N   sample gauges every N "
-                "ticks into the JSON report\n",
+                "ticks into the JSON report\n"
+                "  --fault KIND[:after[:delay[:prob]]]  arm a fault "
+                "on every job (repeatable;\n"
+                "               kinds: leak-mshr, drop-writeback, "
+                "delay-grant, corrupt-lease,\n"
+                "               drop-flit, dup-flit, reorder-flit, "
+                "dma-truncate, dma-stall,\n"
+                "               corrupt-dir, stale-host-l1; "
+                "docs/HARDENING.md)\n"
+                "  --fault-seed N         seed for probabilistic "
+                "fault draws\n",
                 argv0, sweep::defaultJobs());
 }
 
@@ -145,9 +158,27 @@ parseArgs(int argc, char **argv,
             }
             return argv[++i];
         };
+        auto parseFault = [&](const std::string &spec) {
+            guard::ArmedFault f;
+            if (!guard::parseFaultSpec(spec, f)) {
+                usage(argv[0]);
+                fusion_fatal("--fault: bad spec '", spec,
+                             "' (want KIND[:after[:delay[:prob]]])");
+            }
+            opt.faults.faults.push_back(f);
+        };
         // --system accepts both "--system K" and "--system=K".
         if (a.rfind("--system=", 0) == 0) {
             parseSystemList(argv[0], a.substr(9), opt.systems);
+            continue;
+        }
+        if (a.rfind("--fault=", 0) == 0) {
+            parseFault(a.substr(8));
+            continue;
+        }
+        if (a.rfind("--fault-seed=", 0) == 0) {
+            opt.faults.seed = std::strtoull(
+                a.substr(13).c_str(), nullptr, 10);
             continue;
         }
         if (a == "--system") {
@@ -167,6 +198,11 @@ parseArgs(int argc, char **argv,
             opt.jsonPath = next();
         } else if (a == "--guard") {
             opt.guard = true;
+        } else if (a == "--fault") {
+            parseFault(next());
+        } else if (a == "--fault-seed") {
+            opt.faults.seed =
+                std::strtoull(next().c_str(), nullptr, 10);
         } else if (a == "--trace-out") {
             opt.traceOut = next();
         } else if (a == "--trace-kinds") {
@@ -290,11 +326,13 @@ runSweep(const char *sweepName,
     // byte-identical.
     std::vector<sweep::SweepJob> guarded;
     const std::vector<sweep::SweepJob> *list = &jobs;
-    if (opt.guard || opt.telemetry()) {
+    if (opt.guard || opt.telemetry() || opt.faultsArmed()) {
         guarded = jobs;
         for (auto &j : guarded) {
             if (opt.guard)
                 j.cfg.guard = guardChecks();
+            if (opt.faultsArmed())
+                j.cfg.guard.schedule = opt.faults;
             if (opt.telemetry())
                 j.cfg.obs = obsConfig(opt);
         }

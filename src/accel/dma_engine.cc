@@ -47,6 +47,16 @@ DmaEngine::DmaEngine(SimContext &ctx, const DmaParams &p,
                     std::to_string(_outstanding) +
                     " transfer(s) outstanding at end-of-sim");
             }
+            // Line conservation: every line handed to fill()/drain()
+            // must have been transferred. Catches a truncated DMA op
+            // even when the run completes cleanly, which would
+            // otherwise be a silent divergence.
+            if (_lineTransfers != _linesPlanned) {
+                out.push_back(
+                    "line transfers " +
+                    std::to_string(_lineTransfers) +
+                    " != planned " + std::to_string(_linesPlanned));
+            }
         });
 }
 
@@ -62,6 +72,7 @@ DmaEngine::fill(const std::vector<Addr> &vlines, Pid pid,
     _pos = 0;
     _outstanding = 0;
     _done = std::move(done);
+    _linesPlanned += vlines.size();
     ++_dmaOps;
     _stats->scalar("fill_ops") += 1;
     // Whole-operation span, keyed by the op ordinal (ops are
@@ -84,6 +95,7 @@ DmaEngine::drain(const std::vector<Addr> &vlines, Pid pid,
     _pos = 0;
     _outstanding = 0;
     _done = std::move(done);
+    _linesPlanned += vlines.size();
     ++_dmaOps;
     _stats->scalar("drain_ops") += 1;
     if (_tracer)
@@ -97,6 +109,13 @@ DmaEngine::pump()
 {
     while (_pos < _lines->size() &&
            _outstanding < _p.maxOutstanding) {
+        if (_ctx.guard.fireFault(guard::FaultKind::TruncateDma)) {
+            // Silently abandon the rest of the op; in-flight lines
+            // still complete, then the op reports done. Detected by
+            // the line-conservation invariant at end-of-sim.
+            _pos = _lines->size();
+            break;
+        }
         Addr vline = (*_lines)[_pos];
         Addr pline = lineAlign(_pt.translate(_pid, vline));
         ++_pos;
@@ -119,7 +138,20 @@ DmaEngine::pump()
             _ctx.guard.noteProgress();
             pump();
         };
-        if (is_drain) {
+        if (_ctx.guard.fireFault(guard::FaultKind::StallDma)) {
+            // One line's completion stalls by the fault delay; the
+            // transfer itself is not lost, so a clean run only
+            // shifts in time (timing-only fault kind).
+            Cycles stall = _ctx.guard.faultDelay();
+            auto stalled = [this, stall, completion] {
+                _ctx.eq.scheduleIn(stall, completion);
+            };
+            if (is_drain) {
+                _llc.dmaWrite(pline, _link, stalled);
+            } else {
+                _llc.dmaRead(pline, _link, stalled);
+            }
+        } else if (is_drain) {
             _llc.dmaWrite(pline, _link, completion);
         } else {
             _llc.dmaRead(pline, _link, completion);

@@ -95,6 +95,9 @@ class DmaEngine
     sim::SmallFn<void()> _done;
 
     std::uint64_t _lineTransfers = 0;
+    /// Lines handed to fill()/drain() — the line-conservation
+    /// invariant checks every planned line was actually transferred.
+    std::uint64_t _linesPlanned = 0;
     std::uint64_t _dmaOps = 0;
     stats::Group *_stats;
     stats::Histogram *_stChunkLatency;

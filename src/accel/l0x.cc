@@ -183,9 +183,9 @@ L0x::lookup(Addr vline, bool is_write, Tick start, PortDone done,
             // to the L1X (Table 4), complete immediately.
             if (lease_valid)
                 _tags.touch(*line);
-            _tileLink->book(MsgClass::Data);
             Addr wt_line = vline;
-            _ctx.eq.scheduleIn(_tileLink->latency(), [this, wt_line] {
+            _tileLink->send(MsgClass::Data, _tileLink->latency(),
+                            [this, wt_line] {
                 _l1x.writeThroughStore(_p.accel, wt_line, _pid);
             });
             sampleDone();
@@ -235,9 +235,9 @@ L0x::requestMiss(Addr vline, bool is_write, bool need_data)
     if (_ctx.guard.fireFault(guard::FaultKind::LeakMshr))
         return;
     // Request message crosses the L0X->L1X link.
-    _tileLink->book(MsgClass::Control);
-    _ctx.eq.scheduleIn(
-        _tileLink->latency(), [this, vline, is_write, need_data] {
+    _tileLink->send(
+        MsgClass::Control, _tileLink->latency(),
+        [this, vline, is_write, need_data] {
             _l1x.requestLease(
                 _p.accel, vline, _pid, _leaseLen, is_write,
                 need_data,
@@ -368,20 +368,18 @@ L0x::emitDirtyLine(mem::CacheLine &line, bool allow_forward)
             _stats->scalar("forwards_out") += 1;
             L0x *consumer = it->second;
             fusion_assert(_fwdLink, "forwarding without a fwd link");
-            _fwdLink->book(MsgClass::Data);
             Tick lease_end = _ctx.now() + consumer->_leaseLen;
-            _ctx.eq.scheduleIn(_fwdLink->latency(),
-                               [consumer, vline, pid, lease_end] {
-                                   consumer->receiveForward(
-                                       vline, pid, lease_end, true);
-                               });
-            _tileLink->book(MsgClass::Control);
-            _ctx.eq.scheduleIn(_tileLink->latency(),
-                               [this, vline, pid, lease_end] {
-                                   _l1x.leaseTransfer(vline, pid,
-                                                      lease_end,
-                                                      true);
-                               });
+            _fwdLink->send(MsgClass::Data, _fwdLink->latency(),
+                           [consumer, vline, pid, lease_end] {
+                               consumer->receiveForward(
+                                   vline, pid, lease_end, true);
+                           });
+            _tileLink->send(MsgClass::Control, _tileLink->latency(),
+                            [this, vline, pid, lease_end] {
+                                _l1x.leaseTransfer(vline, pid,
+                                                   lease_end,
+                                                   true);
+                            });
             line.dirty = false;
             line.wepochEnd = 0;
             // Self-eviction: the producer's copy is gone.
@@ -400,8 +398,8 @@ L0x::emitDirtyLine(mem::CacheLine &line, bool allow_forward)
 
     ++_writebacks;
     _stats->scalar("writebacks") += 1;
-    _tileLink->book(MsgClass::Data);
-    _ctx.eq.scheduleIn(_tileLink->latency(), [this, vline, pid] {
+    _tileLink->send(MsgClass::Data, _tileLink->latency(),
+                    [this, vline, pid] {
         _l1x.writeback(_p.accel, vline, pid);
     });
     line.dirty = false;
@@ -435,19 +433,17 @@ L0x::forwardPlannedLines()
         Addr vline = l.lineAddr;
         Pid pid = l.pid;
         bookAccess(false, true);
-        _fwdLink->book(MsgClass::Data);
         Tick lease_end = _ctx.now() + consumer->_leaseLen;
-        _ctx.eq.scheduleIn(_fwdLink->latency(),
-                           [consumer, vline, pid, lease_end] {
-                               consumer->receiveForward(
-                                   vline, pid, lease_end, false);
-                           });
-        _tileLink->book(MsgClass::Control);
-        _ctx.eq.scheduleIn(_tileLink->latency(),
-                           [this, vline, pid, lease_end] {
-                               _l1x.leaseTransfer(vline, pid,
-                                                  lease_end, false);
-                           });
+        _fwdLink->send(MsgClass::Data, _fwdLink->latency(),
+                       [consumer, vline, pid, lease_end] {
+                           consumer->receiveForward(
+                               vline, pid, lease_end, false);
+                       });
+        _tileLink->send(MsgClass::Control, _tileLink->latency(),
+                        [this, vline, pid, lease_end] {
+                            _l1x.leaseTransfer(vline, pid,
+                                               lease_end, false);
+                        });
         _tags.invalidate(l); // self-eviction
     });
 }
@@ -481,12 +477,11 @@ L0x::receiveForward(Addr vline, Pid pid, Tick lease_end,
             // push landing: degrade to a normal writeback so the
             // dirty data reaches the L1X.
             _stats->scalar("forwards_rejected") += 1;
-            _tileLink->book(MsgClass::Data);
-            _ctx.eq.scheduleIn(_tileLink->latency(),
-                               [this, vline, pid] {
-                                   _l1x.writeback(_p.accel, vline,
-                                                  pid);
-                               });
+            _tileLink->send(MsgClass::Data, _tileLink->latency(),
+                            [this, vline, pid] {
+                                _l1x.writeback(_p.accel, vline,
+                                               pid);
+                            });
             return;
         }
         if (way->valid)

@@ -325,16 +325,16 @@ L1xAcc::grant(mem::CacheLine &line, Cycles lease_len, bool is_write,
                      _ctx.now());
     }
     // Response to the L0X: data for fills, 1-flit grant otherwise.
-    _tileLink->book(need_data ? MsgClass::Data : MsgClass::Control);
     Cycles resp_lat = _tileLink->latency();
     // Fault injection: hold one grant response back (no-progress
     // detector test).
     if (_ctx.guard.fireFault(guard::FaultKind::DelayGrant))
         resp_lat += _ctx.guard.faultDelay();
-    _ctx.eq.scheduleIn(resp_lat,
-                       [end, done = std::move(done)]() mutable {
-                           done(LeaseGrant{end});
-                       });
+    _tileLink->send(need_data ? MsgClass::Data : MsgClass::Control,
+                    resp_lat,
+                    [end, done = std::move(done)]() mutable {
+                        done(LeaseGrant{end});
+                    });
 }
 
 void

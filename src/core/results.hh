@@ -114,6 +114,14 @@ struct RunResult
     /** True when the run ended in a SimError. */
     bool failed() const { return error.has_value(); }
 
+    // Fault-injection bookkeeping for campaign triage. Never
+    // serialized by toJson(): injected runs must hash against clean
+    // golden output on the JSON payload alone.
+    /** Schedule entries that fired during the run. */
+    std::uint32_t faultsFired = 0;
+    /** Bitmask (1 << FaultKind) of fault kinds that fired. */
+    std::uint32_t faultFiredMask = 0;
+
     /** Host wall-clock throughput (filled by System::run()). */
     std::optional<RunPerf> perf;
 

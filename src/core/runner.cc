@@ -16,8 +16,8 @@ runProgram(const SystemConfig &cfg, const trace::Program &prog)
             joined += "\n  " + e;
         fusion_fatal("invalid SystemConfig:", joined);
     }
+    System sys(cfg, prog);
     try {
-        System sys(cfg, prog);
         return sys.run();
     } catch (const guard::SimErrorException &ex) {
         // Fault isolation: surface the typed failure in the result
@@ -26,6 +26,8 @@ runProgram(const SystemConfig &cfg, const trace::Program &prog)
         r.workload = prog.name;
         r.kind = cfg.kind;
         r.error = ex.error();
+        r.faultsFired = sys.ctx().guard.faultsFired();
+        r.faultFiredMask = sys.ctx().guard.firedFaultMask();
         return r;
     }
 }

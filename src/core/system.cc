@@ -241,6 +241,8 @@ System::run()
     r.invocationCycles = _invCycles;
     r.metrics = _ctx.obs.takeMetrics();
     r.trace = _ctx.obs.shareTrace();
+    r.faultsFired = _ctx.guard.faultsFired();
+    r.faultFiredMask = _ctx.guard.firedFaultMask();
     collect(r);
     return r;
 }

@@ -223,6 +223,14 @@ HostL1::handleFwd(Addr pa, FwdKind kind, FwdDone done)
     bool retained = false;
     _stats->scalar("fwd_recv") += 1;
     bookAccess(false);
+    if (_ctx.guard.fireFault(guard::FaultKind::StaleHostL1)) {
+        // Ack the forward without acting on it: the directory clears
+        // this agent while the L1 keeps (and may keep hitting on) a
+        // stale copy. Caught by the MESI-agreement invariant on the
+        // next sweep.
+        done(false, false);
+        return;
+    }
     switch (kind) {
       case FwdKind::Inv:
       case FwdKind::FwdGetX:

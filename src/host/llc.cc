@@ -153,13 +153,11 @@ Llc::request(int agent, Addr pa, CoherenceReq kind, LlcDone done)
     *_stRequests += 1;
     if (_tracer)
         _tracer->begin(_track, obs::SpanKind::LlcReq, pa, _ctx.now());
-    _agents[static_cast<std::size_t>(agent)].link->book(
-        MsgClass::Control);
-    _ctx.eq.scheduleIn(pathLatency(agent, pa),
-                       [this, agent, pa, kind,
-                        done = std::move(done)]() mutable {
-                           arrive(agent, pa, kind, std::move(done));
-                       });
+    _agents[static_cast<std::size_t>(agent)].link->send(
+        MsgClass::Control, pathLatency(agent, pa),
+        [this, agent, pa, kind, done = std::move(done)]() mutable {
+            arrive(agent, pa, kind, std::move(done));
+        });
 }
 
 void
@@ -353,12 +351,11 @@ Llc::clearRemote(int except_agent, Addr pa, bool downgrade_to_s,
         ai.fwds += 1;
         _stats->scalar("fwds") += 1;
         // Forward demand travels LLC -> agent.
-        ai.link->book(MsgClass::Control);
         Cycles out_lat = pathLatency(t.agent, pa);
         FwdKind kind = t.kind;
         int agent_id = t.agent;
-        _ctx.eq.scheduleIn(out_lat, [this, agent_id, pa, kind,
-                                     remaining, cont]() {
+        ai.link->send(MsgClass::Control, out_lat,
+                      [this, agent_id, pa, kind, remaining, cont]() {
             AgentInfo &target = _agents[
                 static_cast<std::size_t>(agent_id)];
             target.agent->handleFwd(pa, kind, [this, agent_id, pa,
@@ -367,17 +364,15 @@ Llc::clearRemote(int except_agent, Addr pa, bool downgrade_to_s,
                                                      bool retained) {
                 AgentInfo &ta = _agents[
                     static_cast<std::size_t>(agent_id)];
+                MsgClass resp_cls = MsgClass::Control; // ack only
                 if (dirty) {
                     // Owner supplies data (3-hop): the payload
                     // crosses the owner's link and updates the LLC.
-                    ta.link->book(MsgClass::Data);
+                    resp_cls = MsgClass::Data;
                     bankAccess(true);
                     mem::CacheLine *l = _tags.find(pa);
                     if (l)
                         l->dirty = true;
-                } else {
-                    // Ack only.
-                    ta.link->book(MsgClass::Control);
                 }
                 DirInfo &dd = dirInfo(pa);
                 switch (kind) {
@@ -399,7 +394,7 @@ Llc::clearRemote(int except_agent, Addr pa, bool downgrade_to_s,
                     break;
                 }
                 Cycles back = pathLatency(agent_id, pa);
-                _ctx.eq.scheduleIn(back, [remaining, cont]() {
+                ta.link->send(resp_cls, back, [remaining, cont]() {
                     if (--*remaining == 0)
                         (*cont)();
                 });
@@ -412,13 +407,24 @@ void
 Llc::respond(int agent, Addr pa, MsgClass cls, bool exclusive,
              LlcDone done)
 {
-    _agents[static_cast<std::size_t>(agent)].link->book(cls);
+    if (_ctx.guard.fireFault(guard::FaultKind::CorruptDir)) {
+        // The directory "forgets" what it just recorded: the owner
+        // bit or one sharer bit vanishes while the agent's copy
+        // stays live (and the response below still tells the agent
+        // it has the line). Caught by the agent-side residency
+        // checkers on the next invariant sweep.
+        DirInfo &d = dirInfo(pa);
+        if (d.owner >= 0)
+            d.owner = -1;
+        else if (d.sharers != 0)
+            d.sharers &= d.sharers - 1;
+    }
     Cycles lat = pathLatency(agent, pa);
     if (_tracer)
         _tracer->end(_track, obs::SpanKind::LlcReq, pa, _ctx.now());
     finishTransaction(pa);
-    _ctx.eq.scheduleIn(
-        lat, [exclusive, done = std::move(done)]() mutable {
+    _agents[static_cast<std::size_t>(agent)].link->send(
+        cls, lat, [exclusive, done = std::move(done)]() mutable {
             done(LlcResponse{exclusive});
         });
 }
@@ -444,8 +450,8 @@ Llc::writebackData(int agent, Addr pa)
     pa = lineAlign(pa);
     _stats->scalar("writebacks") += 1;
     AgentInfo &ai = _agents[static_cast<std::size_t>(agent)];
-    ai.link->book(MsgClass::Data);
-    _ctx.eq.scheduleIn(pathLatency(agent, pa), [this, agent, pa]() {
+    ai.link->send(MsgClass::Data, pathLatency(agent, pa),
+                  [this, agent, pa]() {
         bankAccess(true);
         DirInfo &d = dirInfo(pa);
         if (d.owner == agent)
@@ -469,8 +475,8 @@ Llc::evictNotice(int agent, Addr pa)
     pa = lineAlign(pa);
     _stats->scalar("evict_notices") += 1;
     AgentInfo &ai = _agents[static_cast<std::size_t>(agent)];
-    ai.link->book(MsgClass::Control);
-    _ctx.eq.scheduleIn(pathLatency(agent, pa), [this, agent, pa]() {
+    ai.link->send(MsgClass::Control, pathLatency(agent, pa),
+                  [this, agent, pa]() {
         DirInfo &d = dirInfo(pa);
         if (d.owner == agent)
             d.owner = -1;
@@ -523,10 +529,10 @@ Llc::dmaArrive(Addr pa, bool is_write, interconnect::Link *dma_link,
                                 mem::CacheLine *l = _tags.find(pa);
                                 fusion_assert(l, "DMA write lost frame");
                                 l->dirty = true;
-                                // Data crossed scratchpad -> LLC.
-                                dma_link->book(MsgClass::Data);
                                 finishTransaction(pa);
-                                _ctx.eq.scheduleIn(
+                                // Data crossed scratchpad -> LLC.
+                                dma_link->send(
+                                    MsgClass::Data,
                                     dma_link->latency(),
                                     [done = std::move(done)]() mutable {
                                         done();
@@ -543,9 +549,9 @@ Llc::dmaArrive(Addr pa, bool is_write, interconnect::Link *dma_link,
                                     dd.sharers |= bit(dd.owner);
                                     dd.owner = -1;
                                 }
-                                dma_link->book(MsgClass::Data);
                                 finishTransaction(pa);
-                                _ctx.eq.scheduleIn(
+                                dma_link->send(
+                                    MsgClass::Data,
                                     dma_link->latency(),
                                     [done = std::move(done)]() mutable {
                                         done();

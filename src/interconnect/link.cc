@@ -25,6 +25,8 @@ Link::Link(SimContext &ctx, const LinkParams &p)
     ctx.obs.registerCounter("link." + p.name + ".flits",
                             [this] { return static_cast<double>(_flits); });
 
+    _tracked = ctx.guard.config().anyEnabled();
+
     // Flit conservation: total flits booked must be explainable by
     // the message counts (Word and Data payloads are folded into
     // _dataMsgs, so the data side is a band, not an equality).
@@ -46,24 +48,56 @@ Link::Link(SimContext &ctx, const LinkParams &p)
                     "]");
             }
         });
+
+    // Delivery conservation: every delivery routed through the link
+    // must have fired by the time the event queue drains. Catches a
+    // dropped message even when the run still completes (redundant
+    // traffic), which would otherwise be a silent divergence.
+    ctx.guard.registerInvariant(
+        "link." + p.name + ".delivery",
+        [this](const guard::InvariantContext &ictx,
+               std::vector<std::string> &out) {
+            if (!ictx.atEnd)
+                return;
+            if (_delivered != _sentDeliveries) {
+                out.push_back(
+                    "deliveries lost: sent " +
+                    std::to_string(_sentDeliveries) +
+                    ", delivered " + std::to_string(_delivered));
+            }
+        });
 }
 
 void
 Link::send(MsgClass cls, sim::SmallFn<void()> deliver)
 {
     book(cls);
-    if (deliver) {
-        if (_live) {
-            ++_inFlight;
-            _ctx.eq.scheduleIn(
-                _p.latency, [this, deliver = std::move(deliver)]() mutable {
-                    --_inFlight;
-                    deliver();
-                });
-        } else {
-            _ctx.eq.scheduleIn(_p.latency, std::move(deliver));
-        }
+    if (!deliver)
+        return;
+    if (!_live && !_tracked) {
+        _ctx.eq.scheduleIn(_p.latency, std::move(deliver));
+        return;
     }
+    sendTracked(_p.latency, std::move(deliver));
+}
+
+void
+Link::sendTracked(Cycles latency, sim::SmallFn<void()> deliver)
+{
+    ++_sentDeliveries;
+    if (_ctx.guard.fireFault(guard::FaultKind::DropFlit))
+        return; // booked, counted as sent, never delivered
+    if (_ctx.guard.fireFault(guard::FaultKind::ReorderFlit))
+        latency += _ctx.guard.faultDelay();
+    if (_live)
+        ++_inFlight;
+    _ctx.eq.scheduleIn(
+        latency, [this, deliver = std::move(deliver)]() mutable {
+            if (_live)
+                --_inFlight;
+            ++_delivered;
+            deliver();
+        });
 }
 
 void
@@ -71,6 +105,14 @@ Link::book(MsgClass cls, std::uint64_t count)
 {
     std::uint64_t bytes = messageBytes(cls) * count;
     std::uint64_t flits = messageFlits(cls) * count;
+    if (_tracked &&
+        _ctx.guard.fireFault(guard::FaultKind::DupFlit)) {
+        // Wire-level retransmission of one message: extra flits and
+        // bytes with no matching message count, which pushes _flits
+        // past the conservation band the invariant above checks.
+        bytes += messageBytes(cls);
+        flits += messageFlits(cls);
+    }
     _bytes += bytes;
     _flits += flits;
     double pj = _pjPerByte * static_cast<double>(bytes);

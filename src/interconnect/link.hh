@@ -45,6 +45,30 @@ class Link
      */
     void send(MsgClass cls, sim::SmallFn<void()> deliver = {});
 
+    /**
+     * Route one message's delivery through the link: books the
+     * traffic and schedules @p deliver after @p latency cycles
+     * (which may exceed the raw link latency when the caller folds
+     * downstream path segments into one hop). In an unguarded,
+     * untraced run this is exactly book() + scheduleIn with the
+     * caller's closure constructed in place; with the guard layer
+     * armed the delivery is counted against the conservation
+     * invariant and subject to the link fault hooks
+     * (DropFlit / ReorderFlit).
+     */
+    template <typename F>
+    void
+    send(MsgClass cls, Cycles latency, F &&deliver)
+    {
+        book(cls);
+        if (!_live && !_tracked) [[likely]] {
+            _ctx.eq.scheduleIn(latency, std::forward<F>(deliver));
+            return;
+        }
+        sendTracked(latency,
+                    sim::SmallFn<void()>(std::forward<F>(deliver)));
+    }
+
     /** Book traffic without scheduling (bulk accounting paths). */
     void book(MsgClass cls, std::uint64_t count = 1);
 
@@ -56,6 +80,9 @@ class Link
     std::uint64_t totalBytes() const { return _bytes; }
 
   private:
+    /** Guarded/traced delivery path behind the template fast path. */
+    void sendTracked(Cycles latency, sim::SmallFn<void()> deliver);
+
     SimContext &_ctx;
     LinkParams _p;
     double _pjPerByte;
@@ -83,6 +110,12 @@ class Link
     /// telemetry is live (the in_flight gauge).
     std::int64_t _inFlight = 0;
     bool _live = false;
+    /// True when the guard layer is armed: deliveries are counted so
+    /// the end-of-sim conservation invariant can see a dropped one,
+    /// and the link fault hooks are reachable.
+    bool _tracked = false;
+    std::uint64_t _sentDeliveries = 0;
+    std::uint64_t _delivered = 0;
 };
 
 } // namespace fusion::interconnect

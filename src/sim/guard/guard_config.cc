@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fault-kind naming, spec parsing and the timing-only classification
+ * used by campaign triage.
+ */
+
+#include "sim/guard/guard_config.hh"
+
+#include <array>
+#include <charconv>
+#include <sstream>
+
+namespace fusion::guard
+{
+
+namespace
+{
+
+struct KindName
+{
+    FaultKind kind;
+    const char *name;
+};
+
+constexpr std::array<KindName, kFaultKindCount> kKindNames{{
+    {FaultKind::None, "none"},
+    {FaultKind::LeakMshr, "leak-mshr"},
+    {FaultKind::DropWriteback, "drop-writeback"},
+    {FaultKind::DelayGrant, "delay-grant"},
+    {FaultKind::CorruptLease, "corrupt-lease"},
+    {FaultKind::DropFlit, "drop-flit"},
+    {FaultKind::DupFlit, "dup-flit"},
+    {FaultKind::ReorderFlit, "reorder-flit"},
+    {FaultKind::TruncateDma, "dma-truncate"},
+    {FaultKind::StallDma, "dma-stall"},
+    {FaultKind::CorruptDir, "corrupt-dir"},
+    {FaultKind::StaleHostL1, "stale-host-l1"},
+}};
+
+bool
+parseU64(std::string_view text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    auto [ptr, ec] = std::from_chars(text.data(),
+                                     text.data() + text.size(), out);
+    return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    for (const auto &entry : kKindNames)
+        if (entry.kind == kind)
+            return entry.name;
+    return "unknown";
+}
+
+bool
+parseFaultKind(std::string_view name, FaultKind &out)
+{
+    for (const auto &entry : kKindNames) {
+        if (name == entry.name) {
+            out = entry.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+faultPerturbsTimingOnly(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DelayGrant:
+      case FaultKind::ReorderFlit:
+      case FaultKind::StallDma:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+faultSpec(const ArmedFault &fault)
+{
+    std::ostringstream os;
+    os << faultKindName(fault.kind) << ':' << fault.triggerAfter << ':'
+       << fault.delay;
+    if (fault.probability < 1.0)
+        os << ':' << fault.probability;
+    return os.str();
+}
+
+bool
+parseFaultSpec(std::string_view spec, ArmedFault &out)
+{
+    std::array<std::string_view, 4> fields{};
+    std::size_t nfields = 0;
+    while (nfields < fields.size()) {
+        std::size_t colon = spec.find(':');
+        fields[nfields++] = spec.substr(0, colon);
+        if (colon == std::string_view::npos)
+            break;
+        spec.remove_prefix(colon + 1);
+        if (nfields == fields.size())
+            return false; // more than four fields
+    }
+
+    ArmedFault parsed;
+    if (!parseFaultKind(fields[0], parsed.kind) ||
+        parsed.kind == FaultKind::None)
+        return false;
+    if (nfields > 1 && !parseU64(fields[1], parsed.triggerAfter))
+        return false;
+    if (nfields > 2) {
+        std::uint64_t delay = 0;
+        if (!parseU64(fields[2], delay))
+            return false;
+        parsed.delay = static_cast<Cycles>(delay);
+    }
+    if (nfields > 3) {
+        // Probability as a percentage would be ambiguous; accept a
+        // plain decimal in [0, 1].
+        try {
+            std::size_t used = 0;
+            parsed.probability = std::stod(std::string(fields[3]),
+                                           &used);
+            if (used != fields[3].size())
+                return false;
+        } catch (...) {
+            return false;
+        }
+        if (parsed.probability < 0.0 || parsed.probability > 1.0)
+            return false;
+    }
+    out = parsed;
+    return true;
+}
+
+} // namespace fusion::guard

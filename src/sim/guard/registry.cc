@@ -1,7 +1,7 @@
 /**
  * @file
  * GuardRegistry: snapshot rendering, invariant sweeps, and the
- * one-shot fault-injection trigger.
+ * multi-fault schedule trigger.
  */
 
 #include "sim/guard/registry.hh"
@@ -10,6 +10,33 @@
 
 namespace fusion::guard
 {
+
+void
+GuardRegistry::configure(const GuardConfig &cfg)
+{
+    _cfg = cfg;
+    _faults.clear();
+    _armedMask = 0;
+    _firedMask = 0;
+    _faultsFired = 0;
+    // Legacy single-plan forwarder: the old FaultPlan field becomes
+    // the first always-fire entry of the effective schedule, so every
+    // pre-schedule caller keeps its exact semantics.
+    _lastFiredDelay = cfg.fault.delay;
+    if (cfg.fault.kind != FaultKind::None) {
+        _faults.push_back({ArmedFault{cfg.fault.kind,
+                                      cfg.fault.triggerAfter,
+                                      cfg.fault.delay, 1.0}});
+    }
+    for (const ArmedFault &f : cfg.schedule.faults) {
+        if (f.kind != FaultKind::None)
+            _faults.push_back({f});
+    }
+    for (const FaultEntry &e : _faults)
+        _armedMask |= 1u << static_cast<unsigned>(e.fault.kind);
+    _rng = Rng(cfg.schedule.seed ? cfg.schedule.seed
+                                 : 0x9e3779b97f4a7c15ull);
+}
 
 void
 GuardRegistry::registerSnapshot(std::string name, SnapshotFn fn)
@@ -61,14 +88,40 @@ GuardRegistry::runInvariants(Tick now, bool at_end) const
 }
 
 bool
-GuardRegistry::fireFault(FaultKind kind)
+GuardRegistry::fireFaultSlow(FaultKind kind)
 {
-    if (_cfg.fault.kind != kind || _faultFired)
-        return false;
-    if (_faultSeen++ < _cfg.fault.triggerAfter)
-        return false;
-    _faultFired = true;
-    return true;
+    // One shared opportunity counter per entry: every call for the
+    // entry's kind advances it, whether or not the draw succeeds, so
+    // a p < 1 entry keeps retrying on later opportunities.
+    bool any_pending = false;
+    bool fired = false;
+    for (FaultEntry &e : _faults) {
+        if (e.fault.kind != kind)
+            continue;
+        if (e.fired)
+            continue;
+        if (fired) {
+            any_pending = true;
+            continue; // at most one entry fires per opportunity
+        }
+        if (e.seen++ < e.fault.triggerAfter) {
+            any_pending = true;
+            continue;
+        }
+        if (e.fault.probability < 1.0 &&
+            _rng.uniform() >= e.fault.probability) {
+            any_pending = true;
+            continue;
+        }
+        e.fired = true;
+        fired = true;
+        _lastFiredDelay = e.fault.delay;
+        _firedMask |= 1u << static_cast<unsigned>(kind);
+        ++_faultsFired;
+    }
+    if (!any_pending)
+        _armedMask &= ~(1u << static_cast<unsigned>(kind));
+    return fired;
 }
 
 } // namespace fusion::guard

@@ -12,7 +12,9 @@
  * Registration order is construction order, which is deterministic,
  * so the rendered diagnostic is byte-stable across runs and worker
  * counts. The registry also hosts the forward-progress counter and
- * the test-only fault-injection plan.
+ * the test-only fault-injection schedule: multiple armed faults, each
+ * with independent trigger state, plus a SplitMix64 stream for
+ * probabilistic firing.
  */
 
 #ifndef FUSION_SIM_GUARD_REGISTRY_HH
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "sim/guard/guard_config.hh"
+#include "sim/rng.hh"
 #include "sim/types.hh"
 
 namespace fusion::guard
@@ -62,7 +65,7 @@ class GuardRegistry
 {
   public:
     /** Install the run's GuardConfig (System ctor, before wiring). */
-    void configure(const GuardConfig &cfg) { _cfg = cfg; }
+    void configure(const GuardConfig &cfg);
     const GuardConfig &config() const { return _cfg; }
 
     /** Register a named snapshot provider (construction order). */
@@ -90,19 +93,51 @@ class GuardRegistry
 
     /**
      * Test-only fault injection: true when the caller should inject
-     * fault @p kind right now. Fires exactly once, on the
-     * (triggerAfter+1)-th opportunity. O(1) and false when no plan
-     * of this kind is armed, so production paths stay free.
+     * fault @p kind right now. Each armed schedule entry fires at
+     * most once, from its (triggerAfter+1)-th opportunity onwards,
+     * subject to its probability draw. The disabled path is a single
+     * load-and-test of a kind bitmask, so production runs stay free.
      */
-    bool fireFault(FaultKind kind);
-    /** Delay parameter of the armed fault plan. */
-    Cycles faultDelay() const { return _cfg.fault.delay; }
+    bool
+    fireFault(FaultKind kind)
+    {
+        if (!(_armedMask &
+              (1u << static_cast<unsigned>(kind)))) [[likely]]
+            return false;
+        return fireFaultSlow(kind);
+    }
+
+    /**
+     * Delay parameter of the most recently fired fault (before any
+     * firing: the legacy plan's delay), consumed by delay-style
+     * injection sites right after fireFault returns true.
+     */
+    Cycles faultDelay() const { return _lastFiredDelay; }
+
+    /** Total schedule entries that have fired so far. */
+    std::uint32_t faultsFired() const { return _faultsFired; }
+    /** Bitmask (1 << kind) of fault kinds that have fired. */
+    std::uint32_t firedFaultMask() const { return _firedMask; }
 
   private:
+    bool fireFaultSlow(FaultKind kind);
+
+    /** Trigger state for one effective-schedule entry. */
+    struct FaultEntry
+    {
+        ArmedFault fault;
+        std::uint64_t seen = 0;
+        bool fired = false;
+    };
+
     GuardConfig _cfg;
     std::uint64_t _progress = 0;
-    std::uint64_t _faultSeen = 0;
-    bool _faultFired = false;
+    std::uint32_t _armedMask = 0;
+    std::uint32_t _firedMask = 0;
+    std::uint32_t _faultsFired = 0;
+    Cycles _lastFiredDelay = 0;
+    std::vector<FaultEntry> _faults;
+    Rng _rng;
     std::vector<std::pair<std::string, SnapshotFn>> _snapshots;
     std::vector<std::pair<std::string, InvariantFn>> _invariants;
 };

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared FNV-1a 64-bit hashing. Used for golden-output fingerprints:
+ * the frontend-equivalence anchors and the fault-campaign triage both
+ * hash serialized RunResult JSON, so they must agree on the function.
+ */
+
+#ifndef FUSION_SIM_HASH_HH
+#define FUSION_SIM_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace fusion
+{
+
+/** FNV-1a 64-bit over a byte string. */
+inline std::uint64_t
+fnv1a(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace fusion
+
+#endif // FUSION_SIM_HASH_HH

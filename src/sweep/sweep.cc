@@ -165,10 +165,22 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opt)
                 // own SimContext/event queue: no state crosses
                 // jobs.
                 core::System sys(j.cfg, *prog);
-                results[i] = sys.run();
+                try {
+                    results[i] = sys.run();
+                } catch (const guard::SimErrorException &ex) {
+                    // Fault isolation: one poisoned job becomes one
+                    // failed result; sibling jobs keep running.
+                    results[i] = core::RunResult{};
+                    results[i].workload = j.workload;
+                    results[i].kind = j.cfg.kind;
+                    results[i].error = ex.error();
+                    results[i].faultsFired =
+                        sys.ctx().guard.faultsFired();
+                    results[i].faultFiredMask =
+                        sys.ctx().guard.firedFaultMask();
+                }
             } catch (const guard::SimErrorException &ex) {
-                // Fault isolation: one poisoned job becomes one
-                // failed result; sibling jobs keep running.
+                // Program build / construction failures.
                 results[i] = core::RunResult{};
                 results[i].workload = j.workload;
                 results[i].kind = j.cfg.kind;

@@ -16,24 +16,12 @@
 
 #include "core/runner.hh"
 #include "core/system.hh"
+#include "sim/hash.hh"
 
 namespace fusion::core
 {
 namespace
 {
-
-/** FNV-1a 64-bit, the same hash the sweep engine uses for golden
- *  run fingerprints. */
-std::uint64_t
-fnv1a(const std::string &s)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
-}
 
 struct GoldenRun
 {
@@ -45,22 +33,29 @@ struct GoldenRun
 // Recorded from the seed (pre-TileFrontend) tree:
 //   fnv1a(runProgram(SystemConfig::paperDefault(kind),
 //                    *buildProgram(workload, Scale::Small)).toJson())
+//
+// Re-recorded once when the hash moved to the shared sim/hash.hh:
+// this test's original inline FNV-1a used a typo'd offset basis
+// (1469598103934665603, missing the trailing 7 of the standard
+// 14695981039346656037), so the raw hash values changed. The JSON
+// itself was diffed byte-for-byte against the pre-change tree at
+// re-recording time; only the fingerprint function changed.
 constexpr GoldenRun kGolden[] = {
-    {"adpcm", SystemKind::Scratch, 0x7917dacb329ac80cull},
-    {"adpcm", SystemKind::Shared, 0x22d56ecdba89ca8eull},
-    {"adpcm", SystemKind::Fusion, 0x71248aec94ea7684ull},
-    {"adpcm", SystemKind::FusionDx, 0xe9618fc4fdc1401aull},
-    {"adpcm", SystemKind::FusionMesi, 0x7ed91a81f7587a68ull},
-    {"fft", SystemKind::Scratch, 0xe31eea07cba154beull},
-    {"fft", SystemKind::Shared, 0x7926f0519b30b428ull},
-    {"fft", SystemKind::Fusion, 0x00613cf437140a7cull},
-    {"fft", SystemKind::FusionDx, 0x2cfbc1e32d213911ull},
-    {"fft", SystemKind::FusionMesi, 0x8644822fc08167fcull},
-    {"histogram", SystemKind::Scratch, 0xad36fbf560a86c8cull},
-    {"histogram", SystemKind::Shared, 0x825ca8981f3149b8ull},
-    {"histogram", SystemKind::Fusion, 0x649266069aa6635full},
-    {"histogram", SystemKind::FusionDx, 0x97c437972abdd3abull},
-    {"histogram", SystemKind::FusionMesi, 0x5f83b6be5548c7cdull},
+    {"adpcm", SystemKind::Scratch, 0x1bba9d6b40bb1ab6ull},
+    {"adpcm", SystemKind::Shared, 0xfa9a5be0efc3bc28ull},
+    {"adpcm", SystemKind::Fusion, 0x1a347ff1a26fe836ull},
+    {"adpcm", SystemKind::FusionDx, 0xc95af23ffe0520ecull},
+    {"adpcm", SystemKind::FusionMesi, 0x925e020e271469e6ull},
+    {"fft", SystemKind::Scratch, 0x1f97641d79106d60ull},
+    {"fft", SystemKind::Shared, 0xcde45be1efbc3eeeull},
+    {"fft", SystemKind::Fusion, 0x925524a955ad6982ull},
+    {"fft", SystemKind::FusionDx, 0xa7f0c91b66dcb75full},
+    {"fft", SystemKind::FusionMesi, 0xd7ce3d45a5dcf76aull},
+    {"histogram", SystemKind::Scratch, 0x454f9c6e782acc6eull},
+    {"histogram", SystemKind::Shared, 0x730d1ff0eeb3b96eull},
+    {"histogram", SystemKind::Fusion, 0x53f5fe959937b5e9ull},
+    {"histogram", SystemKind::FusionDx, 0xd91e902178bbe57dull},
+    {"histogram", SystemKind::FusionMesi, 0x81a169fd53c6d113ull},
 };
 
 class FrontendEquivalence
