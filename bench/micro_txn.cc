@@ -399,6 +399,8 @@ main(int argc, char **argv)
     if (!comparePath.empty()) {
         auto base = parseReportRates(comparePath);
         double logsum = 0.0;
+        double min_ratio = 0.0, max_ratio = 0.0;
+        std::string min_row, max_row;
         std::size_t n = 0;
         std::printf("\n%14s %10s\n", "row", "speedup");
         for (const Row &r : rows) {
@@ -412,15 +414,29 @@ main(int argc, char **argv)
                 // workload rows; churn rows print for reference.
                 if (!r.hasAllocs) {
                     logsum += std::log(ratio);
+                    if (n == 0 || ratio < min_ratio) {
+                        min_ratio = ratio;
+                        min_row = r.name;
+                    }
+                    if (n == 0 || ratio > max_ratio) {
+                        max_ratio = ratio;
+                        max_row = r.name;
+                    }
                     ++n;
                 }
                 break;
             }
         }
-        if (n > 0)
-            std::printf("geomean speedup (workload rows): %.2fx\n",
+        // Per-config variance beside the mean: a single outlier
+        // workload must not hide behind the geomean.
+        if (n > 0) {
+            std::printf("geomean speedup (workload rows): %.2fx "
+                        "(min %.2fx @%s, max %.2fx @%s)\n",
                         std::exp(logsum /
-                                 static_cast<double>(n)));
+                                 static_cast<double>(n)),
+                        min_ratio, min_row.c_str(), max_ratio,
+                        max_row.c_str());
+        }
     }
 
     if (!jsonPath.empty()) {

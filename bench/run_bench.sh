@@ -1,0 +1,61 @@
+#!/bin/sh
+# Kernel-throughput bench driver: runs micro_kernel's sharded-kernel
+# comparison at 1, 2 and 4 domains plus the micro_txn end-to-end
+# rows, and folds the per-run reports into one BENCH_kernel.json.
+#
+#   bench/run_bench.sh [BUILD_DIR] [OUT_JSON]
+#
+# Defaults: BUILD_DIR=build, OUT_JSON=BENCH_kernel.json (in the
+# current directory). Shell + the bench binaries only — no python.
+# The per-domain events/sec come from the "perf" objects micro_kernel
+# --compare emits (the sharded side; "serialPerf" carries the serial
+# baseline), so the 4-vs-1 speedup is readable straight off the file.
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_kernel.json}
+
+KERNEL="$BUILD_DIR/bench/micro_kernel"
+TXN="$BUILD_DIR/bench/micro_txn"
+for bin in "$KERNEL" "$TXN"; do
+    if [ ! -x "$bin" ]; then
+        echo "run_bench.sh: $bin not built (cmake --build $BUILD_DIR)" >&2
+        exit 1
+    fi
+done
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# Sharded-kernel rows: same workload at 1, 2 and 4 physical domains.
+# Repeat=3 best-kept inside the harness; tiles 4 and 8 cover the
+# >=4-tile FUSION-shaped topologies.
+for d in 1 2 4; do
+    echo "== micro_kernel --compare --shard-domains $d ==" >&2
+    "$KERNEL" --compare --shard-domains "$d" --tiles 4,8 \
+        --ops 1000000 --repeat 3 \
+        --json "$TMP/kernel_d$d.json" >&2
+done
+
+# End-to-end transaction path (serial kernel; per-workload rows).
+echo "== micro_txn ==" >&2
+"$TXN" --churn-ops 50000 --workloads adpcm,fft --repeat 2 \
+    --json "$TMP/txn.json" >&2
+
+# Fold the reports into one file. Each per-run report is a complete
+# JSON object; BENCH_kernel.json nests them verbatim.
+{
+    printf '{"bench":"BENCH_kernel","shardDomains":{'
+    sep=''
+    for d in 1 2 4; do
+        printf '%s"%s":' "$sep" "$d"
+        cat "$TMP/kernel_d$d.json"
+        sep=','
+    done
+    printf '},"txn":'
+    cat "$TMP/txn.json"
+    printf '}\n'
+} | tr -d '\n' > "$OUT"
+echo "" >> "$OUT"
+
+echo "wrote $OUT" >&2

@@ -151,6 +151,8 @@ SystemConfig::validate() const
 
     if (numTiles == 0)
         err("numTiles must be nonzero");
+    if (shardDomains == 0)
+        err("shardDomains must be nonzero (1 = serial kernel)");
     if (datapathWidth == 0)
         err("datapathWidth must be nonzero");
     if (accelStoreBuffer == 0)
@@ -214,18 +216,6 @@ presetName(SystemConfig::Preset p)
         return "axc-large";
     }
     return "?";
-}
-
-SystemConfig
-SystemConfig::paperDefault(SystemKind kind)
-{
-    return preset(Preset::Paper, kind);
-}
-
-SystemConfig
-SystemConfig::axcLarge(SystemKind kind)
-{
-    return preset(Preset::AxcLarge, kind);
 }
 
 } // namespace fusion::core

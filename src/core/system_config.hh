@@ -155,6 +155,16 @@ struct SystemConfig
     obs::ObsConfig obs;
     /// AUTO-mode orchestrator (kind == SystemKind::Auto only).
     OrchestratorConfig orchestrator;
+    /// Sharded event kernel (DESIGN.md §8 "Sharded kernel"): number
+    /// of scheduling domains the simulation is partitioned into.
+    /// 1 (default) = the classic serial kernel, byte-for-byte
+    /// untouched. N > 1 = domain 0 hosts the host+LLC+DMA complex
+    /// and accelerator tiles round-robin over domains 1..N-1, with
+    /// the tile<->LLC ring links as the only cross-domain edges.
+    /// Clamped to the partition the kind supports (SCRATCH and AUTO
+    /// degrade to serial); output stays byte-identical at any value
+    /// (anchored by ShardDeterminism).
+    std::uint32_t shardDomains = 1;
 
     /**
      * Check the configuration for structural mistakes (non-power-
@@ -175,14 +185,10 @@ struct SystemConfig
                  ///< scratchpad) with a 256 KB L1X
     };
 
-    /** The canonical factory: @p preset parameters for @p kind. */
+    /** The canonical factory: @p preset parameters for @p kind.
+     *  (The deprecated paperDefault/axcLarge forwarders are gone;
+     *  see the DESIGN.md changelog.) */
     static SystemConfig preset(Preset preset, SystemKind kind);
-
-    /** @deprecated Use preset(Preset::Paper, kind). */
-    static SystemConfig paperDefault(SystemKind kind);
-
-    /** @deprecated Use preset(Preset::AxcLarge, kind). */
-    static SystemConfig axcLarge(SystemKind kind);
 };
 
 /** CLI spelling of a preset ("paper", "axc-large"). */

@@ -39,6 +39,7 @@ enum class SpanKind : std::uint8_t
     Dma,        ///< DMA operation / per-line chunk (SCRATCH)
     LinkMsg,    ///< message traversing an interconnect link
     ModeSwitch, ///< orchestrator coherence-mode transition (AUTO)
+    ShardWindow, ///< one conservative-lookahead window of a domain
     NumKinds,
 };
 

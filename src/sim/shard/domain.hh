@@ -1,0 +1,66 @@
+/**
+ * @file
+ * One scheduling domain of the sharded event kernel.
+ *
+ * A domain owns a private EventQueue plus a small stats arena of
+ * cross-domain traffic counters. Domains are partitions of the
+ * simulated system: domain 0 is the host + LLC + DMA complex, and
+ * each accelerator / MESI tile group maps onto one of the remaining
+ * domains (see DESIGN.md §8 "Sharded kernel" for the domain map).
+ *
+ * Two engines drive domains:
+ *  - shard::Router executes them in exact global (when, priority,
+ *    sequence) order on one thread, preserving byte-identical output
+ *    for full-system runs;
+ *  - shard::DomainScheduler advances them on a worker pool under
+ *    conservative lookahead windows (kernel benchmarks, property
+ *    tests).
+ */
+
+#ifndef FUSION_SIM_SHARD_DOMAIN_HH
+#define FUSION_SIM_SHARD_DOMAIN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace fusion::shard
+{
+
+/** Domain index type; domain 0 is always the host complex. */
+using DomainId = std::uint32_t;
+
+/** Sentinel for "no domain". */
+inline constexpr DomainId kNoDomain = ~DomainId{0};
+
+/** One scheduling domain: a private event queue + traffic arena. */
+struct Domain
+{
+    DomainId id = 0;
+    std::string name; ///< "host", "tile0", ... (diagnostics)
+
+    /** This domain's private event queue. */
+    EventQueue q;
+
+    /** Per-source sequence stamp for outgoing cross-domain messages
+     *  (parallel engine; gives mailbox entries a total order). */
+    std::uint64_t outSeq = 0;
+
+    /** Cross-domain messages delivered into this domain. */
+    std::uint64_t received = 0;
+    /** Cross-domain messages sent out of this domain. */
+    std::uint64_t sent = 0;
+    /** Windows in which this domain executed at least one event
+     *  (parallel engine). */
+    std::uint64_t windows = 0;
+
+    Domain() = default;
+    Domain(const Domain &) = delete;
+    Domain &operator=(const Domain &) = delete;
+};
+
+} // namespace fusion::shard
+
+#endif // FUSION_SIM_SHARD_DOMAIN_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cross-domain mailboxes for the sharded event kernel.
+ *
+ * Under conservative lookahead, a cross-domain scheduleIn becomes a
+ * bounded-delay message: the sender pushes a ShardMsg into the
+ * (src, dst) mailbox lane during its window, and the coordinator
+ * drains every lane at the window barrier, merging messages in
+ * (tick, priority, source domain, sequence) order before scheduling
+ * them into the destination queues. The merge key is unique — each
+ * source stamps its messages with a private monotone sequence — so
+ * the merged order is a total order and delivery is deterministic
+ * regardless of worker count or thread timing.
+ *
+ * Threading contract: mailbox access is phase-exclusive. Exactly one
+ * worker (the one executing the source domain) pushes into a lane
+ * during a window; only the coordinator touches lanes at the
+ * barrier. The barrier itself is the synchronization edge — no
+ * per-push locking is needed, and TSAN agrees (ShardBenchSmoke).
+ */
+
+#ifndef FUSION_SIM_SHARD_MAILBOX_HH
+#define FUSION_SIM_SHARD_MAILBOX_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/shard/domain.hh"
+#include "sim/types.hh"
+
+namespace fusion::shard
+{
+
+/** One cross-domain delivery in flight between window barriers. */
+struct ShardMsg
+{
+    Tick when = 0;       ///< absolute delivery tick
+    int pri = 0;         ///< EventPriority value
+    DomainId src = 0;    ///< sending domain
+    std::uint64_t seq = 0; ///< per-source monotone stamp
+    EventFn fn;
+
+    ShardMsg() = default;
+    ShardMsg(Tick w, int p, DomainId s, std::uint64_t q, EventFn &&f)
+        : when(w), pri(p), src(s), seq(q), fn(std::move(f))
+    {
+    }
+};
+
+/**
+ * The canonical cross-domain merge order:
+ * (tick, priority, source domain, sequence). Total because (src,
+ * seq) pairs are unique across all messages of one barrier.
+ */
+struct ShardMsgOrder
+{
+    bool
+    operator()(const ShardMsg &a, const ShardMsg &b) const
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.pri != b.pri)
+            return a.pri < b.pri;
+        if (a.src != b.src)
+            return a.src < b.src;
+        return a.seq < b.seq;
+    }
+};
+
+/**
+ * Reference merge for the randomized property test: the order every
+ * barrier drain must reproduce, stated as one plain sort.
+ */
+inline void
+referenceMerge(std::vector<ShardMsg> &msgs)
+{
+    std::sort(msgs.begin(), msgs.end(), ShardMsgOrder{});
+}
+
+/** One (src, dst) mailbox lane. */
+class Mailbox
+{
+  public:
+    /** Push a message (source worker, during its window). */
+    void
+    push(ShardMsg &&m)
+    {
+        _v.push_back(std::move(m));
+    }
+
+    bool empty() const { return _v.empty(); }
+    std::size_t size() const { return _v.size(); }
+
+    /** Move all messages into @p out and clear (coordinator, at the
+     *  window barrier). */
+    void
+    drainInto(std::vector<ShardMsg> &out)
+    {
+        for (auto &m : _v)
+            out.push_back(std::move(m));
+        _v.clear();
+    }
+
+  private:
+    std::vector<ShardMsg> _v;
+};
+
+} // namespace fusion::shard
+
+#endif // FUSION_SIM_SHARD_MAILBOX_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Ordered shard router: exact-order execution over per-domain
+ * event queues.
+ *
+ * When a run is sharded (SystemConfig::shardDomains > 1), the system
+ * facade EventQueue stops holding events itself and delegates to a
+ * Router. The router owns one EventQueue per domain, points them all
+ * at one shared sequence counter, and executes the globally least
+ * (when, priority, sequence) event across all domains on each step.
+ * That is by construction the same total order a single queue
+ * produces — the proof is an induction on steps: the union of the
+ * per-domain pending sets always equals the serial queue's pending
+ * set with identical keys (scheduling happens inside events, which
+ * run in the same order and draw sequence numbers from the shared
+ * counter), and each step pops the global key minimum. Routing an
+ * event to a different domain changes *which* queue holds it, never
+ * its key, so a mis-partitioned component cannot perturb ordering —
+ * it can only trip the cross-edge asserts. Serial and sharded runs
+ * therefore produce byte-identical JSON (anchored by the
+ * ShardDeterminism suite).
+ *
+ * What the ordered router buys, since it executes on one thread:
+ * it validates the entire partitioning — domain assignment, the
+ * cross-domain link edges, mailbox-equivalent routing, the lookahead
+ * bound (minimum observed cross-edge latency) — under the full
+ * protocol stack and the fault injector, while keeping the output
+ * bit-reproducible. The threaded conservative-window engine
+ * (shard::DomainScheduler) shares the Domain/merge-order machinery
+ * and carries the speedup; see DESIGN.md §8 "Sharded kernel".
+ */
+
+#ifndef FUSION_SIM_SHARD_ROUTER_HH
+#define FUSION_SIM_SHARD_ROUTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/shard/domain.hh"
+#include "sim/sim_context.hh"
+#include "sim/types.hh"
+
+namespace fusion::shard
+{
+
+/** Exact-order executor over per-domain queues (see file header). */
+class Router
+{
+  public:
+    /**
+     * Create a router with @p domains domains (>= 2; domain 0 is the
+     * host complex) and install it on @p ctx's facade queue. Install
+     * happens here — before any component constructs — so events
+     * scheduled from constructors already land in domain queues.
+     */
+    Router(SimContext &ctx, std::uint32_t domains);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    std::uint32_t numDomains() const
+    {
+        return static_cast<std::uint32_t>(_domains.size());
+    }
+
+    /** Domain whose event is currently executing (0 at rest). */
+    DomainId current() const { return _current; }
+
+    /** Global clock: tick of the event executing / last executed. */
+    Tick globalNow() const { return _globalNow; }
+
+    /** Domain hosting accelerator tile @p tile: round-robin over
+     *  domains 1..D-1. */
+    DomainId
+    tileDomain(std::uint32_t tile) const
+    {
+        auto n = numDomains();
+        return 1 + (tile % (n - 1));
+    }
+
+    /** Record that accelerator @p accel executes in domain @p d
+     *  (frontends call this from bindShard). */
+    void setAccelDomain(std::uint32_t accel, DomainId d);
+
+    /** Domain of accelerator @p accel (0 when never bound). */
+    DomainId accelDomain(std::uint32_t accel) const;
+
+    /**
+     * Execute @p fn with current() == @p d. The ordered router is
+     * single-threaded, so this is a synchronous scoped switch: it
+     * re-points where nested schedule() calls land, nothing else.
+     */
+    template <typename F>
+    void
+    onDomain(DomainId d, F &&fn)
+    {
+        fusion_assert(d < numDomains(), "onDomain: bad domain ", d);
+        DomainId prev = _current;
+        _current = d;
+        fn();
+        _current = prev;
+    }
+
+    /**
+     * Cross-domain delivery from a bound link: schedule @p fn into
+     * domain @p dst at absolute tick @p when. @p latency is the link
+     * traversal the delivery rode on; it feeds the observed-lookahead
+     * bound and must be >= 1 (a zero-latency cross edge would break
+     * the conservative window the threaded engine relies on).
+     */
+    void scheduleCross(DomainId dst, Tick when, Cycles latency,
+                       EventFn &&fn);
+
+    /**
+     * Execute the globally least (when, priority, sequence) event.
+     * @return false when every domain queue is drained.
+     */
+    bool stepGlobal();
+
+    /** Sum of pending events across domains. */
+    std::size_t totalPending() const;
+    /** Sum of executed events across domains. */
+    std::uint64_t totalExecuted() const;
+    /** Global head tick (kTickNever when drained). */
+    Tick headTick() const;
+
+    /** Cross-domain deliveries routed so far. */
+    std::uint64_t crossings() const { return _crossings; }
+    /** Minimum cross-edge latency observed (kTickNever if none). */
+    Tick minCrossLatency() const { return _minCross; }
+
+    Domain &domain(DomainId d) { return _domains[d]; }
+    const Domain &domain(DomainId d) const { return _domains[d]; }
+
+  private:
+    SimContext &_ctx;
+    /** deque: Domain is pinned in place (EventQueue is immovable). */
+    std::deque<Domain> _domains;
+    std::uint64_t _seq = 0; ///< shared (when, pri, seq) source
+    DomainId _current = 0;
+    Tick _globalNow = 0;
+    std::uint64_t _crossings = 0;
+    Tick _minCross = kTickNever;
+    std::vector<DomainId> _accelDomain;
+};
+
+} // namespace fusion::shard
+
+#endif // FUSION_SIM_SHARD_ROUTER_HH

@@ -1,0 +1,318 @@
+#include "sim/shard/scheduler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "sim/guard/sim_error.hh"
+
+namespace fusion::shard
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedMs(Clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - start)
+            .count());
+}
+
+} // namespace
+
+DomainScheduler::DomainScheduler(const Params &p) : _p(p)
+{
+    fusion_assert(_p.domains >= 1, "scheduler needs >= 1 domain");
+    fusion_assert(_p.lookahead >= 1,
+                  "conservative lookahead must be >= 1");
+    for (std::uint32_t d = 0; d < _p.domains; ++d) {
+        Domain &dom = _domains.emplace_back();
+        dom.id = d;
+        dom.name = d == 0 ? "host" : "dom" + std::to_string(d);
+    }
+    _mail.resize(static_cast<std::size_t>(_p.domains) * _p.domains);
+    if (_p.traceWindows) {
+        obs::ObsConfig ocfg;
+        ocfg.traceLimit = _p.traceLimit;
+        ocfg.traceKindMask =
+            obs::spanKindBit(obs::SpanKind::ShardWindow);
+        for (std::uint32_t d = 0; d < _p.domains; ++d) {
+            auto t = std::make_unique<obs::SpanTracer>(ocfg);
+            t->registerTrack(_domains[d].name);
+            _tracers.push_back(std::move(t));
+        }
+    }
+}
+
+DomainScheduler::~DomainScheduler()
+{
+    stopWorkers();
+}
+
+std::uint64_t
+DomainScheduler::totalExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const Domain &dom : _domains)
+        n += dom.q.executed();
+    return n;
+}
+
+std::vector<obs::SpanRecord>
+DomainScheduler::mergedWindowSpans() const
+{
+    std::vector<const obs::SpanTracer *> parts;
+    parts.reserve(_tracers.size());
+    for (const auto &t : _tracers)
+        parts.push_back(t.get());
+    return obs::mergeSortedSpans(parts);
+}
+
+void
+DomainScheduler::runOneDomain(DomainId d, Tick limit)
+{
+    Domain &dom = _domains[d];
+    std::uint64_t before = dom.q.executed();
+    Tick start = dom.q.headTick();
+    dom.q.runUntil(limit);
+    std::uint64_t ran = dom.q.executed() - before;
+    if (ran == 0)
+        return;
+    ++dom.windows;
+    if (!_tracers.empty())
+        _tracers[d]->complete(0, obs::SpanKind::ShardWindow,
+                              static_cast<Addr>(dom.windows), start,
+                              dom.q.now());
+}
+
+void
+DomainScheduler::runSolo(DomainId d)
+{
+    // Only one domain has pending work: run it on this thread,
+    // window after window, without barriers. Windows of L ticks stay
+    // safe even while the domain sends: a message sent at tick t
+    // inside window [h, h + L - 1] arrives at t + delay >= h + L,
+    // past the window — so the window never overruns a tick the
+    // destination could have reacted to. We stop as soon as a send
+    // happened (the destination now has work) or the queue drains.
+    Domain &dom = _domains[d];
+    std::uint64_t before = dom.q.executed();
+    std::uint64_t sentBefore = dom.sent;
+    Tick start = dom.q.headTick();
+    while (dom.sent == sentBefore) {
+        Tick h = dom.q.headTick();
+        if (h == kTickNever)
+            break;
+        dom.q.runUntil(h + _p.lookahead - 1);
+    }
+    if (dom.q.executed() != before) {
+        ++dom.windows;
+        if (!_tracers.empty())
+            _tracers[d]->complete(0, obs::SpanKind::ShardWindow,
+                                  static_cast<Addr>(dom.windows),
+                                  start, dom.q.now());
+    }
+    ++_totals.soloWindows;
+}
+
+void
+DomainScheduler::drainMailboxes()
+{
+    _drain.clear();
+    auto n = numDomains();
+    for (DomainId src = 0; src < n; ++src) {
+        for (DomainId dst = 0; dst < n; ++dst) {
+            Mailbox &lane = _mail[src * n + dst];
+            if (lane.empty())
+                continue;
+            _laneScratch.clear();
+            lane.drainInto(_laneScratch);
+            for (ShardMsg &m : _laneScratch)
+                _drain.push_back(PendingMsg{dst, std::move(m)});
+        }
+    }
+    if (_drain.empty())
+        return;
+    // The canonical merge: (tick, priority, source domain, seq).
+    // Keys are unique, so this is a total order and the destination
+    // queues see one deterministic delivery sequence regardless of
+    // worker count or which thread ran which domain.
+    std::sort(_drain.begin(), _drain.end(),
+              [](const PendingMsg &a, const PendingMsg &b) {
+                  return ShardMsgOrder{}(a.msg, b.msg);
+              });
+    for (PendingMsg &pm : _drain) {
+        Domain &dom = _domains[pm.dst];
+        fusion_assert(pm.msg.when > dom.q.now(),
+                      "conservative window violated: delivery at ",
+                      pm.msg.when, " but domain ", pm.dst,
+                      " already at ", dom.q.now());
+        dom.q.schedule(pm.msg.when, std::move(pm.msg.fn),
+                       static_cast<EventPriority>(pm.msg.pri));
+        ++dom.received;
+        ++_totals.crossMessages;
+    }
+    _totals.maxDrainBatch =
+        std::max(_totals.maxDrainBatch, _drain.size());
+    _drain.clear();
+}
+
+void
+DomainScheduler::startWorkers()
+{
+    std::size_t want = _p.workers;
+    if (want == 0) {
+        std::size_t hw = std::thread::hardware_concurrency();
+        if (hw == 0)
+            hw = 2;
+        want = std::min<std::size_t>(_domains.size(), hw);
+    }
+    if (want <= 1 || _domains.size() <= 1)
+        return; // caller's thread runs windows inline
+    _threads.reserve(want);
+    for (std::size_t i = 0; i < want; ++i)
+        _threads.emplace_back([this] { workerMain(); });
+}
+
+void
+DomainScheduler::stopWorkers()
+{
+    if (_threads.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _shutdown = true;
+    }
+    _cvWork.notify_all();
+    for (auto &t : _threads)
+        t.join();
+    _threads.clear();
+    _shutdown = false;
+}
+
+void
+DomainScheduler::workerMain()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(_mu);
+            _cvWork.wait(lk, [&] {
+                return _shutdown || _generation != seen;
+            });
+            if (_shutdown)
+                return;
+            seen = _generation;
+        }
+        while (true) {
+            std::size_t d = _cursor.fetch_add(1);
+            if (d >= _domains.size())
+                break;
+            runOneDomain(static_cast<DomainId>(d), _windowLimit);
+        }
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            if (--_working == 0)
+                _cvDone.notify_one();
+        }
+    }
+}
+
+void
+DomainScheduler::dispatchWindow(Tick limit)
+{
+    if (_threads.empty()) {
+        for (DomainId d = 0; d < numDomains(); ++d)
+            runOneDomain(d, limit);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _windowLimit = limit;
+        _cursor.store(0);
+        _working = _threads.size();
+        ++_generation;
+    }
+    _cvWork.notify_all();
+    std::unique_lock<std::mutex> lk(_mu);
+    _cvDone.wait(lk, [&] { return _working == 0; });
+}
+
+void
+DomainScheduler::throwStuck(const char *what, Tick head)
+{
+    guard::SimError err;
+    err.category = guard::ErrorCategory::NoProgress;
+    err.component = "shard.scheduler";
+    err.message = what;
+    err.tick = head == kTickNever ? 0 : head;
+    std::string diag;
+    for (const Domain &dom : _domains) {
+        diag += "  " + dom.name +
+                ": now=" + std::to_string(dom.q.now()) +
+                " pending=" + std::to_string(dom.q.pending()) +
+                " sent=" + std::to_string(dom.sent) +
+                " rx=" + std::to_string(dom.received) + "\n";
+    }
+    err.diagnostic = diag;
+    throw guard::SimErrorException(std::move(err));
+}
+
+Tick
+DomainScheduler::run()
+{
+    auto t_start = Clock::now();
+    startWorkers();
+    Tick lastHead = kTickNever;
+    std::uint64_t stuck = 0;
+    while (true) {
+        Tick head = kTickNever;
+        std::uint32_t busy = 0;
+        DomainId solo = 0;
+        for (Domain &dom : _domains) {
+            Tick h = dom.q.headTick();
+            if (h == kTickNever)
+                continue;
+            ++busy;
+            solo = dom.id;
+            head = std::min(head, h);
+        }
+        if (busy == 0)
+            break; // mailboxes are always drained before this check
+        if (busy == 1) {
+            runSolo(solo);
+        } else {
+            ++_totals.windows;
+            dispatchWindow(head + _p.lookahead - 1);
+        }
+        drainMailboxes();
+        if (_p.maxWallMs != 0 && elapsedMs(t_start) > _p.maxWallMs) {
+            guard::SimError err;
+            err.category = guard::ErrorCategory::WallClock;
+            err.component = "shard.scheduler";
+            err.message = "wall-clock budget exceeded (" +
+                          std::to_string(_p.maxWallMs) + " ms)";
+            err.tick = head;
+            throw guard::SimErrorException(std::move(err));
+        }
+        if (head == lastHead) {
+            if (++stuck >= _p.stuckWindows)
+                throwStuck("global head stuck across windows", head);
+        } else {
+            stuck = 0;
+            lastHead = head;
+        }
+    }
+    stopWorkers();
+    Tick end = 0;
+    for (const Domain &dom : _domains)
+        end = std::max(end, dom.q.now());
+    return end;
+}
+
+} // namespace fusion::shard

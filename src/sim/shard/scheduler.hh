@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Conservative-lookahead parallel domain scheduler.
+ *
+ * Classic conservative PDES over the shard Domain partition: every
+ * domain owns a private EventQueue, and the coordinator advances all
+ * domains in lockstep *windows*. With L the minimum cross-domain
+ * link latency (the lookahead) and H the global head tick, every
+ * event in [H, H + L - 1] is safe to execute without seeing a
+ * not-yet-sent cross-domain message: a message sent by an event at
+ * tick t >= H arrives no earlier than t + L >= H + L, which is past
+ * the window. So each window the workers run their claimed domains
+ * with runUntil(H + L - 1), cross-domain sends go into (src, dst)
+ * mailbox lanes, and at the window barrier the coordinator merges
+ * all lanes in (tick, priority, source domain, sequence) order and
+ * schedules them into the destination queues. The merge key is
+ * total, per-domain execution is single-threaded, and the window
+ * sequence is a pure function of queue state — so results are
+ * deterministic for any worker count (anchored by the property
+ * tests in tests/test_shard.cc).
+ *
+ * When only one domain has pending work the scheduler drops into a
+ * solo fast path: that domain runs on the coordinator thread with a
+ * dynamic limit of (earliest outgoing message + L - 1), which lets
+ * serial phases (e.g. host-only setup) proceed at full speed with
+ * no barrier churn.
+ *
+ * A per-domain watchdog runs at every barrier: a wall-clock budget
+ * plus a stuck-window detector (global head not advancing while
+ * work is pending), both throwing guard::SimErrorException with a
+ * per-domain snapshot — see docs/HARDENING.md.
+ */
+
+#ifndef FUSION_SIM_SHARD_SCHEDULER_HH
+#define FUSION_SIM_SHARD_SCHEDULER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/span_tracer.hh"
+#include "sim/event_queue.hh"
+#include "sim/shard/domain.hh"
+#include "sim/shard/mailbox.hh"
+#include "sim/types.hh"
+
+namespace fusion::shard
+{
+
+/** Parallel conservative-window engine (see file header). */
+class DomainScheduler
+{
+  public:
+    struct Params
+    {
+        /** Number of domains (>= 1; 1 degenerates to serial). */
+        std::uint32_t domains = 2;
+        /** Conservative lookahead: minimum cross-domain latency.
+         *  Cross sends with a smaller delay are rejected. */
+        Cycles lookahead = 3;
+        /** Worker threads; 0 = one per domain (capped at hardware
+         *  concurrency), 1 = run windows on the caller's thread. */
+        std::size_t workers = 0;
+        /** Wall-clock budget for run() in ms (0 = unlimited). */
+        std::uint64_t maxWallMs = 0;
+        /** Barriers with no global-head progress before the stuck
+         *  detector trips. */
+        std::uint64_t stuckWindows = std::uint64_t{1} << 20;
+        /** Record one ShardWindow span per (domain, window) into
+         *  per-domain rings (merged at export). */
+        bool traceWindows = false;
+        /** Ring capacity per domain when tracing windows. */
+        std::size_t traceLimit = 4096;
+    };
+
+    /** Engine-level counters (per-domain ones live on Domain). */
+    struct Totals
+    {
+        std::uint64_t windows = 0;     ///< parallel windows run
+        std::uint64_t soloWindows = 0; ///< solo fast-path stretches
+        std::uint64_t crossMessages = 0;
+        std::size_t maxDrainBatch = 0; ///< largest barrier merge
+    };
+
+    explicit DomainScheduler(const Params &p);
+    ~DomainScheduler();
+
+    DomainScheduler(const DomainScheduler &) = delete;
+    DomainScheduler &operator=(const DomainScheduler &) = delete;
+
+    std::uint32_t
+    numDomains() const
+    {
+        return static_cast<std::uint32_t>(_domains.size());
+    }
+
+    Cycles lookahead() const { return _p.lookahead; }
+
+    Domain &domain(DomainId d) { return _domains[d]; }
+    const Domain &domain(DomainId d) const { return _domains[d]; }
+
+    /** Domain @p d's queue: for setup-phase seeding and for
+     *  domain-local scheduling from inside that domain's events. */
+    EventQueue &queueOf(DomainId d) { return _domains[d].q; }
+
+    /**
+     * Cross-domain send from an event executing on domain @p src:
+     * deliver @p fn on domain @p dst, @p delay ticks after src's
+     * current tick. @p delay must be >= lookahead (the conservative
+     * window depends on it). A same-domain send short-circuits to a
+     * local scheduleIn — no mailbox, no barrier wait — which keeps
+     * logical-topology workloads mappable onto fewer physical
+     * domains.
+     */
+    template <typename F>
+    void
+    sendCross(DomainId src, DomainId dst, Cycles delay, F &&fn,
+              EventPriority pri = EventPriority::Default)
+    {
+        fusion_assert(src < numDomains() && dst < numDomains(),
+                      "sendCross: bad domain");
+        Domain &s = _domains[src];
+        if (src == dst) {
+            s.q.scheduleIn(delay, std::forward<F>(fn), pri);
+            return;
+        }
+        fusion_assert(delay >= _p.lookahead,
+                      "cross-domain delay ", delay,
+                      " below lookahead ", _p.lookahead);
+        Tick when = s.q.now() + delay;
+        _mail[src * numDomains() + dst].push(
+            ShardMsg(when, static_cast<int>(pri), src, s.outSeq++,
+                     EventFn(std::forward<F>(fn))));
+        ++s.sent;
+    }
+
+    /**
+     * Run windows until every domain queue and mailbox drains.
+     * @return the maximum domain clock (= tick of the last event).
+     */
+    Tick run();
+
+    const Totals &totals() const { return _totals; }
+
+    /** Sum of executed events across domains. */
+    std::uint64_t totalExecuted() const;
+
+    /** Per-domain window spans merged in (begin, domain, seq) order
+     *  (empty unless Params::traceWindows). */
+    std::vector<obs::SpanRecord> mergedWindowSpans() const;
+
+  private:
+    void runSolo(DomainId d);
+    void dispatchWindow(Tick limit);
+    void runOneDomain(DomainId d, Tick limit);
+    void drainMailboxes();
+    void startWorkers();
+    void stopWorkers();
+    void workerMain();
+    [[noreturn]] void throwStuck(const char *what, Tick head);
+
+    Params _p;
+    std::deque<Domain> _domains;
+    std::vector<Mailbox> _mail; ///< lane (src, dst) = src * N + dst
+
+    Totals _totals;
+
+    /** Barrier drain scratch (coordinator thread only). */
+    struct PendingMsg
+    {
+        DomainId dst;
+        ShardMsg msg;
+    };
+    std::vector<PendingMsg> _drain;
+    std::vector<ShardMsg> _laneScratch;
+
+    /** Worker pool: generation-counted window barrier. Workers claim
+     *  domains via the atomic cursor, run them to the window limit,
+     *  and the last finisher wakes the coordinator. All non-atomic
+     *  shared state (queues, mailboxes, the limit) is ordered by the
+     *  mutex handoffs, so the engine is TSAN-clean by construction. */
+    std::vector<std::thread> _threads;
+    std::mutex _mu;
+    std::condition_variable _cvWork;
+    std::condition_variable _cvDone;
+    std::uint64_t _generation = 0;
+    std::size_t _working = 0;
+    std::atomic<std::size_t> _cursor{0};
+    Tick _windowLimit = 0;
+    bool _shutdown = false;
+
+    /** Per-domain window span rings (traceWindows). */
+    std::vector<std::unique_ptr<obs::SpanTracer>> _tracers;
+};
+
+} // namespace fusion::shard
+
+#endif // FUSION_SIM_SHARD_SCHEDULER_HH

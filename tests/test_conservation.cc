@@ -21,7 +21,7 @@ namespace
 TEST(Conservation, LinkLedgerMatchesByteCounters)
 {
     trace::Program p = *buildProgram("adpcm", workloads::Scale::Small);
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     System sys(cfg, p);
     sys.run();
 
@@ -61,7 +61,7 @@ TEST(Conservation, DramAccessesMatchAcrossCachedSystems)
     std::vector<double> accesses;
     for (auto k : {SystemKind::Shared, SystemKind::Fusion,
                    SystemKind::FusionDx}) {
-        System sys(SystemConfig::paperDefault(k), p);
+        System sys(SystemConfig::preset(SystemConfig::Preset::Paper, k), p);
         sys.run();
         accesses.push_back(sys.ctx()
                                .stats.root()
@@ -78,7 +78,7 @@ TEST(Conservation, DramAccessesMatchAcrossCachedSystems)
 TEST(Conservation, TileRequestsMatchLinkMessages)
 {
     trace::Program p = *buildProgram("susan", workloads::Scale::Small);
-    System sys(SystemConfig::paperDefault(SystemKind::Fusion), p);
+    System sys(SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     RunResult r = sys.run();
     const auto &root = sys.ctx().stats.root();
     double misses = 0;
@@ -106,7 +106,7 @@ TEST(Conservation, MemOpsSeenEqualTraceLength)
     trace::Program p = *buildProgram("adpcm", workloads::Scale::Small);
     for (auto k : {SystemKind::Scratch, SystemKind::Shared,
                    SystemKind::Fusion}) {
-        System sys(SystemConfig::paperDefault(k), p);
+        System sys(SystemConfig::preset(SystemConfig::Preset::Paper, k), p);
         sys.run();
         const auto &root = sys.ctx().stats.root();
         double ops = 0;
@@ -135,9 +135,9 @@ TEST(Conservation, EnergyMonotoneInInputScale)
         *buildProgram("filter", workloads::Scale::Paper);
     for (auto k : {SystemKind::Scratch, SystemKind::Fusion}) {
         RunResult rs =
-            runProgram(SystemConfig::paperDefault(k), small);
+            runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, k), small);
         RunResult rp =
-            runProgram(SystemConfig::paperDefault(k), paper);
+            runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, k), paper);
         EXPECT_GT(rp.totalPj(), rs.totalPj());
         EXPECT_GT(rp.accelCycles, rs.accelCycles);
     }

@@ -37,7 +37,7 @@ TEST(EdgeCases, EmptyInvocationCompletesEverywhere)
 {
     trace::Program p = emptyInvocationProgram();
     for (auto k : allKinds()) {
-        RunResult r = runProgram(SystemConfig::paperDefault(k), p);
+        RunResult r = runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, k), p);
         EXPECT_EQ(r.funcCycles.at("nop"), 0u);
     }
 }
@@ -52,7 +52,7 @@ TEST(EdgeCases, ComputeOnlyInvocation)
     rec.end();
     trace::Program p = rec.take();
     for (auto k : allKinds()) {
-        RunResult r = runProgram(SystemConfig::paperDefault(k), p);
+        RunResult r = runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, k), p);
         // 440 ops at width 4 = 110 cycles, identical on every
         // system (no memory).
         EXPECT_EQ(r.funcCycles.at("calc"), 110u) << int(k);
@@ -69,7 +69,7 @@ TEST(EdgeCases, StoreOnlyInvocation)
     rec.end();
     trace::Program p = rec.take();
     for (auto k : allKinds()) {
-        RunResult r = runProgram(SystemConfig::paperDefault(k), p);
+        RunResult r = runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, k), p);
         EXPECT_GT(r.funcCycles.at("wr"), 0u);
         if (k == SystemKind::Scratch) {
             // Write-only windows DMA nothing in, everything out.
@@ -91,7 +91,7 @@ TEST(EdgeCases, SingleAcceleratorProgram)
     trace::Program p = rec.take();
     EXPECT_EQ(p.accelCount(), 1u);
     for (auto k : allKinds()) {
-        RunResult r = runProgram(SystemConfig::paperDefault(k), p);
+        RunResult r = runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, k), p);
         EXPECT_GT(r.accelCycles, 0u);
     }
 }
@@ -100,7 +100,7 @@ TEST(EdgeCases, DirectMappedTinyL0x)
 {
     trace::Program p =
         *buildProgram("adpcm", workloads::Scale::Small);
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.l0xBytes = 256; // 4 lines
     cfg.l0xAssoc = 1;
     RunResult r = runProgram(cfg, p);
@@ -112,7 +112,7 @@ TEST(EdgeCases, TinyL1xUnderLeasePressure)
 {
     trace::Program p =
         *buildProgram("adpcm", workloads::Scale::Small);
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.l1xBytes = 1024; // 16 lines, 8-way: 2 sets
     RunResult r = runProgram(cfg, p);
     EXPECT_GT(r.accelCycles, 0u);
@@ -123,7 +123,7 @@ TEST(EdgeCases, TinyScratchpadManyWindows)
 {
     trace::Program p =
         *buildProgram("filter", workloads::Scale::Small);
-    SystemConfig cfg = SystemConfig::paperDefault(
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, 
         SystemKind::Scratch);
     cfg.scratchpadBytes = 256; // 4 lines per window
     RunResult r = runProgram(cfg, p);
@@ -134,7 +134,7 @@ TEST(EdgeCases, TinyScratchpadManyWindows)
 TEST(EdgeCases, WriteThroughComposesWithDx)
 {
     trace::Program p = *buildProgram("fft", workloads::Scale::Small);
-    SystemConfig cfg = SystemConfig::paperDefault(
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, 
         SystemKind::FusionDx);
     cfg.l0xWriteThrough = true;
     RunResult r = runProgram(cfg, p);
@@ -151,7 +151,7 @@ TEST(EdgeCases, ExtremeLeaseLengthsComplete)
         for (auto &f : q.functions)
             f.leaseTime = lt;
         RunResult r = runProgram(
-            SystemConfig::paperDefault(SystemKind::Fusion), q);
+            SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), q);
         EXPECT_GT(r.accelCycles, 0u) << lt;
     }
 }
@@ -163,9 +163,9 @@ TEST(EdgeCases, MlpOneIsFullySerial)
     for (auto &f : serial.functions)
         f.mlp = 1;
     RunResult r1 = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), serial);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), serial);
     RunResult r8 = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     EXPECT_GE(r1.accelCycles, r8.accelCycles);
 }
 

@@ -31,7 +31,7 @@ struct GoldenRun
 };
 
 // Recorded from the seed (pre-TileFrontend) tree:
-//   fnv1a(runProgram(SystemConfig::paperDefault(kind),
+//   fnv1a(runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, kind),
 //                    *buildProgram(workload, Scale::Small)).toJson())
 //
 // Re-recorded once when the hash moved to the shared sim/hash.hh:
@@ -68,7 +68,7 @@ TEST_P(FrontendEquivalence, JsonByteIdenticalToSeed)
     const GoldenRun &g = GetParam();
     trace::Program p =
         *buildProgram(g.workload, workloads::Scale::Small);
-    RunResult r = runProgram(SystemConfig::paperDefault(g.kind), p);
+    RunResult r = runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, g.kind), p);
     EXPECT_EQ(fnv1a(r.toJson()), g.hash)
         << "serialized output for " << g.workload << "/"
         << systemKindName(g.kind)
@@ -90,29 +90,11 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
-// The preset() satellite: the deprecated forwarders must stay exact
-// synonyms of the new factory (same serialized config behavior).
-TEST(FrontendEquivalence, PresetMatchesDeprecatedForwarders)
-{
-    for (SystemKind k : kStaticSystemKinds) {
-        SystemConfig via_preset =
-            SystemConfig::preset(SystemConfig::Preset::Paper, k);
-        SystemConfig via_fwd = SystemConfig::paperDefault(k);
-        trace::Program p =
-            *buildProgram("adpcm", workloads::Scale::Small);
-        EXPECT_EQ(runProgram(via_preset, p).toJson(),
-                  runProgram(via_fwd, p).toJson())
-            << systemKindName(k);
-
-        SystemConfig big_preset =
-            SystemConfig::preset(SystemConfig::Preset::AxcLarge, k);
-        SystemConfig big_fwd = SystemConfig::axcLarge(k);
-        EXPECT_EQ(big_preset.l1xBytes, big_fwd.l1xBytes);
-        EXPECT_EQ(big_preset.l0xBytes, big_fwd.l0xBytes);
-        EXPECT_EQ(big_preset.scratchpadBytes,
-                  big_fwd.scratchpadBytes);
-    }
-}
+// The deprecated paperDefault/axcLarge forwarders were removed once
+// every call site moved to SystemConfig::preset (DESIGN.md
+// changelog records the removal, static_assert-style: code that
+// still names them now fails to compile rather than silently
+// diverging from the factory).
 
 } // namespace
 } // namespace fusion::core

@@ -238,7 +238,7 @@ class GuardedSystems : public ::testing::TestWithParam<SystemKind>
 TEST_P(GuardedSystems, HealthyRunUnchangedByGuards)
 {
     trace::Program p = smallProgram();
-    SystemConfig off = SystemConfig::paperDefault(GetParam());
+    SystemConfig off = SystemConfig::preset(SystemConfig::Preset::Paper, GetParam());
     SystemConfig on = off;
     on.guard = fullChecks();
 
@@ -267,7 +267,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GuardedSystems, CycleBudgetRecordedNotAborted)
 {
     trace::Program p = smallProgram();
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.guard.maxCycles = 200;
 
     RunResult r = core::runProgram(cfg, p);
@@ -291,7 +291,7 @@ TEST(GuardedSystems, CycleBudgetRecordedNotAborted)
 TEST(FaultInjection, LeakedMshrIsCaughtAsDeadlock)
 {
     trace::Program p = smallProgram();
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.guard.fault.kind = guard::FaultKind::LeakMshr;
 
     RunResult r = core::runProgram(cfg, p);
@@ -307,7 +307,7 @@ TEST(FaultInjection, LeakedMshrIsCaughtAsDeadlock)
 TEST(FaultInjection, CorruptLeaseTripsAccInvariant)
 {
     trace::Program p = smallProgram();
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.guard.fault.kind = guard::FaultKind::CorruptLease;
     cfg.guard.fault.delay = 1u << 20;
     cfg.guard.invariantPeriod = 1;
@@ -324,7 +324,7 @@ TEST(FaultInjection, CorruptLeaseTripsAccInvariant)
 TEST(FaultInjection, DroppedWritebackIsDetected)
 {
     trace::Program p = smallProgram();
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.guard.fault.kind = guard::FaultKind::DropWriteback;
     cfg.guard.invariantsAtEnd = true;
 
@@ -346,7 +346,7 @@ TEST(FaultInjection, DroppedWritebackIsDetected)
 TEST(FaultInjection, DelayedGrantIsDeterministic)
 {
     trace::Program p = smallProgram();
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.guard.fault.kind = guard::FaultKind::DelayGrant;
     cfg.guard.fault.delay = 4;
     cfg.guard.fault.triggerAfter = 5;
@@ -531,7 +531,7 @@ SystemConfig
 faultedConfig(SystemKind system, guard::FaultKind kind,
               std::uint64_t trigger_after = 0, Cycles delay = 0)
 {
-    SystemConfig cfg = SystemConfig::paperDefault(system);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, system);
     cfg.guard = fullChecks();
     cfg.guard.schedule.arm(kind, trigger_after, delay);
     return cfg;

@@ -25,7 +25,7 @@ TEST_P(MultiTile, RunsToCompletionOnEveryBenchmark)
         trace::Program p =
             *buildProgram(name, workloads::Scale::Small);
         SystemConfig cfg =
-            SystemConfig::paperDefault(SystemKind::Fusion);
+            SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
         cfg.numTiles = GetParam();
         RunResult r = runProgram(cfg, p);
         EXPECT_GT(r.accelCycles, 0u) << name;
@@ -40,7 +40,7 @@ TEST(MultiTileTopology, AcceleratorsArePartitioned)
 {
     trace::Program p =
         *buildProgram("disparity", workloads::Scale::Small);
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.numTiles = 2;
     System sys(cfg, p);
     ASSERT_EQ(sys.tiles().size(), 2u);
@@ -53,7 +53,7 @@ TEST(MultiTileTopology, AcceleratorsArePartitioned)
 TEST(MultiTileTopology, MoreTilesThanAcceleratorsClamps)
 {
     trace::Program p = *buildProgram("adpcm", workloads::Scale::Small);
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.numTiles = 16; // adpcm has 2 accelerators
     System sys(cfg, p);
     EXPECT_EQ(sys.tiles().size(), 2u);
@@ -67,7 +67,7 @@ TEST(MultiTile, SplittingSharersCostsHostTraffic)
     // across two tiles must push the shared lines through the host
     // LLC (inter-tile MESI forwards) instead of the tile L1X.
     trace::Program p = *buildProgram("adpcm", workloads::Scale::Small);
-    SystemConfig one = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig one = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     SystemConfig two = one;
     two.numTiles = 2;
     RunResult r1 = runProgram(one, p);
@@ -85,10 +85,10 @@ TEST(MultiTile, DxForwardingStaysIntraTile)
 {
     trace::Program p = *buildProgram("fft", workloads::Scale::Small);
     SystemConfig cfg =
-        SystemConfig::paperDefault(SystemKind::FusionDx);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::FusionDx);
     cfg.numTiles = 3; // splits the 6 FFT stages 2/2/2
     RunResult split = runProgram(cfg, p);
-    SystemConfig one = SystemConfig::paperDefault(
+    SystemConfig one = SystemConfig::preset(SystemConfig::Preset::Paper, 
         SystemKind::FusionDx);
     RunResult coloc = runProgram(one, p);
     // Cross-tile consumers cannot receive pushes.
@@ -99,7 +99,7 @@ TEST(MultiTile, OverlapComposesWithTiles)
 {
     trace::Program p =
         *buildProgram("disparity", workloads::Scale::Small);
-    SystemConfig cfg = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.numTiles = 2;
     cfg.overlapInvocations = true;
     RunResult r = runProgram(cfg, p);

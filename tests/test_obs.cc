@@ -191,7 +191,7 @@ core::RunResult
 runWith(core::SystemKind kind, const trace::Program &p,
         const ObsConfig &oc)
 {
-    core::SystemConfig cfg = core::SystemConfig::paperDefault(kind);
+    core::SystemConfig cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, kind);
     cfg.obs = oc;
     return core::runProgram(cfg, p);
 }
@@ -364,13 +364,13 @@ TEST(ObsSweep, ReportCarriesMetricsSummaryOnlyWhenSampled)
 {
     std::vector<sweep::SweepJob> jobs(2);
     jobs[0].cfg =
-        core::SystemConfig::paperDefault(core::SystemKind::Fusion);
+        core::SystemConfig::preset(core::SystemConfig::Preset::Paper, core::SystemKind::Fusion);
     jobs[0].workload = "adpcm";
     jobs[0].scale = workloads::Scale::Small;
     jobs[0].tag = "adpcm/FU";
     jobs[1] = jobs[0];
     jobs[1].cfg =
-        core::SystemConfig::paperDefault(core::SystemKind::Shared);
+        core::SystemConfig::preset(core::SystemConfig::Preset::Paper, core::SystemKind::Shared);
     jobs[1].tag = "adpcm/SH";
 
     auto plain = sweep::runSweep(jobs);

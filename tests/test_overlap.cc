@@ -111,7 +111,7 @@ TEST(InvocationDeps, TransitiveRawThroughReaders)
 TEST(Overlap, IndependentInvocationsRunConcurrently)
 {
     trace::Program p = chainAndIndependent();
-    core::SystemConfig serial = core::SystemConfig::paperDefault(
+    core::SystemConfig serial = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     core::SystemConfig overlap = serial;
     overlap.overlapInvocations = true;
@@ -139,7 +139,7 @@ TEST(Overlap, DependentChainStaysSerial)
     rec.end();
     trace::Program p = rec.take();
 
-    core::SystemConfig serial = core::SystemConfig::paperDefault(
+    core::SystemConfig serial = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     core::SystemConfig overlap = serial;
     overlap.overlapInvocations = true;
@@ -161,10 +161,10 @@ TEST(Overlap, SameAcceleratorSerializes)
         rec.end();
     }
     trace::Program p = rec.take();
-    core::SystemConfig overlap = core::SystemConfig::paperDefault(
+    core::SystemConfig overlap = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     overlap.overlapInvocations = true;
-    core::SystemConfig serial = core::SystemConfig::paperDefault(
+    core::SystemConfig serial = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     EXPECT_EQ(core::runProgram(overlap, p).accelCycles,
               core::runProgram(serial, p).accelCycles);
@@ -173,10 +173,10 @@ TEST(Overlap, SameAcceleratorSerializes)
 TEST(Overlap, ScratchIgnoresOverlapFlag)
 {
     trace::Program p = chainAndIndependent();
-    core::SystemConfig cfg = core::SystemConfig::paperDefault(
+    core::SystemConfig cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Scratch);
     cfg.overlapInvocations = true;
-    core::SystemConfig serial = core::SystemConfig::paperDefault(
+    core::SystemConfig serial = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Scratch);
     EXPECT_EQ(core::runProgram(cfg, p).accelCycles,
               core::runProgram(serial, p).accelCycles);
@@ -187,7 +187,7 @@ TEST(Overlap, DeterministicAndCompleteOnRealWorkloads)
     for (const char *name : {"disparity", "susan"}) {
         trace::Program p = *core::buildProgram(
             name, workloads::Scale::Small);
-        core::SystemConfig cfg = core::SystemConfig::paperDefault(
+        core::SystemConfig cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
             core::SystemKind::Fusion);
         cfg.overlapInvocations = true;
         core::RunResult a = core::runProgram(cfg, p);
@@ -208,7 +208,7 @@ TEST(Overlap, NeverSlowerThanSerial)
     for (const char *name : {"fft", "disparity", "histogram"}) {
         trace::Program p = *core::buildProgram(
             name, workloads::Scale::Small);
-        core::SystemConfig serial = core::SystemConfig::paperDefault(
+        core::SystemConfig serial = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
             core::SystemKind::Fusion);
         core::SystemConfig overlap = serial;
         overlap.overlapInvocations = true;

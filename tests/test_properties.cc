@@ -85,7 +85,7 @@ TEST_P(RandomPrograms, EverySystemCompletesAndBooksEnergy)
                       SystemKind::Fusion, SystemKind::FusionDx,
                       SystemKind::FusionMesi}) {
         RunResult r =
-            runProgram(SystemConfig::paperDefault(kind), p);
+            runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, kind), p);
         // Liveness: finished (run() panics on deadlock), took time,
         // every invocation attributed.
         EXPECT_GT(r.totalCycles, 0u);
@@ -104,7 +104,7 @@ TEST_P(RandomPrograms, DmaMovesAtLeastTheReadFootprint)
 {
     trace::Program p = randomProgram(GetParam());
     RunResult r = runProgram(
-        SystemConfig::paperDefault(SystemKind::Scratch), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Scratch), p);
     // The oracle never transfers less than each window's read set;
     // across the run, DMA bytes >= unique loaded lines once.
     std::uint64_t loaded_lines = 0;
@@ -157,7 +157,7 @@ TEST_P(RandomPrograms, FusionCyclesInsensitiveToLeaseScale)
         for (auto &f : q.functions)
             f.leaseTime = lt;
         RunResult r = runProgram(
-            SystemConfig::paperDefault(SystemKind::Fusion), q);
+            SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), q);
         EXPECT_GT(r.totalCycles, 0u);
     }
 }
@@ -171,9 +171,9 @@ TEST_P(RandomPrograms, ShortLeasesRaiseTileRequestTraffic)
     for (auto &f : longp.functions)
         f.leaseTime = 50000;
     RunResult rs = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), shortp);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), shortp);
     RunResult rl = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), longp);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), longp);
     EXPECT_GE(rs.l0xL1xCtrlMsgs, rl.l0xL1xCtrlMsgs);
 }
 

@@ -1,0 +1,591 @@
+/**
+ * @file
+ * Sharded event kernel (DESIGN.md §8) test suite.
+ *
+ * Three layers:
+ *
+ *  1. ShardDeterminism — the headline contract: a sharded run's
+ *     serialized RunResult is byte-identical to the serial kernel's,
+ *     for every static system kind, for any domain count, with the
+ *     hardening layer armed, with faults firing, and under the
+ *     randomized fault campaign's triage.
+ *  2. Router unit/property tests — the ordered router executes the
+ *     exact global (when, priority, sequence) order a single
+ *     EventQueue produces, and EventQueue::peekHead (the router's
+ *     window into each domain queue) always reports the key of the
+ *     event step() pops next.
+ *  3. DomainScheduler property tests — the threaded conservative-
+ *     window engine delivers cross-domain messages in the reference
+ *     merge order and produces worker-count-independent results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "sim/guard/campaign.hh"
+#include "sim/guard/sim_error.hh"
+#include "sim/shard/mailbox.hh"
+#include "sim/shard/router.hh"
+#include "sim/shard/scheduler.hh"
+
+namespace fusion
+{
+namespace
+{
+
+using core::RunResult;
+using core::SystemConfig;
+using core::SystemKind;
+
+RunResult
+runAt(SystemKind kind, std::uint32_t domains,
+      const trace::Program &prog)
+{
+    SystemConfig cfg =
+        SystemConfig::preset(SystemConfig::Preset::Paper, kind);
+    cfg.shardDomains = domains;
+    return core::runProgram(cfg, prog);
+}
+
+// ---------------------------------------------------------------
+// 1. End-to-end determinism.
+// ---------------------------------------------------------------
+
+class ShardDeterminism
+    : public ::testing::TestWithParam<SystemKind>
+{
+};
+
+TEST_P(ShardDeterminism, JsonByteIdenticalToSerial)
+{
+    SystemKind kind = GetParam();
+    trace::Program prog =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    std::string serial = runAt(kind, 1, prog).toJson();
+    for (std::uint32_t d : {2u, 4u}) {
+        EXPECT_EQ(serial, runAt(kind, d, prog).toJson())
+            << core::systemKindName(kind) << " diverged at "
+            << d << " domains";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ShardDeterminism,
+    ::testing::ValuesIn(std::begin(core::kStaticSystemKinds),
+                        std::end(core::kStaticSystemKinds)),
+    [](const auto &info) {
+        std::string name;
+        for (const char *c = core::systemKindName(info.param); *c;
+             ++c) {
+            if ((*c >= 'A' && *c <= 'Z') ||
+                (*c >= 'a' && *c <= 'z') ||
+                (*c >= '0' && *c <= '9'))
+                name += *c;
+        }
+        return name;
+    });
+
+TEST(ShardDeterminismTest, MultiTileFusionByteIdentical)
+{
+    // More tiles than domains and more domains than tiles both have
+    // to hold: the round-robin tile->domain map must not perturb
+    // ordering either way.
+    trace::Program prog =
+        *core::buildProgram("fft", workloads::Scale::Small);
+    for (std::uint32_t tiles : {2u, 4u}) {
+        SystemConfig cfg = SystemConfig::preset(
+            SystemConfig::Preset::Paper, SystemKind::Fusion);
+        cfg.numTiles = tiles;
+        std::string serial = core::runProgram(cfg, prog).toJson();
+        for (std::uint32_t d : {2u, 3u, 4u, 8u}) {
+            SystemConfig scfg = cfg;
+            scfg.shardDomains = d;
+            EXPECT_EQ(serial, core::runProgram(scfg, prog).toJson())
+                << tiles << " tiles diverged at " << d
+                << " domains";
+        }
+    }
+}
+
+TEST(ShardDeterminismTest, OverlappedInvocationsByteIdentical)
+{
+    trace::Program prog =
+        *core::buildProgram("fft", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::preset(
+        SystemConfig::Preset::Paper, SystemKind::Fusion);
+    cfg.numTiles = 2;
+    cfg.overlapInvocations = true;
+    std::string serial = core::runProgram(cfg, prog).toJson();
+    SystemConfig scfg = cfg;
+    scfg.shardDomains = 4;
+    EXPECT_EQ(serial, core::runProgram(scfg, prog).toJson());
+}
+
+TEST(ShardDeterminismTest, GuardedFaultRunByteIdentical)
+{
+    // The hardening layer rides the same facade: invariant sweeps
+    // and fault injections fire at identical steps, so a faulted
+    // sharded run reproduces the faulted serial run byte for byte.
+    trace::Program prog =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    SystemConfig cfg = SystemConfig::preset(
+        SystemConfig::Preset::Paper, SystemKind::Fusion);
+    cfg.guard.noProgressTicks = 1u << 20;
+    cfg.guard.invariantPeriod = 256;
+    cfg.guard.invariantsAtEnd = true;
+    cfg.guard.schedule.arm(guard::FaultKind::DelayGrant,
+                           /*trigger_after=*/2, /*delay=*/7);
+    cfg.guard.schedule.arm(guard::FaultKind::ReorderFlit,
+                           /*trigger_after=*/5, /*delay=*/4);
+    std::string serial = core::runProgram(cfg, prog).toJson();
+    SystemConfig scfg = cfg;
+    scfg.shardDomains = 4;
+    RunResult sharded = core::runProgram(scfg, prog);
+    EXPECT_EQ(serial, sharded.toJson());
+    EXPECT_GT(sharded.faultsFired, 0u);
+}
+
+TEST(ShardDeterminismTest, CampaignTriageIdentical)
+{
+    // A whole randomized fault campaign must triage every trial into
+    // the same outcome class (and hashes) at 4 domains as at 1.
+    guard::CampaignConfig cc;
+    cc.seed = 7;
+    cc.trials = 6;
+    cc.workloads = {"adpcm"};
+    cc.scale = workloads::Scale::Small;
+    guard::CampaignConfig cs = cc;
+    cs.shardDomains = 4;
+    guard::CampaignReport serial = guard::runCampaign(cc);
+    guard::CampaignReport sharded = guard::runCampaign(cs);
+    ASSERT_EQ(serial.trials.size(), sharded.trials.size());
+    for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+        EXPECT_EQ(serial.trials[i].outcome,
+                  sharded.trials[i].outcome)
+            << "trial " << i << " triaged differently";
+        EXPECT_EQ(serial.trials[i].resultHash,
+                  sharded.trials[i].resultHash)
+            << "trial " << i << " output hash differs";
+        EXPECT_EQ(serial.trials[i].cleanHash,
+                  sharded.trials[i].cleanHash);
+    }
+}
+
+TEST(ShardDeterminismTest, ScratchAndAutoDegradeToSerial)
+{
+    // SCRATCH has no asynchronous tile<->LLC edge and AUTO switches
+    // frontends across the partition: both run the serial kernel
+    // even when shardDomains > 1 (and still match, trivially).
+    trace::Program prog =
+        *core::buildProgram("adpcm", workloads::Scale::Small);
+    for (SystemKind k : {SystemKind::Scratch, SystemKind::Auto}) {
+        SystemConfig cfg =
+            SystemConfig::preset(SystemConfig::Preset::Paper, k);
+        core::System serial(cfg, prog);
+        EXPECT_FALSE(serial.ctx().eq.sharded());
+        SystemConfig scfg = cfg;
+        scfg.shardDomains = 4;
+        core::System sharded(scfg, prog);
+        EXPECT_FALSE(sharded.ctx().eq.sharded());
+    }
+    SystemConfig fcfg = SystemConfig::preset(
+        SystemConfig::Preset::Paper, SystemKind::Fusion);
+    fcfg.shardDomains = 4;
+    core::System fus(fcfg, prog);
+    EXPECT_TRUE(fus.ctx().eq.sharded());
+}
+
+TEST(ShardDeterminismTest, ZeroDomainsRejected)
+{
+    SystemConfig cfg = SystemConfig::preset(
+        SystemConfig::Preset::Paper, SystemKind::Fusion);
+    cfg.shardDomains = 0;
+    EXPECT_FALSE(cfg.validate().empty());
+}
+
+// ---------------------------------------------------------------
+// 2. Ordered router + peekHead.
+// ---------------------------------------------------------------
+
+TEST(ShardRouter, ExactOrderMatchesSerialQueue)
+{
+    // The same randomized closure program — events rescheduling
+    // further events with random (delta, priority) draws — must
+    // execute in the same order through a 3-domain router as through
+    // a plain EventQueue.
+    constexpr int kSeeds = 20;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+        auto runLog = [seed](bool sharded) {
+            SimContext ctx;
+            std::unique_ptr<shard::Router> router;
+            if (sharded)
+                router =
+                    std::make_unique<shard::Router>(ctx, 3u);
+            std::vector<int> log;
+            std::mt19937_64 rng(
+                static_cast<std::uint64_t>(seed));
+            int next_id = 0;
+            // Each event logs its id and spawns children until the
+            // budget runs out; children are scheduled through the
+            // facade, so under the router they land in whichever
+            // domain is current.
+            struct Spawner
+            {
+                SimContext &ctx;
+                shard::Router *router;
+                std::vector<int> &log;
+                std::mt19937_64 &rng;
+                int &next_id;
+                int budget;
+
+                void
+                spawn(int id)
+                {
+                    log.push_back(id);
+                    if (budget <= 0)
+                        return;
+                    int kids = static_cast<int>(rng() % 3);
+                    for (int k = 0; k < kids && budget > 0; ++k) {
+                        --budget;
+                        int cid = ++next_id;
+                        auto delta = static_cast<Cycles>(
+                            rng() % 90); // bucket + spill ranges
+                        auto pri = static_cast<EventPriority>(
+                            static_cast<int>(rng() % 3) * 10 -
+                            10);
+                        // Drawn in both modes so the rng streams
+                        // stay aligned; serial ignores it.
+                        auto dom = static_cast<shard::DomainId>(
+                            rng() % 3);
+                        auto fire = [this, cid] { spawn(cid); };
+                        if (router != nullptr) {
+                            // Hop to a random domain first: the
+                            // global order must not care which
+                            // queue holds an event.
+                            router->onDomain(dom, [&] {
+                                ctx.eq.scheduleIn(delta, fire,
+                                                  pri);
+                            });
+                        } else {
+                            ctx.eq.scheduleIn(delta, fire, pri);
+                        }
+                    }
+                }
+            };
+            Spawner sp{ctx,  router.get(), log,
+                       rng,  next_id,      /*budget=*/200};
+            for (int r = 0; r < 8; ++r) {
+                int id = ++next_id;
+                ctx.eq.scheduleIn(static_cast<Cycles>(rng() % 40),
+                                  [&sp, id] { sp.spawn(id); });
+            }
+            while (ctx.eq.step()) {
+            }
+            return log;
+        };
+        EXPECT_EQ(runLog(false), runLog(true))
+            << "order diverged for seed " << seed;
+    }
+}
+
+TEST(ShardRouter, CrossDeliveryTracksLookahead)
+{
+    SimContext ctx;
+    shard::Router router(ctx, 2u);
+    EXPECT_EQ(router.minCrossLatency(), kTickNever);
+    int fired = 0;
+    router.scheduleCross(1, /*when=*/5, /*latency=*/5,
+                         EventFn([&fired] { ++fired; }));
+    router.scheduleCross(0, /*when=*/9, /*latency=*/3,
+                         EventFn([&fired] { ++fired; }));
+    EXPECT_EQ(router.crossings(), 2u);
+    EXPECT_EQ(router.minCrossLatency(), 3);
+    while (ctx.eq.step()) {
+    }
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(router.totalExecuted(), 2u);
+}
+
+TEST(ShardRouter, PeekHeadMatchesPopOrder)
+{
+    // peekHead must always report exactly the key of the event the
+    // next step() executes, including across bucket/spill migration
+    // boundaries — the router's global merge depends on it.
+    std::mt19937_64 rng(99);
+    for (int round = 0; round < 10; ++round) {
+        EventQueue q;
+        int events = 120;
+        struct Key
+        {
+            Tick when;
+            int pri;
+            std::uint64_t seq;
+        };
+        std::vector<Key> peeked;
+        std::vector<Tick> fired_at;
+        auto seed_one = [&](Tick base) {
+            auto when =
+                base + static_cast<Tick>(rng() % 200);
+            auto pri = static_cast<EventPriority>(
+                static_cast<int>(rng() % 3) * 10 - 10);
+            q.schedule(when, [&fired_at, &q] {
+                fired_at.push_back(q.now());
+            }, pri);
+        };
+        for (int i = 0; i < events; ++i)
+            seed_one(0);
+        while (!q.empty()) {
+            Tick when = 0;
+            int pri = 0;
+            std::uint64_t seq = 0;
+            ASSERT_TRUE(q.peekHead(when, pri, seq));
+            EXPECT_EQ(when, q.headTick());
+            peeked.push_back(Key{when, pri, seq});
+            ASSERT_TRUE(q.step());
+            EXPECT_EQ(q.now(), when)
+                << "peeked tick was not the tick that executed";
+        }
+        // The peeked key sequence must be the sorted event order.
+        for (std::size_t i = 1; i < peeked.size(); ++i) {
+            const Key &a = peeked[i - 1];
+            const Key &b = peeked[i];
+            bool le = a.when < b.when ||
+                      (a.when == b.when &&
+                       (a.pri < b.pri ||
+                        (a.pri == b.pri && a.seq < b.seq)));
+            EXPECT_TRUE(le) << "peek order regressed at " << i;
+        }
+        EXPECT_EQ(fired_at.size(),
+                  static_cast<std::size_t>(events));
+    }
+}
+
+// ---------------------------------------------------------------
+// 3. Mailbox merge + DomainScheduler.
+// ---------------------------------------------------------------
+
+TEST(ShardMailbox, RandomizedDrainMatchesReferenceMerge)
+{
+    std::mt19937_64 rng(1234);
+    for (int round = 0; round < 50; ++round) {
+        std::uint32_t domains = 2 + rng() % 4;
+        std::vector<shard::Mailbox> lanes(domains * domains);
+        std::vector<shard::ShardMsg> reference;
+        std::vector<std::uint64_t> seq(domains, 0);
+        std::size_t n = 1 + rng() % 64;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto src =
+                static_cast<shard::DomainId>(rng() % domains);
+            auto dst =
+                static_cast<shard::DomainId>(rng() % domains);
+            auto when = static_cast<Tick>(rng() % 32);
+            int pri = static_cast<int>(rng() % 3) * 10 - 10;
+            lanes[src * domains + dst].push(shard::ShardMsg(
+                when, pri, src, seq[src], EventFn([] {})));
+            reference.emplace_back(when, pri, src, seq[src],
+                                   EventFn([] {}));
+            ++seq[src];
+        }
+        // Barrier drain: concatenate lanes (any lane order), sort.
+        std::vector<shard::ShardMsg> drained;
+        for (auto &lane : lanes)
+            lane.drainInto(drained);
+        std::sort(drained.begin(), drained.end(),
+                  shard::ShardMsgOrder{});
+        shard::referenceMerge(reference);
+        ASSERT_EQ(drained.size(), reference.size());
+        for (std::size_t i = 0; i < drained.size(); ++i) {
+            EXPECT_EQ(drained[i].when, reference[i].when);
+            EXPECT_EQ(drained[i].pri, reference[i].pri);
+            EXPECT_EQ(drained[i].src, reference[i].src);
+            EXPECT_EQ(drained[i].seq, reference[i].seq);
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * A deterministic synthetic workload for the parallel engine: each
+ * domain runs a self-rescheduling local chain and periodically sends
+ * cross-domain pings that respawn chains on the receiver. Every
+ * event appends (domain-local) to its domain's log, so two runs are
+ * comparable without any cross-thread state.
+ */
+struct SchedulerHarness
+{
+    shard::DomainScheduler &ds;
+    std::vector<std::vector<std::uint64_t>> logs;
+
+    explicit SchedulerHarness(shard::DomainScheduler &s)
+        : ds(s), logs(s.numDomains())
+    {
+    }
+
+    void
+    chain(shard::DomainId d, std::uint64_t tag, int steps,
+          int cross_every)
+    {
+        logs[d].push_back((tag << 8) | ds.queueOf(d).now() % 251);
+        if (steps <= 0)
+            return;
+        if (cross_every > 0 && steps % cross_every == 0) {
+            auto dst = static_cast<shard::DomainId>(
+                (d + 1) % ds.numDomains());
+            ds.sendCross(d, dst, ds.lookahead() + (tag % 3),
+                         [this, dst, tag, steps, cross_every] {
+                             chain(dst, tag * 31 + 7, steps - 1,
+                                   cross_every);
+                         });
+        }
+        ds.queueOf(d).scheduleIn(
+            1 + (tag % 4),
+            [this, d, tag, steps, cross_every] {
+                chain(d, tag + 1, steps - 1, cross_every);
+            });
+    }
+};
+
+} // namespace
+
+TEST(ShardScheduler, WorkerCountInvariant)
+{
+    // Identical seeding must give identical per-domain logs and
+    // totals for 1, 2 and 4 workers (and the worker==domain default).
+    auto runOnce = [](std::size_t workers) {
+        shard::DomainScheduler::Params p;
+        p.domains = 4;
+        p.lookahead = 3;
+        p.workers = workers;
+        shard::DomainScheduler ds(p);
+        SchedulerHarness h(ds);
+        for (shard::DomainId d = 0; d < 4; ++d) {
+            ds.queueOf(d).scheduleIn(
+                static_cast<Cycles>(1 + d), [&h, d] {
+                    h.chain(d, 1000 + d, /*steps=*/60,
+                            /*cross_every=*/5);
+                });
+        }
+        Tick end = ds.run();
+        return std::tuple(std::move(h.logs), end,
+                          ds.totalExecuted(),
+                          ds.totals().crossMessages);
+    };
+    auto [logs1, end1, exec1, cross1] = runOnce(1);
+    EXPECT_GT(cross1, 0u);
+    for (std::size_t w : {std::size_t{2}, std::size_t{4},
+                          std::size_t{0}}) {
+        auto [logs, end, exec, cross] = runOnce(w);
+        EXPECT_EQ(logs, logs1) << w << " workers diverged";
+        EXPECT_EQ(end, end1);
+        EXPECT_EQ(exec, exec1);
+        EXPECT_EQ(cross, cross1);
+    }
+}
+
+TEST(ShardScheduler, SameDomainSendShortCircuits)
+{
+    shard::DomainScheduler::Params p;
+    p.domains = 2;
+    p.workers = 1;
+    shard::DomainScheduler ds(p);
+    int fired = 0;
+    ds.queueOf(0).scheduleIn(1, [&ds, &fired] {
+        // delay below lookahead is legal for a same-domain send —
+        // it never crosses, so the conservative bound is irrelevant.
+        ds.sendCross(0, 0, 1, [&fired] { ++fired; });
+    });
+    ds.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(ds.totals().crossMessages, 0u);
+}
+
+TEST(ShardScheduler, SoloFastPathCountsWindows)
+{
+    // One busy domain: everything should run through the solo path
+    // with zero parallel windows and zero cross messages.
+    shard::DomainScheduler::Params p;
+    p.domains = 3;
+    p.workers = 1;
+    shard::DomainScheduler ds(p);
+    int fired = 0;
+    struct Chain
+    {
+        shard::DomainScheduler &ds;
+        int &fired;
+        void
+        go(int left)
+        {
+            ++fired;
+            if (left > 0)
+                ds.queueOf(0).scheduleIn(
+                    2, [this, left] { go(left - 1); });
+        }
+    } chain{ds, fired};
+    ds.queueOf(0).scheduleIn(1, [&chain] { chain.go(50); });
+    ds.run();
+    EXPECT_EQ(fired, 51);
+    EXPECT_EQ(ds.totals().windows, 0u);
+    EXPECT_GT(ds.totals().soloWindows, 0u);
+    EXPECT_EQ(ds.totals().crossMessages, 0u);
+}
+
+TEST(ShardScheduler, WallClockWatchdogTrips)
+{
+    shard::DomainScheduler::Params p;
+    p.domains = 2;
+    p.workers = 1;
+    p.maxWallMs = 1;
+    shard::DomainScheduler ds(p);
+    // Two domains ping-ponging forever: only the wall-clock budget
+    // can end this run.
+    struct Pong
+    {
+        shard::DomainScheduler &ds;
+        void
+        go(shard::DomainId d)
+        {
+            auto dst = static_cast<shard::DomainId>(1 - d);
+            ds.sendCross(d, dst, ds.lookahead(),
+                         [this, dst] { go(dst); });
+        }
+    } pong{ds};
+    ds.queueOf(0).scheduleIn(1, [&pong] { pong.go(0); });
+    EXPECT_THROW(ds.run(), guard::SimErrorException);
+}
+
+TEST(ShardScheduler, WindowSpansMergeSorted)
+{
+    shard::DomainScheduler::Params p;
+    p.domains = 3;
+    p.workers = 1;
+    p.traceWindows = true;
+    shard::DomainScheduler ds(p);
+    SchedulerHarness h(ds);
+    for (shard::DomainId d = 0; d < 3; ++d) {
+        ds.queueOf(d).scheduleIn(1, [&h, d] {
+            h.chain(d, 7 + d, /*steps=*/30, /*cross_every=*/4);
+        });
+    }
+    ds.run();
+    std::vector<obs::SpanRecord> spans = ds.mergedWindowSpans();
+    ASSERT_FALSE(spans.empty());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].kind, obs::SpanKind::ShardWindow);
+        if (i > 0) {
+            EXPECT_GE(spans[i].begin, spans[i - 1].begin)
+                << "merged spans out of order at " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace fusion

@@ -42,7 +42,7 @@ mixedJobs()
               core::SystemKind::Fusion,
               core::SystemKind::FusionDx}) {
             core::SweepJob j;
-            j.cfg = core::SystemConfig::paperDefault(kind);
+            j.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, kind);
             j.workload = name;
             j.scale = workloads::Scale::Small;
             j.tag = name + "/" + core::systemKindShortName(kind);
@@ -80,11 +80,11 @@ TEST(Sweep, MatchesDirectRunProgram)
     auto prog = core::buildProgram("adpcm", workloads::Scale::Small);
     ASSERT_TRUE(prog.has_value());
     core::RunResult direct = core::runProgram(
-        core::SystemConfig::paperDefault(core::SystemKind::Fusion),
+        core::SystemConfig::preset(core::SystemConfig::Preset::Paper, core::SystemKind::Fusion),
         *prog);
 
     core::SweepJob j;
-    j.cfg = core::SystemConfig::paperDefault(
+    j.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     j.workload = "adpcm";
     j.scale = workloads::Scale::Small;
@@ -104,7 +104,7 @@ TEST(Sweep, SharedPrebuiltProgramAcrossWorkers)
     std::vector<core::SweepJob> jobs;
     for (std::uint64_t l0x : {1024ull, 2048ull, 4096ull, 8192ull}) {
         core::SweepJob j;
-        j.cfg = core::SystemConfig::paperDefault(
+        j.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
             core::SystemKind::Fusion);
         j.cfg.l0xBytes = l0x;
         j.workload = "fft";
@@ -154,7 +154,7 @@ TEST(Sweep, EmptyJobListIsFine)
 TEST(Sweep, ReportJsonPairsJobsWithResults)
 {
     core::SweepJob j;
-    j.cfg = core::SystemConfig::paperDefault(
+    j.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Scratch);
     j.workload = "adpcm";
     j.scale = workloads::Scale::Small;
@@ -199,17 +199,17 @@ TEST(SystemConfig, ValidateAcceptsPaperDefaults)
          {core::SystemKind::Scratch, core::SystemKind::Shared,
           core::SystemKind::Fusion, core::SystemKind::FusionDx,
           core::SystemKind::FusionMesi}) {
-        EXPECT_TRUE(core::SystemConfig::paperDefault(kind)
+        EXPECT_TRUE(core::SystemConfig::preset(core::SystemConfig::Preset::Paper, kind)
                         .validate()
                         .empty());
         EXPECT_TRUE(
-            core::SystemConfig::axcLarge(kind).validate().empty());
+            core::SystemConfig::preset(core::SystemConfig::Preset::AxcLarge, kind).validate().empty());
     }
 }
 
 TEST(SystemConfig, ValidateCatchesMisconfiguration)
 {
-    core::SystemConfig cfg = core::SystemConfig::paperDefault(
+    core::SystemConfig cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     cfg.l0xBytes = 3000; // not a power of two
     cfg.l1xBanks = 0;
@@ -229,7 +229,7 @@ TEST(SystemConfig, ValidateCatchesMisconfiguration)
 
 TEST(SystemConfig, ValidateCatchesTinyCapacity)
 {
-    core::SystemConfig cfg = core::SystemConfig::paperDefault(
+    core::SystemConfig cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     cfg.l0xBytes = 128; // 2 lines, but 4-way: can't hold one set
     auto errs = cfg.validate();
@@ -257,7 +257,7 @@ TEST(Sweep, InvalidJobsDieBeforeSimulating)
 {
     std::vector<core::SweepJob> jobs;
     core::SweepJob j;
-    j.cfg = core::SystemConfig::paperDefault(
+    j.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     j.workload = "not-a-workload";
     j.scale = workloads::Scale::Small;
@@ -270,7 +270,7 @@ TEST(Sweep, InvalidJobsDieBeforeSimulating)
 TEST(Sweep, WriteReportFileRoundTrips)
 {
     core::SweepJob j;
-    j.cfg = core::SystemConfig::paperDefault(
+    j.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     j.workload = "adpcm";
     j.scale = workloads::Scale::Small;
@@ -297,7 +297,7 @@ TEST(Sweep, PoisonedJobIsIsolatedAndDeterministic)
     auto makeJobs = [] {
         std::vector<core::SweepJob> jobs;
         core::SweepJob a;
-        a.cfg = core::SystemConfig::paperDefault(
+        a.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
             core::SystemKind::Fusion);
         a.workload = "adpcm";
         a.scale = workloads::Scale::Small;
@@ -310,7 +310,7 @@ TEST(Sweep, PoisonedJobIsIsolatedAndDeterministic)
         jobs.push_back(bad);
 
         core::SweepJob c = a;
-        c.cfg = core::SystemConfig::paperDefault(
+        c.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
             core::SystemKind::Scratch);
         c.tag = "healthy/SC";
         jobs.push_back(c);
@@ -385,7 +385,7 @@ TEST(Sweep, FailedProgramBuildPoisonsOnlyItsJobs)
              {core::SystemKind::Fusion, core::SystemKind::Shared,
               core::SystemKind::Scratch}) {
             core::SweepJob bad;
-            bad.cfg = core::SystemConfig::paperDefault(kind);
+            bad.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, kind);
             bad.workload = "boom";
             bad.scale = workloads::Scale::Small;
             bad.tag = std::string("boom/") +
@@ -444,7 +444,7 @@ TEST(Sweep, DeterminismAnchorAcrossAllSystemKinds)
           core::SystemKind::Fusion, core::SystemKind::FusionDx,
           core::SystemKind::FusionMesi}) {
         core::SweepJob j;
-        j.cfg = core::SystemConfig::paperDefault(kind);
+        j.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, kind);
         j.workload = "adpcm";
         j.scale = workloads::Scale::Small;
         j.tag = core::systemKindShortName(kind);
@@ -461,7 +461,7 @@ TEST(RunResult, PerfIsOptInAndOffByDefault)
     auto prog = core::buildProgram("adpcm", workloads::Scale::Small);
     ASSERT_TRUE(prog.has_value());
     core::RunResult r = core::runProgram(
-        core::SystemConfig::paperDefault(core::SystemKind::Fusion),
+        core::SystemConfig::preset(core::SystemConfig::Preset::Paper, core::SystemKind::Fusion),
         *prog);
 
     // Every run measures wall-clock throughput...
@@ -488,7 +488,7 @@ TEST(RunResult, PerfIsOptInAndOffByDefault)
 TEST(Sweep, ReportPerfAggregateIsOptIn)
 {
     core::SweepJob j;
-    j.cfg = core::SystemConfig::paperDefault(
+    j.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     j.workload = "adpcm";
     j.scale = workloads::Scale::Small;
@@ -511,7 +511,7 @@ TEST(Sweep, ReportPerfAggregateIsOptIn)
 TEST(Sweep, ReportOmitsFailureFieldsWhenAllHealthy)
 {
     core::SweepJob j;
-    j.cfg = core::SystemConfig::paperDefault(
+    j.cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::Fusion);
     j.workload = "adpcm";
     j.scale = workloads::Scale::Small;

@@ -28,7 +28,7 @@ class AllSystems : public ::testing::TestWithParam<SystemKind>
 TEST_P(AllSystems, RunsToCompletion)
 {
     trace::Program p = smallProgram();
-    RunResult r = runProgram(SystemConfig::paperDefault(GetParam()),
+    RunResult r = runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, GetParam()),
                              p);
     EXPECT_GT(r.totalCycles, 0u);
     EXPECT_GT(r.accelCycles, 0u);
@@ -55,9 +55,9 @@ TEST(SystemIntegration, DeterministicAcrossRuns)
 {
     trace::Program p = smallProgram();
     RunResult a = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     RunResult b = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     EXPECT_EQ(a.totalCycles, b.totalCycles);
     EXPECT_DOUBLE_EQ(a.totalPj(), b.totalPj());
     EXPECT_EQ(a.l0xL1xCtrlMsgs, b.l0xL1xCtrlMsgs);
@@ -68,7 +68,7 @@ TEST(SystemIntegration, OnlyScratchUsesDma)
     trace::Program p = smallProgram();
     for (auto k : {SystemKind::Scratch, SystemKind::Shared,
                    SystemKind::Fusion}) {
-        RunResult r = runProgram(SystemConfig::paperDefault(k), p);
+        RunResult r = runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, k), p);
         if (k == SystemKind::Scratch) {
             EXPECT_GT(r.dmaOps, 0u);
             EXPECT_GT(r.dmaBytes, 0u);
@@ -88,9 +88,9 @@ TEST(SystemIntegration, FusionEliminatesInterAccelDma)
     // data traffic stays near the working set.
     trace::Program p = smallProgram("tracking");
     RunResult sc = runProgram(
-        SystemConfig::paperDefault(SystemKind::Scratch), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Scratch), p);
     RunResult fu = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     EXPECT_GT(sc.dmaBytes, sc.workingSetBytes);
     std::uint64_t fu_l2_bytes = fu.l1xL2DataMsgs * 72ull;
     EXPECT_LT(fu_l2_bytes, sc.dmaBytes);
@@ -101,7 +101,7 @@ TEST(SystemIntegration, FusionFiltersL1xAccesses)
     // Lesson 3: the L0X filters the great majority of accesses.
     trace::Program p = smallProgram();
     RunResult fu = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     std::uint64_t l1x_traffic = fu.l1xHits + fu.l1xMisses;
     EXPECT_LT(l1x_traffic * 4, p.memOpCount());
 }
@@ -110,7 +110,7 @@ TEST(SystemIntegration, SharedPaysPerAccessLinkTraffic)
 {
     trace::Program p = smallProgram();
     RunResult sh = runProgram(
-        SystemConfig::paperDefault(SystemKind::Shared), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Shared), p);
     // Every accelerator access crosses the AXC<->L1X link.
     EXPECT_GE(sh.l0xL1xCtrlMsgs + sh.l0xL1xDataMsgs,
               p.memOpCount());
@@ -122,7 +122,7 @@ TEST(SystemIntegration, HostFinalReadsForwardIntoTheTile)
     // requests answered via the AX-RMAP.
     trace::Program p = smallProgram();
     RunResult fu = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     EXPECT_GT(fu.fwdsToTile, 0u);
     EXPECT_GT(fu.axRmapLookups, 0u);
     EXPECT_GT(fu.axTlbLookups, 0u);
@@ -133,7 +133,7 @@ TEST(SystemIntegration, HostFinalReadsForwardIntoTheTile)
 TEST(SystemIntegration, WriteThroughMultipliesTileFlits)
 {
     trace::Program p = smallProgram();
-    SystemConfig wb = SystemConfig::paperDefault(SystemKind::Fusion);
+    SystemConfig wb = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     SystemConfig wt = wb;
     wt.l0xWriteThrough = true;
     RunResult rwb = runProgram(wb, p);
@@ -146,20 +146,20 @@ TEST(SystemIntegration, DxForwardsOnSharingWorkloads)
 {
     trace::Program p = smallProgram("fft");
     RunResult dx = runProgram(
-        SystemConfig::paperDefault(SystemKind::FusionDx), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::FusionDx), p);
     EXPECT_GT(dx.l0xForwards, 0u);
     EXPECT_GT(dx.l0xL0xDataMsgs, 0u);
     RunResult fu = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     EXPECT_EQ(fu.l0xForwards, 0u);
 }
 
 TEST(SystemIntegration, LargeConfigDoublesL1xCapacityCost)
 {
     trace::Program p = smallProgram();
-    SystemConfig small = SystemConfig::paperDefault(
+    SystemConfig small = SystemConfig::preset(SystemConfig::Preset::Paper, 
         SystemKind::Fusion);
-    SystemConfig large = SystemConfig::axcLarge(SystemKind::Fusion);
+    SystemConfig large = SystemConfig::preset(SystemConfig::Preset::AxcLarge, SystemKind::Fusion);
     EXPECT_EQ(large.l0xBytes, 2 * small.l0xBytes);
     EXPECT_EQ(large.l1xBytes, 4 * small.l1xBytes);
     RunResult rs = runProgram(small, p);
@@ -187,7 +187,7 @@ TEST(SystemIntegration, EnergyStackPartitionsTheLedger)
 {
     trace::Program p = smallProgram();
     RunResult r = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     EnergyStack s = energyStack(r);
     EXPECT_NEAR(s.total(), r.totalPj(), r.totalPj() * 1e-9);
     EXPECT_GT(s.localStorePj, 0.0);
@@ -203,9 +203,9 @@ TEST(SystemIntegration, MultiProcessTilePidIsolation)
     trace::Program p2 = smallProgram();
     p2.pid = 2;
     RunResult r1 = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p1);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p1);
     RunResult r2 = runProgram(
-        SystemConfig::paperDefault(SystemKind::Fusion), p2);
+        SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p2);
     EXPECT_EQ(r1.totalCycles, r2.totalCycles);
 }
 

@@ -121,7 +121,7 @@ TEST(TileMesi, EndToEndAllWorkloads)
         trace::Program p =
             *core::buildProgram(name, workloads::Scale::Small);
         core::RunResult r = core::runProgram(
-            core::SystemConfig::paperDefault(
+            core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
                 core::SystemKind::FusionMesi),
             p);
         EXPECT_GT(r.accelCycles, 0u) << name;
@@ -138,7 +138,7 @@ TEST(TileMesi, OverlapAmplifiesMesiTraffic)
     trace::Program p =
         *core::buildProgram("disparity", workloads::Scale::Small);
     auto run = [&](core::SystemKind k, bool overlap) {
-        auto cfg = core::SystemConfig::paperDefault(k);
+        auto cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, k);
         cfg.overlapInvocations = overlap;
         return core::runProgram(cfg, p);
     };
@@ -154,7 +154,7 @@ TEST(TileMesi, DeterministicRuns)
 {
     trace::Program p =
         *core::buildProgram("adpcm", workloads::Scale::Small);
-    auto cfg = core::SystemConfig::paperDefault(
+    auto cfg = core::SystemConfig::preset(core::SystemConfig::Preset::Paper, 
         core::SystemKind::FusionMesi);
     core::RunResult a = core::runProgram(cfg, p);
     core::RunResult b = core::runProgram(cfg, p);
