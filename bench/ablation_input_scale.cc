@@ -8,25 +8,6 @@
 
 #include "bench_util.hh"
 
-namespace
-{
-
-const char *
-scaleName(fusion::workloads::Scale s)
-{
-    switch (s) {
-      case fusion::workloads::Scale::Small:
-        return "small";
-      case fusion::workloads::Scale::Paper:
-        return "paper";
-      case fusion::workloads::Scale::Large:
-        return "large";
-    }
-    return "?";
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -55,7 +36,7 @@ main(int argc, char **argv)
         for (auto scale : kScales)
             for (auto kind : kKinds) {
                 auto j = bench::job(kind, name, scale);
-                j.tag += std::string("/") + scaleName(scale);
+                j.tag += std::string("/") + workloads::scaleName(scale);
                 jobs.push_back(std::move(j));
             }
     auto results =
@@ -80,7 +61,7 @@ main(int argc, char **argv)
                 scale == workloads::Scale::Small
                     ? bench::displayName(name).c_str()
                     : "",
-                scaleName(scale),
+                workloads::scaleName(scale),
                 static_cast<double>(sc.workingSetBytes) / 1024.0);
             for (std::size_t i = 1; i < nk; ++i) {
                 const core::RunResult &r = results[idx + i];

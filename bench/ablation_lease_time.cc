@@ -10,6 +10,8 @@
 
 #include "bench_util.hh"
 
+#include "sim/hash.hh"
+
 int
 main(int argc, char **argv)
 {
@@ -23,22 +25,29 @@ main(int argc, char **argv)
     const double kScales[] = {0.25, 0.5, 1.0, 2.0, 4.0, 16.0};
     const std::vector<std::string> kNames = {"adpcm", "fft",
                                              "susan"};
-    // Each LT point simulates a lease-rescaled copy of the trace;
-    // the mutated programs are attached to their jobs.
+    // Each LT point simulates a lease-rescaled copy of the trace.
+    // The rescale rides as a lazy SweepJob transform on a shared
+    // base program: the engine copies and mutates only when a point
+    // actually simulates, so cache hits skip the deep copy and the
+    // per-copy content hash entirely.
     std::vector<sweep::SweepJob> jobs;
     for (const auto &name : kNames) {
-        trace::Program prog = bench::mustBuild(name, opt.scale);
+        auto prog = std::make_shared<const trace::Program>(
+            bench::mustBuild(name, opt.scale));
         for (double s : kScales) {
-            auto scaled =
-                std::make_shared<trace::Program>(prog);
-            for (auto &f : scaled->functions) {
-                f.leaseTime = std::max<Cycles>(
-                    16, static_cast<Cycles>(
-                            static_cast<double>(f.leaseTime) * s));
-            }
             auto j = bench::job(kKind, name,
                                 opt.scale);
-            j.prog = std::move(scaled);
+            j.prog = prog;
+            j.transform = [s](trace::Program &p) {
+                for (auto &f : p.functions) {
+                    f.leaseTime = std::max<Cycles>(
+                        16,
+                        static_cast<Cycles>(
+                            static_cast<double>(f.leaseTime) * s));
+                }
+            };
+            j.transformId =
+                fnv1a("lease-scale/" + core::fmt(s, 2));
             j.tag += "/lt=" + core::fmt(s, 2);
             jobs.push_back(std::move(j));
         }

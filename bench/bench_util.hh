@@ -12,6 +12,14 @@
  *   --json FILE   also write the machine-readable SweepReport
  *   --guard       enable the hardening layer (watchdog + periodic
  *                 invariant checkers; docs/HARDENING.md)
+ *   --trace-dir / --cache-dir / --no-cache
+ *                 trace record/replay + content-addressed result
+ *                 cache (DESIGN.md §10). Caching is ON by default
+ *                 (.fusion-cache under the working directory, or
+ *                 $FUSION_CACHE_DIR); a re-run of an identical
+ *                 harness invocation replays completed results
+ *                 from disk instead of re-simulating. --no-cache
+ *                 restores the pre-cache behaviour byte for byte.
  *
  * Output is identical for every --jobs value: results land by
  * submission index regardless of completion order. When any sweep
@@ -26,7 +34,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,8 +47,11 @@
 #include "core/runner.hh"
 #include "obs/json_lint.hh"
 #include "obs/perfetto.hh"
+#include "obs/span_tracer.hh"
 #include "sim/logging.hh"
+#include "sweep/result_cache.hh"
 #include "trace/analysis.hh"
+#include "trace/store.hh"
 
 namespace fusion::bench
 {
@@ -65,6 +78,15 @@ struct Options
     std::uint32_t shardDomains = 1;
     /** --fault/--fault-seed: armed on every job (docs/HARDENING.md). */
     guard::FaultSchedule faults;
+    // Trace record/replay + result cache (DESIGN.md §10). Empty dirs
+    // mean "use the default location"; --no-cache disables both.
+    std::string traceDir; ///< --trace-dir override
+    std::string cacheDir; ///< --cache-dir override
+    bool noCache = false; ///< --no-cache: pre-cache behaviour
+    /** --cache-smoke (test-only): run the sweep twice against a
+     *  fresh private cache and assert the second pass is all hits
+     *  with a byte-identical report (the CacheBenchSmoke entry). */
+    bool cacheSmoke = false;
 
     bool telemetry() const
     {
@@ -72,6 +94,43 @@ struct Options
     }
     bool faultsArmed() const { return !faults.empty(); }
 };
+
+/**
+ * Effective result-cache directory: --cache-dir, else
+ * $FUSION_CACHE_DIR, else ".fusion-cache" under the working
+ * directory. Empty = caching disabled (--no-cache).
+ */
+inline std::string
+resolvedCacheDir(const Options &opt)
+{
+    if (opt.noCache)
+        return "";
+    if (!opt.cacheDir.empty())
+        return opt.cacheDir;
+    if (const char *env = std::getenv("FUSION_CACHE_DIR"))
+        if (*env != '\0')
+            return env;
+    return ".fusion-cache";
+}
+
+/**
+ * Effective trace-store directory: --trace-dir, else
+ * $FUSION_TRACE_DIR, else "traces" inside the cache directory.
+ * Empty = record/replay disabled (--no-cache).
+ */
+inline std::string
+resolvedTraceDir(const Options &opt)
+{
+    if (opt.noCache)
+        return "";
+    if (!opt.traceDir.empty())
+        return opt.traceDir;
+    if (const char *env = std::getenv("FUSION_TRACE_DIR"))
+        if (*env != '\0')
+            return env;
+    std::string cache = resolvedCacheDir(opt);
+    return cache.empty() ? "" : cache + "/traces";
+}
 
 inline void
 usage(const char *argv0)
@@ -113,7 +172,19 @@ usage(const char *argv0)
                 "               corrupt-dir, stale-host-l1; "
                 "docs/HARDENING.md)\n"
                 "  --fault-seed N         seed for probabilistic "
-                "fault draws\n",
+                "fault draws\n"
+                "  --cache-dir DIR        result-cache directory "
+                "(default .fusion-cache or\n"
+                "               $FUSION_CACHE_DIR); identical re-runs "
+                "replay results from disk\n"
+                "  --trace-dir DIR        trace record/replay "
+                "directory (default: traces/\n"
+                "               inside the cache dir, or "
+                "$FUSION_TRACE_DIR)\n"
+                "  --no-cache             disable trace replay and "
+                "the result cache\n"
+                "               (byte-identical to the pre-cache "
+                "harness behaviour)\n",
                 argv0, sweep::defaultJobs());
 }
 
@@ -235,6 +306,14 @@ parseArgs(int argc, char **argv,
                 fusion_fatal("--shard-domains must be >= 1");
             }
             opt.shardDomains = static_cast<std::uint32_t>(n);
+        } else if (a == "--trace-dir") {
+            opt.traceDir = next();
+        } else if (a == "--cache-dir") {
+            opt.cacheDir = next();
+        } else if (a == "--no-cache") {
+            opt.noCache = true;
+        } else if (a == "--cache-smoke") {
+            opt.cacheSmoke = true;
         } else if (a == "-h" || a == "--help") {
             usage(argv[0]);
             std::exit(0);
@@ -245,6 +324,27 @@ parseArgs(int argc, char **argv,
             fusion_fatal("unknown option: ", a);
         }
     }
+    // --cache-smoke isolates itself in a fresh private cache so the
+    // cold pass really is cold and nothing the user cares about is
+    // wiped; bench::runSweep removes it again afterwards.
+    if (opt.cacheSmoke) {
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        fs::path d = fs::temp_directory_path(ec);
+        if (ec)
+            d = ".";
+        d /= "fusion-cache-smoke-" +
+             std::to_string(static_cast<unsigned long>(::getpid()));
+        fs::remove_all(d, ec);
+        opt.noCache = false;
+        opt.cacheDir = d.string();
+        opt.traceDir.clear();
+    }
+    // Arm the global trace record/replay store here, before the
+    // harness builds any program: mustBuild() and the sweep engine's
+    // ProgramCache both route through core::buildProgram, so every
+    // build after this line is captured once and replayed from disk.
+    trace::setGlobalStoreDir(resolvedTraceDir(opt));
     return opt;
 }
 
@@ -356,8 +456,29 @@ runSweep(const char *sweepName,
         list = &guarded;
     }
 
+    // Content-addressed result cache (DESIGN.md §10): on by default,
+    // off via --no-cache. Telemetry- or fault-instrumented jobs are
+    // individually refused by ResultCache::cacheable, so armed
+    // flags never change what a cached entry means.
+    const std::string cacheDir = resolvedCacheDir(opt);
+    std::unique_ptr<sweep::ResultCache> cache;
+    if (!cacheDir.empty())
+        cache = std::make_unique<sweep::ResultCache>(cacheDir);
+    sweep::SweepCacheStats cstats;
+    // Cache probes become spans on a "result-cache" Perfetto process
+    // when both the cache and --trace-out are active.
+    std::shared_ptr<obs::SpanTracer> cacheSpans;
+    if (cache && !opt.traceOut.empty()) {
+        obs::ObsConfig oc;
+        oc.trace = true;
+        cacheSpans = std::make_shared<obs::SpanTracer>(oc);
+    }
+
     sweep::SweepOptions so;
     so.jobs = opt.jobs;
+    so.cache = cache.get();
+    so.cacheStats = cache ? &cstats : nullptr;
+    so.cacheSpans = cacheSpans.get();
     if (isatty(STDERR_FILENO)) {
         so.progress = [](const sweep::SweepProgress &p) {
             std::fprintf(stderr, "\r[%zu/%zu] %-32s", p.completed,
@@ -367,12 +488,47 @@ runSweep(const char *sweepName,
         };
     }
     auto results = core::runSweep(*list, so);
+
+    // --cache-smoke: replay the identical sweep against the cache
+    // just populated. Every cacheable point must hit, nothing may
+    // re-simulate, and the regenerated report (counters aside) must
+    // be byte-identical — including the wall-clock perf blocks,
+    // which warm runs replay from the stored entries.
+    if (opt.cacheSmoke && cache) {
+        sweep::SweepCacheStats warm;
+        sweep::SweepOptions so2;
+        so2.jobs = opt.jobs;
+        so2.cache = cache.get();
+        so2.cacheStats = &warm;
+        auto results2 = core::runSweep(*list, so2);
+        const std::string cold = sweep::reportJson(
+            sweepName, *list, results, /*includePerf=*/true);
+        const std::string rewarmed = sweep::reportJson(
+            sweepName, *list, results2, /*includePerf=*/true);
+        const bool pass = warm.misses == 0 && cold == rewarmed;
+        std::fprintf(stderr,
+                     "cache smoke: cold misses=%llu warm hits=%llu "
+                     "misses=%llu deduped=%llu report %s => %s\n",
+                     static_cast<unsigned long long>(cstats.misses),
+                     static_cast<unsigned long long>(warm.hits),
+                     static_cast<unsigned long long>(warm.misses),
+                     static_cast<unsigned long long>(warm.deduped),
+                     cold == rewarmed ? "identical" : "DIFFERS",
+                     pass ? "PASS" : "FAIL");
+        std::error_code ec;
+        std::filesystem::remove_all(cacheDir, ec);
+        if (!pass)
+            std::exit(2);
+    }
+
     if (!opt.jsonPath.empty()) {
         // Machine-readable reports carry the wall-clock "perf"
         // blocks (per run + sweep aggregate); terminal output and
-        // determinism tests never see them.
+        // determinism tests never see them. Cache counters ride
+        // along whenever the cache was consulted.
         sweep::writeReportFile(opt.jsonPath, sweepName, *list,
-                               results, /*includePerf=*/true);
+                               results, /*includePerf=*/true,
+                               cache ? &cstats : nullptr);
         std::fprintf(stderr, "sweep report written to %s\n",
                      opt.jsonPath.c_str());
     }
@@ -385,6 +541,11 @@ runSweep(const char *sweepName,
                 obs::TraceProcess{(*list)[i].tag, results[i].trace});
             if (results[i].trace)
                 spans += results[i].trace->retained();
+        }
+        if (cacheSpans && cacheSpans->retained() > 0) {
+            procs.push_back(
+                obs::TraceProcess{"result-cache", cacheSpans});
+            spans += cacheSpans->retained();
         }
         std::string err;
         if (!obs::writePerfettoFile(opt.traceOut, procs, &err))

@@ -47,6 +47,7 @@
 #include "accel/tile.hh"
 #include "core/runner.hh"
 #include "sim/logging.hh"
+#include "trace/store.hh"
 #include "vm/page_table.hh"
 
 // ---------------------------------------------------------------------
@@ -233,6 +234,19 @@ runWorkload(const std::string &workload, workloads::Scale scale,
     auto prog = core::buildProgram(workload, scale);
     if (!prog)
         fusion_fatal(core::unknownWorkloadMessage(workload));
+    if (trace::globalStore()) {
+        // Replay regression (--trace-dir): the build above recorded
+        // (or replayed) the trace; a second build must replay from
+        // disk and round-trip byte-exactly, so the measured runs
+        // below are simulating the very same program either way.
+        auto replayed = core::buildProgram(workload, scale);
+        fusion_assert(replayed && trace::serializeProgramPayload(
+                                      *replayed) ==
+                                      trace::serializeProgramPayload(
+                                          *prog),
+                      "trace replay of '", workload,
+                      "' is not byte-exact");
+    }
     auto cfg = core::SystemConfig::preset(
         core::SystemConfig::Preset::Paper,
         core::SystemKind::Fusion);
@@ -258,7 +272,8 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [--churn-ops N] [--workloads A,B,..] "
         "[--scale small|paper] [--repeat N] [--json FILE]\n"
-        "          [--compare FILE] [--assert-zero-alloc]\n"
+        "          [--compare FILE] [--assert-zero-alloc] "
+        "[--trace-dir DIR]\n"
         "  --churn-ops N        transactions per churn row "
         "(default 200000; 0 disables)\n"
         "  --workloads LIST     comma-separated end-to-end rows "
@@ -272,7 +287,10 @@ usage(const char *argv0)
         "  --compare FILE       print events/sec ratios vs a "
         "previous --json report\n"
         "  --assert-zero-alloc  fail if a churn row allocated on "
-        "the steady-state path\n",
+        "the steady-state path\n"
+        "  --trace-dir DIR      record/replay workload traces via "
+        "DIR and assert the\n"
+        "                       replayed trace is byte-exact\n",
         argv0);
 }
 
@@ -347,6 +365,8 @@ main(int argc, char **argv)
             comparePath = next();
         } else if (a == "--assert-zero-alloc") {
             assert_zero_alloc = true;
+        } else if (a == "--trace-dir") {
+            trace::setGlobalStoreDir(next());
         } else if (a == "-h" || a == "--help") {
             usage(argv[0]);
             return 0;

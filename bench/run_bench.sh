@@ -3,21 +3,26 @@
 # comparison at 1, 2 and 4 domains plus the micro_txn end-to-end
 # rows, and folds the per-run reports into one BENCH_kernel.json.
 #
-#   bench/run_bench.sh [BUILD_DIR] [OUT_JSON]
+#   bench/run_bench.sh [BUILD_DIR] [OUT_JSON] [CACHE_OUT_JSON]
 #
-# Defaults: BUILD_DIR=build, OUT_JSON=BENCH_kernel.json (in the
-# current directory). Shell + the bench binaries only — no python.
+# Defaults: BUILD_DIR=build, OUT_JSON=BENCH_kernel.json and
+# CACHE_OUT_JSON=BENCH_sweep_cache.json (in the current directory).
+# Shell + the bench binaries only — no python.
 # The per-domain events/sec come from the "perf" objects micro_kernel
 # --compare emits (the sharded side; "serialPerf" carries the serial
 # baseline), so the 4-vs-1 speedup is readable straight off the file.
+# BENCH_sweep_cache.json records the cold-vs-warm wall clock of one
+# identical sweep re-run against the result cache (DESIGN.md §10).
 set -eu
 
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_kernel.json}
+CACHE_OUT=${3:-BENCH_sweep_cache.json}
 
 KERNEL="$BUILD_DIR/bench/micro_kernel"
 TXN="$BUILD_DIR/bench/micro_txn"
-for bin in "$KERNEL" "$TXN"; do
+ABLATION="$BUILD_DIR/bench/ablation_lease_time"
+for bin in "$KERNEL" "$TXN" "$ABLATION"; do
     if [ ! -x "$bin" ]; then
         echo "run_bench.sh: $bin not built (cmake --build $BUILD_DIR)" >&2
         exit 1
@@ -59,3 +64,37 @@ echo "== micro_txn ==" >&2
 echo "" >> "$OUT"
 
 echo "wrote $OUT" >&2
+
+# Result-cache cold-vs-warm: the same sweep twice against a fresh
+# private cache. The first pass simulates and populates the cache;
+# the second replays every point from disk. date +%s%N is GNU
+# coreutils (nanoseconds), which the bench environments ship.
+CACHE_DIR="$TMP/result-cache"
+echo "== ablation_lease_time (cold) ==" >&2
+c0=$(date +%s%N)
+"$ABLATION" --small --jobs 2 --cache-dir "$CACHE_DIR" \
+    --json "$TMP/sweep_cold.json" >&2
+c1=$(date +%s%N)
+echo "== ablation_lease_time (warm) ==" >&2
+w0=$(date +%s%N)
+"$ABLATION" --small --jobs 2 --cache-dir "$CACHE_DIR" \
+    --json "$TMP/sweep_warm.json" >&2
+w1=$(date +%s%N)
+
+# Cache counters straight out of the warm report's "cache" object.
+WARM_CACHE=$(sed -n 's/.*"cache":{\([^}]*\)}.*/{\1}/p' \
+    "$TMP/sweep_warm.json")
+[ -n "$WARM_CACHE" ] || WARM_CACHE='{}'
+
+awk -v c0="$c0" -v c1="$c1" -v w0="$w0" -v w1="$w1" \
+    -v cache="$WARM_CACHE" 'BEGIN {
+    cold = (c1 - c0) / 1e9
+    warm = (w1 - w0) / 1e9
+    printf "{\"bench\":\"BENCH_sweep_cache\"," \
+           "\"harness\":\"ablation_lease_time --small --jobs 2\"," \
+           "\"coldSeconds\":%.3f,\"warmSeconds\":%.3f," \
+           "\"speedup\":%.2f,\"warmCache\":%s}\n",
+           cold, warm, (warm > 0 ? cold / warm : 0), cache
+}' > "$CACHE_OUT"
+
+echo "wrote $CACHE_OUT" >&2

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "energy/energy_ledger.hh"
+#include "sim/wire.hh"
 
 namespace fusion::core
 {
@@ -199,6 +200,188 @@ RunResult::toJson(bool include_perf) const
         os << ",\"error\":" << error->toJson();
     os << '}';
     return os.str();
+}
+
+namespace
+{
+
+/** Result-blob envelope magic ("Fusion RESult"). */
+constexpr std::string_view kResultMagic = "FRES";
+
+/** Decode bound on container sizes: a corrupted count must not
+ *  allocate unbounded memory even if it slipped past the envelope
+ *  hash (it cannot, but defense in depth is cheap). */
+constexpr std::uint64_t kMaxResultElems = 1ull << 24;
+
+void
+putMapWire(wire::Writer &w, const std::map<std::string, double> &m)
+{
+    w.u64(m.size());
+    for (const auto &[k, v] : m) {
+        w.str(k);
+        w.f64(v);
+    }
+}
+
+void
+putMapWire(wire::Writer &w,
+           const std::map<std::string, std::uint64_t> &m)
+{
+    w.u64(m.size());
+    for (const auto &[k, v] : m) {
+        w.str(k);
+        w.u64(v);
+    }
+}
+
+bool
+getMapWire(wire::Reader &r, std::map<std::string, double> &m)
+{
+    std::uint64_t n;
+    if (!r.u64(n) || n > kMaxResultElems)
+        return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string k;
+        double v;
+        if (!r.str(k) || !r.f64(v))
+            return false;
+        m.emplace(std::move(k), v);
+    }
+    return true;
+}
+
+bool
+getMapWire(wire::Reader &r, std::map<std::string, std::uint64_t> &m)
+{
+    std::uint64_t n;
+    if (!r.u64(n) || n > kMaxResultElems)
+        return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string k;
+        std::uint64_t v;
+        if (!r.str(k) || !r.u64(v))
+            return false;
+        m.emplace(std::move(k), v);
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+serializeResult(const RunResult &r)
+{
+    wire::Writer w;
+    w.str(r.workload);
+    w.u64(static_cast<std::uint64_t>(r.kind));
+    w.u64(r.totalCycles);
+    w.u64(r.accelCycles);
+    w.u64(r.dmaCycles);
+    putMapWire(w, r.energyPj);
+    putMapWire(w, r.funcCycles);
+    w.u64(r.invocationCycles.size());
+    for (std::uint64_t c : r.invocationCycles)
+        w.u64(c);
+    putMapWire(w, r.funcEnergyPj);
+    w.u64(r.l0xL1xCtrlMsgs);
+    w.u64(r.l0xL1xDataMsgs);
+    w.u64(r.l0xL1xFlits);
+    w.u64(r.l1xL2CtrlMsgs);
+    w.u64(r.l1xL2DataMsgs);
+    w.u64(r.l0xL0xDataMsgs);
+    w.u64(r.axTlbLookups);
+    w.u64(r.axRmapLookups);
+    w.u64(r.fwdsToTile);
+    w.u64(r.dmaOps);
+    w.u64(r.dmaBytes);
+    w.u64(r.workingSetBytes);
+    w.u64(r.l0xFills);
+    w.u64(r.l0xWritebacks);
+    w.u64(r.l0xForwards);
+    w.u64(r.l1xHits);
+    w.u64(r.l1xMisses);
+    w.u64(r.modeSwitches);
+    putMapWire(w, r.modeInvocations);
+    // Wall-clock perf of the run that produced the entry. Stored so
+    // a warm --json report (includePerf) stays byte-identical to the
+    // cold report it was cached from; two *cold* runs differ here
+    // anyway, so serving the recorded timing is the honest choice.
+    w.boolean(r.perf.has_value());
+    if (r.perf) {
+        w.f64(r.perf->hostSeconds);
+        w.u64(r.perf->events);
+        w.f64(r.perf->eventsPerSecond);
+    }
+    return wire::wrapPayload(kResultMagic, kResultBlobVersion,
+                             w.bytes());
+}
+
+bool
+deserializeResult(std::string_view bytes, RunResult &out,
+                  std::string *err)
+{
+    auto fail = [&](const char *why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    std::string_view payload;
+    if (!wire::unwrapPayload(kResultMagic, kResultBlobVersion, bytes,
+                             payload, err))
+        return false;
+    wire::Reader r(payload);
+    RunResult res;
+    std::uint64_t kind;
+    if (!r.str(res.workload) || !r.u64(kind))
+        return fail("truncated result header");
+    if (kind > static_cast<std::uint64_t>(SystemKind::Auto))
+        return fail("result kind out of range");
+    res.kind = static_cast<SystemKind>(kind);
+    if (!r.u64(res.totalCycles) || !r.u64(res.accelCycles) ||
+        !r.u64(res.dmaCycles))
+        return fail("truncated result cycles");
+    if (!getMapWire(r, res.energyPj) ||
+        !getMapWire(r, res.funcCycles))
+        return fail("truncated result maps");
+    std::uint64_t nInv;
+    if (!r.u64(nInv) || nInv > kMaxResultElems)
+        return fail("bad invocation count");
+    res.invocationCycles.reserve(static_cast<std::size_t>(nInv));
+    for (std::uint64_t i = 0; i < nInv; ++i) {
+        std::uint64_t c;
+        if (!r.u64(c))
+            return fail("truncated invocation cycles");
+        res.invocationCycles.push_back(c);
+    }
+    if (!getMapWire(r, res.funcEnergyPj))
+        return fail("truncated funcEnergyPj");
+    if (!r.u64(res.l0xL1xCtrlMsgs) || !r.u64(res.l0xL1xDataMsgs) ||
+        !r.u64(res.l0xL1xFlits) || !r.u64(res.l1xL2CtrlMsgs) ||
+        !r.u64(res.l1xL2DataMsgs) || !r.u64(res.l0xL0xDataMsgs) ||
+        !r.u64(res.axTlbLookups) || !r.u64(res.axRmapLookups) ||
+        !r.u64(res.fwdsToTile) || !r.u64(res.dmaOps) ||
+        !r.u64(res.dmaBytes) || !r.u64(res.workingSetBytes) ||
+        !r.u64(res.l0xFills) || !r.u64(res.l0xWritebacks) ||
+        !r.u64(res.l0xForwards) || !r.u64(res.l1xHits) ||
+        !r.u64(res.l1xMisses))
+        return fail("truncated result counters");
+    if (!r.u64(res.modeSwitches) ||
+        !getMapWire(r, res.modeInvocations))
+        return fail("truncated mode block");
+    bool hasPerf;
+    if (!r.boolean(hasPerf))
+        return fail("truncated perf flag");
+    if (hasPerf) {
+        RunPerf p;
+        if (!r.f64(p.hostSeconds) || !r.u64(p.events) ||
+            !r.f64(p.eventsPerSecond))
+            return fail("truncated perf block");
+        res.perf = p;
+    }
+    if (!r.done())
+        return fail("trailing bytes in result payload");
+    out = std::move(res);
+    return true;
 }
 
 } // namespace fusion::core

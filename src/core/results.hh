@@ -162,6 +162,31 @@ struct RunResult
     std::string toJson(bool include_perf = false) const;
 };
 
+/** On-disk RunResult blob version (sweep::ResultCache entries).
+ *  Bump on any serializeResult/toJson field change. */
+inline constexpr std::uint32_t kResultBlobVersion = 1;
+
+/**
+ * Serialize a *cacheable* RunResult as a self-validating binary blob
+ * ("FRES" envelope + FNV-1a payload hash). Covers exactly the fields
+ * a clean, telemetry-free run populates — workload, kind, every
+ * simulated metric, the AUTO-mode block, and the wall-clock perf
+ * block — such that deserializeResult() followed by toJson() is
+ * byte-identical to the original's toJson(). Failed runs (error),
+ * fault bookkeeping and telemetry payloads (metrics/trace/latency)
+ * are deliberately out of scope: the result cache refuses to store
+ * such runs (sweep::ResultCache::cacheable).
+ */
+std::string serializeResult(const RunResult &r);
+
+/**
+ * Decode a serializeResult() blob. Corruption-tolerant: returns
+ * false on any truncation, version or hash mismatch (reason in
+ * @p err when non-null) and leaves @p out untouched.
+ */
+bool deserializeResult(std::string_view bytes, RunResult &out,
+                       std::string *err = nullptr);
+
 } // namespace fusion::core
 
 #endif // FUSION_CORE_RESULTS_HH

@@ -94,10 +94,10 @@ hostProfile(const trace::Program &prog)
 std::optional<trace::Program>
 buildProgram(const std::string &workload, workloads::Scale scale)
 {
-    auto w = workloads::makeWorkload(workload);
-    if (!w)
-        return std::nullopt;
-    return w->build(scale);
+    // The record/replay seam lives in the workloads layer: when the
+    // global trace store is armed (bench --trace-dir), the build is
+    // captured once per (name, scale) and replayed from disk after.
+    return workloads::buildProgram(workload, scale);
 }
 
 std::string

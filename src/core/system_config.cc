@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <sstream>
+#include <type_traits>
 
 namespace fusion::core
 {
@@ -187,6 +189,127 @@ SystemConfig::validate() const
             "overlapInvocations is not supported");
 
     return errs;
+}
+
+namespace
+{
+
+/** Field-order FNV-1a mixer for canonicalHash(). */
+class ConfigHasher
+{
+  public:
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            _h ^= (v >> (8 * i)) & 0xff;
+            _h *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    mix(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    }
+
+    void mix(bool v) { mix(std::uint64_t{v ? 1u : 0u}); }
+
+    template <typename E>
+    std::enable_if_t<std::is_enum_v<E>>
+    mix(E v)
+    {
+        mix(static_cast<std::uint64_t>(v));
+    }
+
+    std::uint64_t digest() const { return _h; }
+
+  private:
+    std::uint64_t _h = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+std::uint64_t
+SystemConfig::canonicalHash() const
+{
+    // Fixed field order; append-only. Any semantic change here must
+    // bump kConfigHashVersion (the very first value mixed) so old
+    // result-cache entries miss instead of aliasing.
+    ConfigHasher h;
+    h.mix(std::uint64_t{kConfigHashVersion});
+    h.mix(kind);
+    h.mix(scratchpadBytes);
+    h.mix(l0xBytes);
+    h.mix(std::uint64_t{l0xAssoc});
+    h.mix(l0xRepl);
+    h.mix(l1xBytes);
+    h.mix(std::uint64_t{l1xAssoc});
+    h.mix(std::uint64_t{l1xBanks});
+    h.mix(l0xWriteThrough);
+    h.mix(llc.capacityBytes);
+    h.mix(std::uint64_t{llc.assoc});
+    h.mix(std::uint64_t{llc.nucaBanks});
+    h.mix(std::uint64_t{llc.bankLatency});
+    h.mix(std::uint64_t{llc.hopLatency});
+    h.mix(std::uint64_t{dram.channels});
+    h.mix(std::uint64_t{dram.cmdQueueDepth});
+    h.mix(std::uint64_t{dram.rowHitLatency});
+    h.mix(std::uint64_t{dram.rowMissLatency});
+    h.mix(std::uint64_t{dram.burstCycles});
+    h.mix(std::uint64_t{dram.rowBytes});
+    h.mix(dram.accessPj);
+    h.mix(std::uint64_t{hostCore.issueWidth});
+    h.mix(std::uint64_t{hostCore.maxOutstanding});
+    h.mix(std::uint64_t{hostCore.storeQueue});
+    h.mix(hostL1Bytes);
+    h.mix(std::uint64_t{hostL1Assoc});
+    h.mix(std::uint64_t{datapathWidth});
+    h.mix(std::uint64_t{accelStoreBuffer});
+    h.mix(overlapInvocations);
+    h.mix(std::uint64_t{numTiles});
+    h.mix(std::uint64_t{dmaMaxOutstanding});
+    // Hardening: watchdog budgets never change healthy output, but a
+    // tripped budget or an armed fault does — and a guarded run must
+    // never be served from an unguarded run's cache entry (or vice
+    // versa), so every guard knob participates.
+    h.mix(std::uint64_t{guard.maxCycles});
+    h.mix(guard.maxWallMs);
+    h.mix(std::uint64_t{guard.noProgressTicks});
+    h.mix(std::uint64_t{guard.invariantPeriod});
+    h.mix(guard.invariantsAtEnd);
+    h.mix(guard.fault.kind);
+    h.mix(guard.fault.triggerAfter);
+    h.mix(std::uint64_t{guard.fault.delay});
+    h.mix(guard.schedule.seed);
+    h.mix(std::uint64_t{guard.schedule.faults.size()});
+    for (const guard::ArmedFault &f : guard.schedule.faults) {
+        h.mix(f.kind);
+        h.mix(f.triggerAfter);
+        h.mix(std::uint64_t{f.delay});
+        h.mix(f.probability);
+    }
+    // Telemetry knobs change the serialized RunResult (metrics,
+    // latency, spans), so they are part of the identity too.
+    h.mix(obs.trace);
+    h.mix(std::uint64_t{obs.traceKindMask});
+    h.mix(std::uint64_t{obs.traceLimit});
+    h.mix(std::uint64_t{obs.metricsInterval});
+    h.mix(orchestrator.policy);
+    h.mix(orchestrator.staticMode);
+    h.mix(orchestrator.epsilon);
+    h.mix(orchestrator.rngSeed);
+    h.mix(std::uint64_t{orchestrator.minDwell});
+    h.mix(std::uint64_t{orchestrator.switchFixedCycles});
+    h.mix(std::uint64_t{orchestrator.switchCyclesPerLine});
+    h.mix(orchestrator.switchPjPerLine);
+    h.mix(orchestrator.dxForwardFraction);
+    h.mix(orchestrator.scratchFootprintRatio);
+    h.mix(std::uint64_t{shardDomains});
+    return h.digest();
 }
 
 SystemConfig

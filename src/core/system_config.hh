@@ -189,6 +189,25 @@ struct SystemConfig
      *  (The deprecated paperDefault/axcLarge forwarders are gone;
      *  see the DESIGN.md changelog.) */
     static SystemConfig preset(Preset preset, SystemKind kind);
+
+    /**
+     * Stable identity of this configuration: FNV-1a over every
+     * user-settable knob in a fixed, documented field order
+     * (DESIGN.md §10). Two configs hash equal iff they would
+     * configure identical systems — the hash is value-based, so a
+     * field left at its default and a field explicitly assigned the
+     * default value are indistinguishable, and it is independent of
+     * construction order, process, and platform. Together with the
+     * trace content hash it keys the sweep result cache
+     * (sweep::ResultCache), so EVERY knob that can change simulated
+     * output must be folded in; tests/test_result_cache.cc walks
+     * all of them. kConfigHashVersion salts the hash — bump it when
+     * adding a field so stale cache entries can never alias.
+     */
+    std::uint64_t canonicalHash() const;
+
+    /** Salt/version of canonicalHash(); bump on any field change. */
+    static constexpr std::uint32_t kConfigHashVersion = 1;
 };
 
 /** CLI spelling of a preset ("paper", "axc-large"). */

@@ -40,6 +40,7 @@ enum class SpanKind : std::uint8_t
     LinkMsg,    ///< message traversing an interconnect link
     ModeSwitch, ///< orchestrator coherence-mode transition (AUTO)
     ShardWindow, ///< one conservative-lookahead window of a domain
+    CacheLookup, ///< sweep result-cache probe (hit/miss/dedup track)
     NumKinds,
 };
 

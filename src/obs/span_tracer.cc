@@ -18,7 +18,7 @@ namespace
 constexpr const char *kKindNames[] = {
     "invocation", "access",   "lease", "mesi_req",
     "llc_req",    "host_fwd", "dma",   "link_msg",
-    "mode_switch", "shard_window",
+    "mode_switch", "shard_window", "cache_lookup",
 };
 
 static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==

@@ -60,7 +60,7 @@ class Debug
      * DPRINTFN call sites.
      */
     static constexpr const char *kKnownCategories[] = {
-        "ACC", "MESI", "OBS",
+        "ACC", "MESI", "OBS", "CACHE",
     };
 
     /** Enable one category by name ("ACC", "MESI", "OBS", ...). */

@@ -1,0 +1,203 @@
+#include "sweep/result_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace fusion::sweep
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Default size cap when FUSION_CACHE_MAX_BYTES is unset: 256 MiB. */
+constexpr std::uint64_t kDefaultMaxBytes = 256ull * 1024 * 1024;
+
+std::uint64_t
+resolveMaxBytes(std::uint64_t requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char *env = std::getenv("FUSION_CACHE_MAX_BYTES")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return v;
+        fusion_warn("ignoring malformed FUSION_CACHE_MAX_BYTES='",
+                    env, "'");
+    }
+    return kDefaultMaxBytes;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir, std::uint64_t maxBytes)
+    : _dir(std::move(dir)),
+      _versionDir(_dir + "/v" +
+                  std::to_string(core::kResultBlobVersion)),
+      _maxBytes(resolveMaxBytes(maxBytes))
+{
+}
+
+std::string
+ResultCache::path(const CacheKey &key) const
+{
+    return _versionDir + "/" + hex16(key.configHash) + "-" +
+           hex16(key.traceHash) + ".res";
+}
+
+std::optional<core::RunResult>
+ResultCache::lookup(const CacheKey &key)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    const std::string p = path(key);
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+        ++_stats.misses;
+        return std::nullopt;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    core::RunResult r;
+    std::string err;
+    if (!core::deserializeResult(bytes, r, &err)) {
+        // A bad entry is a miss, never a failure — delete it so the
+        // rerun can rewrite the slot with a healthy blob.
+        DPRINTFN("CACHE", "result cache: ", p, " rejected (", err,
+                 "); deleted");
+        ++_stats.misses;
+        ++_stats.corrupt;
+        std::error_code ec;
+        fs::remove(p, ec);
+        return std::nullopt;
+    }
+    ++_stats.hits;
+    // Re-touch for LRU eviction; best-effort (a failed touch only
+    // ages the entry, it cannot corrupt anything).
+    std::error_code ec;
+    fs::last_write_time(p, fs::file_time_type::clock::now(), ec);
+    DPRINTFN("CACHE", "result cache hit: ", p);
+    return r;
+}
+
+void
+ResultCache::store(const CacheKey &key, const core::RunResult &result)
+{
+    // Never cache failures: a tripped watchdog or build error must
+    // re-run next time, not re-fail instantly from disk.
+    if (result.failed())
+        return;
+    std::lock_guard<std::mutex> lk(_mu);
+    std::error_code ec;
+    fs::create_directories(_versionDir, ec);
+    const std::string dst = path(key);
+    // Atomic publish (same discipline as trace::TraceStore): private
+    // temp file then rename, so concurrent processes sharing this
+    // directory never read a torn entry.
+    const std::string tmp =
+        dst + ".tmp." +
+        std::to_string(static_cast<unsigned long>(::getpid())) + "." +
+        std::to_string(_tmpSeq++);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (out)
+            out << core::serializeResult(result);
+        if (!out) {
+            if (!_warned) {
+                _warned = true;
+                fusion_warn("result cache: cannot write ", tmp,
+                            " (caching disabled for this entry)");
+            }
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, dst, ec);
+    if (ec) {
+        if (!_warned) {
+            _warned = true;
+            fusion_warn("result cache: cannot publish ", dst, ": ",
+                        ec.message());
+        }
+        fs::remove(tmp, ec);
+        return;
+    }
+    ++_stats.stores;
+    DPRINTFN("CACHE", "result cache store: ", dst);
+    evictLocked();
+}
+
+void
+ResultCache::evictLocked()
+{
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::uint64_t size = 0;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(_versionDir, ec)) {
+        if (de.path().extension() != ".res")
+            continue;
+        std::error_code fec;
+        const std::uint64_t sz = de.file_size(fec);
+        if (fec)
+            continue;
+        const fs::file_time_type mt = de.last_write_time(fec);
+        if (fec)
+            continue;
+        entries.push_back({de.path(), mt, sz});
+        total += sz;
+    }
+    if (ec || total <= _maxBytes)
+        return;
+    // Oldest first: hits re-touch their entry, so mtime order is
+    // (approximate, fs-granularity) LRU order.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Entry &e : entries) {
+        if (total <= _maxBytes)
+            break;
+        std::error_code rec;
+        if (fs::remove(e.path, rec) && !rec) {
+            total -= e.size;
+            ++_stats.evictions;
+            DPRINTFN("CACHE", "result cache evict: ",
+                     e.path.string());
+        }
+    }
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _stats;
+}
+
+} // namespace fusion::sweep

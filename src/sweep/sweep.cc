@@ -5,11 +5,17 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
+#include "core/runner.hh"
 #include "core/system.hh"
+#include "obs/span_tracer.hh"
+#include "sim/hash.hh"
 #include "sim/logging.hh"
+#include "sweep/result_cache.hh"
+#include "trace/store.hh"
 
 namespace fusion::sweep
 {
@@ -46,12 +52,15 @@ class ProgramCache
         }
         if (builder) {
             try {
-                auto w = workloads::makeWorkload(workload);
-                fusion_assert(w,
+                // core::buildProgram is the record/replay seam: when
+                // a global trace store is armed (--trace-dir), the
+                // build is captured once and replayed from disk.
+                auto built = core::buildProgram(workload, scale);
+                fusion_assert(built,
                               "sweep job validated but workload '",
                               workload, "' vanished");
                 auto prog = std::make_shared<const trace::Program>(
-                    w->build(scale));
+                    std::move(*built));
                 {
                     std::lock_guard<std::mutex> lk(slot->mu);
                     slot->prog = std::move(prog);
@@ -119,6 +128,16 @@ validateJobs(const std::vector<SweepJob> &jobs)
                 errs << ' ' << n;
             errs << ')';
         }
+        if (static_cast<bool>(j.transform) !=
+            (j.transformId != 0)) {
+            bad = true;
+            errs << "\n  " << label()
+                 << (j.transform
+                         ? ": transform set but transformId is 0 "
+                           "(would alias the untransformed trace "
+                           "in the result cache)"
+                         : ": transformId set without a transform");
+        }
         for (const std::string &e : j.cfg.validate()) {
             bad = true;
             errs << "\n  " << label() << ": " << e;
@@ -143,6 +162,8 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opt)
     validateJobs(jobs);
 
     std::vector<core::RunResult> results(jobs.size());
+    if (opt.cacheStats)
+        *opt.cacheStats = SweepCacheStats{};
     if (jobs.empty())
         return results;
 
@@ -150,6 +171,135 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opt)
     std::atomic<std::size_t> next{0};
     std::mutex progressMu;
     std::size_t completed = 0;
+
+    // Result-cache plumbing; all of it is inert when opt.cache is
+    // null, keeping the engine byte-identical to its pre-cache form.
+    SweepCacheStats cstats;
+    std::mutex cacheMu; // counters, span marks, hash memo, dedupe map
+    // Program content hashes, memoized per shared program instance
+    // (jobs sharing one build hash it once).
+    std::map<const trace::Program *, std::uint64_t> progHashes;
+    // In-flight dedupe: identical (config, trace) jobs in the same
+    // sweep share one simulation via a builder/waiter slot, same
+    // discipline as ProgramCache.
+    struct DedupSlot
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool claimed = false; ///< guarded by cacheMu
+        bool done = false;    ///< guarded by mu
+        core::RunResult result;
+    };
+    std::map<CacheKey, std::shared_ptr<DedupSlot>> dedup;
+
+    std::uint32_t hitTrack = 0, missTrack = 0, dedupTrack = 0,
+                  bypassTrack = 0;
+    obs::SpanTracer *spans = opt.cache ? opt.cacheSpans : nullptr;
+    if (spans) {
+        hitTrack = spans->registerTrack("cache.hit");
+        missTrack = spans->registerTrack("cache.miss");
+        dedupTrack = spans->registerTrack("cache.dedup");
+        // Jobs the cache refuses (telemetry or faults armed) are
+        // marked too, so a --trace-out export still shows the cache
+        // decision for every sweep point.
+        bypassTrack = spans->registerTrack("cache.bypass");
+    }
+    // Callers hold cacheMu.
+    auto mark = [&](std::uint32_t track, std::size_t index) {
+        if (spans)
+            spans->complete(track, obs::SpanKind::CacheLookup,
+                            static_cast<Addr>(index), 0, 0);
+    };
+
+    auto hashOf =
+        [&](const std::shared_ptr<const trace::Program> &p) {
+            std::lock_guard<std::mutex> lk(cacheMu);
+            auto [it, inserted] = progHashes.try_emplace(p.get(), 0);
+            if (inserted)
+                it->second = trace::programHash(*p);
+            return it->second;
+        };
+    // Trace identity of a job: the base program's content hash,
+    // folded with the transform identity when one is attached. The
+    // transformed program itself is never hashed — that is the point
+    // of lazy transforms (a cache hit skips the copy entirely).
+    auto traceHashOf =
+        [&](const SweepJob &j,
+            const std::shared_ptr<const trace::Program> &p) {
+            std::uint64_t h = hashOf(p);
+            if (j.transform) {
+                unsigned char b[16];
+                for (int k = 0; k < 8; ++k) {
+                    b[k] = static_cast<unsigned char>(h >> (8 * k));
+                    b[8 + k] = static_cast<unsigned char>(
+                        j.transformId >> (8 * k));
+                }
+                h = fnv1a({reinterpret_cast<const char *>(b),
+                           sizeof(b)});
+            }
+            return h;
+        };
+
+    // One isolated simulation; every failure mode becomes a failed
+    // result so a poisoned job never takes down sibling jobs.
+    auto simulate = [](const SweepJob &j,
+                       const trace::Program &prog) {
+        core::RunResult res;
+        try {
+            // Each job gets its own System and therefore its own
+            // SimContext/event queue: no state crosses jobs.
+            core::System sys(j.cfg, prog);
+            try {
+                res = sys.run();
+            } catch (const guard::SimErrorException &ex) {
+                res = core::RunResult{};
+                res.workload = j.workload;
+                res.kind = j.cfg.kind;
+                res.error = ex.error();
+                res.faultsFired = sys.ctx().guard.faultsFired();
+                res.faultFiredMask = sys.ctx().guard.firedFaultMask();
+            }
+        } catch (const guard::SimErrorException &ex) {
+            res = core::RunResult{};
+            res.workload = j.workload;
+            res.kind = j.cfg.kind;
+            res.error = ex.error();
+        } catch (const std::exception &ex) {
+            res = core::RunResult{};
+            res.workload = j.workload;
+            res.kind = j.cfg.kind;
+            guard::SimError e;
+            e.category = guard::ErrorCategory::Internal;
+            e.component = "sweep-worker";
+            e.message = ex.what();
+            res.error = std::move(e);
+        }
+        return res;
+    };
+
+    // simulate() plus the lazy transform copy. Never throws: a
+    // transform failure becomes a failed result so the builder of a
+    // dedupe slot always publishes and waiters never hang.
+    auto runJob = [&](const SweepJob &j,
+                      const trace::Program &base) {
+        if (!j.transform)
+            return simulate(j, base);
+        try {
+            trace::Program copy(base);
+            j.transform(copy);
+            return simulate(j, copy);
+        } catch (const std::exception &ex) {
+            core::RunResult res;
+            res.workload = j.workload;
+            res.kind = j.cfg.kind;
+            guard::SimError e;
+            e.category = guard::ErrorCategory::Internal;
+            e.component = "sweep-transform";
+            e.message = ex.what();
+            res.error = std::move(e);
+            return res;
+        }
+    };
 
     auto worker = [&] {
         for (;;) {
@@ -161,26 +311,72 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opt)
                 std::shared_ptr<const trace::Program> prog =
                     j.prog ? j.prog
                            : cache.get(j.workload, j.scale);
-                // Each job gets its own System and therefore its
-                // own SimContext/event queue: no state crosses
-                // jobs.
-                core::System sys(j.cfg, *prog);
-                try {
-                    results[i] = sys.run();
-                } catch (const guard::SimErrorException &ex) {
-                    // Fault isolation: one poisoned job becomes one
-                    // failed result; sibling jobs keep running.
-                    results[i] = core::RunResult{};
-                    results[i].workload = j.workload;
-                    results[i].kind = j.cfg.kind;
-                    results[i].error = ex.error();
-                    results[i].faultsFired =
-                        sys.ctx().guard.faultsFired();
-                    results[i].faultFiredMask =
-                        sys.ctx().guard.firedFaultMask();
+                if (opt.cache && ResultCache::cacheable(j.cfg)) {
+                    const CacheKey key{j.cfg.canonicalHash(),
+                                       traceHashOf(j, prog)};
+                    std::shared_ptr<DedupSlot> slot;
+                    bool builder = false;
+                    {
+                        std::lock_guard<std::mutex> lk(cacheMu);
+                        auto [it, inserted] =
+                            dedup.try_emplace(key, nullptr);
+                        if (inserted)
+                            it->second =
+                                std::make_shared<DedupSlot>();
+                        slot = it->second;
+                        if (!slot->claimed) {
+                            slot->claimed = true;
+                            builder = true;
+                        }
+                    }
+                    if (builder) {
+                        std::optional<core::RunResult> hit =
+                            opt.cache->lookup(key);
+                        if (hit) {
+                            results[i] = std::move(*hit);
+                            std::lock_guard<std::mutex> lk(cacheMu);
+                            ++cstats.hits;
+                            mark(hitTrack, i);
+                        } else {
+                            {
+                                std::lock_guard<std::mutex> lk(
+                                    cacheMu);
+                                ++cstats.misses;
+                                mark(missTrack, i);
+                            }
+                            results[i] = runJob(j, *prog);
+                            // Failed results are rejected by store().
+                            opt.cache->store(key, results[i]);
+                        }
+                        {
+                            std::lock_guard<std::mutex> lk(slot->mu);
+                            slot->result = results[i];
+                            slot->done = true;
+                        }
+                        slot->cv.notify_all();
+                    } else {
+                        // An identical job is already in flight:
+                        // share its (deterministic) result instead
+                        // of simulating the same point twice.
+                        {
+                            std::unique_lock<std::mutex> lk(slot->mu);
+                            slot->cv.wait(
+                                lk, [&] { return slot->done; });
+                            results[i] = slot->result;
+                        }
+                        std::lock_guard<std::mutex> lk(cacheMu);
+                        ++cstats.deduped;
+                        mark(dedupTrack, i);
+                    }
+                } else {
+                    if (opt.cache && spans) {
+                        std::lock_guard<std::mutex> lk(cacheMu);
+                        mark(bypassTrack, i);
+                    }
+                    results[i] = runJob(j, *prog);
                 }
             } catch (const guard::SimErrorException &ex) {
-                // Program build / construction failures.
+                // Program build failures.
                 results[i] = core::RunResult{};
                 results[i].workload = j.workload;
                 results[i].kind = j.cfg.kind;
@@ -217,6 +413,8 @@ runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &opt)
         for (auto &t : pool)
             t.join();
     }
+    if (opt.cacheStats)
+        *opt.cacheStats = cstats;
     return results;
 }
 
@@ -224,7 +422,7 @@ std::string
 reportJson(const std::string &sweepName,
            const std::vector<SweepJob> &jobs,
            const std::vector<core::RunResult> &results,
-           bool includePerf)
+           bool includePerf, const SweepCacheStats *cacheStats)
 {
     fusion_assert(jobs.size() == results.size(),
                   "report jobs/results size mismatch: ",
@@ -316,6 +514,14 @@ reportJson(const std::string &sweepName,
                    : 0.0)
            << '}';
     }
+    // Result-cache counters: only on request, and never inside the
+    // per-job entries, so the results array is byte-identical
+    // whether a point was simulated or replayed from cache.
+    if (cacheStats) {
+        os << ",\"cache\":{\"hits\":" << cacheStats->hits
+           << ",\"misses\":" << cacheStats->misses
+           << ",\"deduped\":" << cacheStats->deduped << '}';
+    }
     os << "}\n";
     return os.str();
 }
@@ -324,9 +530,10 @@ void
 writeReport(std::ostream &os, const std::string &sweepName,
             const std::vector<SweepJob> &jobs,
             const std::vector<core::RunResult> &results,
-            bool includePerf)
+            bool includePerf, const SweepCacheStats *cacheStats)
 {
-    os << reportJson(sweepName, jobs, results, includePerf);
+    os << reportJson(sweepName, jobs, results, includePerf,
+                     cacheStats);
 }
 
 void
@@ -334,12 +541,13 @@ writeReportFile(const std::string &path,
                 const std::string &sweepName,
                 const std::vector<SweepJob> &jobs,
                 const std::vector<core::RunResult> &results,
-                bool includePerf)
+                bool includePerf, const SweepCacheStats *cacheStats)
 {
     std::ofstream out(path);
     if (!out)
         fusion_fatal("cannot open sweep report file ", path);
-    writeReport(out, sweepName, jobs, results, includePerf);
+    writeReport(out, sweepName, jobs, results, includePerf,
+                cacheStats);
 }
 
 } // namespace fusion::sweep

@@ -29,8 +29,15 @@
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
 
+namespace fusion::obs
+{
+class SpanTracer;
+}
+
 namespace fusion::sweep
 {
+
+class ResultCache;
 
 /** One independent simulation of a sweep. */
 struct SweepJob
@@ -49,6 +56,27 @@ struct SweepJob
      * build per (workload, scale) across the whole sweep.
      */
     std::shared_ptr<const trace::Program> prog;
+    /**
+     * Optional program transform, applied to a private copy of the
+     * base program immediately before simulation. Harnesses that
+     * sweep a trace-side knob (lease scaling, op thinning, ...)
+     * should attach the base program once and express the per-point
+     * mutation here instead of materializing N mutated copies up
+     * front: the copy is made lazily inside the worker, so jobs
+     * served from the result cache (or deduplicated in flight)
+     * never pay the deep copy or its content hash.
+     */
+    std::function<void(trace::Program &)> transform;
+    /**
+     * Content identity of @ref transform, mixed into the job's
+     * trace hash for result-cache keying. Must be nonzero when
+     * transform is set and zero otherwise (validated before the
+     * sweep runs). Two jobs may share a transformId only if their
+     * transforms produce identical programs from identical inputs —
+     * hash the transform's parameters (fusion::fnv1a over a
+     * descriptive string is fine), not just its kind.
+     */
+    std::uint64_t transformId = 0;
 };
 
 /** Snapshot passed to the progress callback after each completion. */
@@ -63,12 +91,45 @@ struct SweepProgress
 /** Called after every job completes; serialized by the engine. */
 using ProgressFn = std::function<void(const SweepProgress &)>;
 
+/**
+ * How the result cache fared over one sweep. Hit + miss counts cover
+ * only *cacheable* jobs (ResultCache::cacheable); a deduped job is
+ * one that neither hit disk nor simulated because an identical job
+ * was already in flight in this very sweep and its result was shared.
+ */
+struct SweepCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t deduped = 0;
+};
+
 struct SweepOptions
 {
     /** Worker threads; clamped to [1, jobs.size()]. 1 = in-caller
      *  serial execution. */
     std::size_t jobs = 1;
     ProgressFn progress;
+    /**
+     * Content-addressed result cache (result_cache.hh). When set,
+     * every cacheable job is looked up by (config hash, trace hash)
+     * before dispatch, identical in-flight jobs are deduplicated
+     * behind one simulation, and completed results are stored.
+     * nullptr (default) = caching off, byte-identical to the
+     * pre-cache engine.
+     */
+    ResultCache *cache = nullptr;
+    /** When non-null, filled with this sweep's cache counters. */
+    SweepCacheStats *cacheStats = nullptr;
+    /**
+     * Optional standalone tracer marking every cache probe as a
+     * SpanKind::CacheLookup span on a "cache.hit" / "cache.miss" /
+     * "cache.dedup" / "cache.bypass" track (addr = job submission
+     * index), so a
+     * --trace-out Perfetto export shows which sweep points were
+     * served from disk. Ignored when @ref cache is null.
+     */
+    obs::SpanTracer *cacheSpans = nullptr;
 };
 
 /** Hardware concurrency, clamped to at least 1. */
@@ -96,24 +157,32 @@ runSweep(const std::vector<SweepJob> &jobs,
  *        result and append a sweep-level aggregate. Off by default:
  *        host timing varies run to run, and the determinism tests
  *        compare reports byte for byte.
+ * @param cacheStats when non-null, append a top-level "cache"
+ *        object with the sweep's hit/miss/dedupe counters. Kept out
+ *        of the default report (and out of the per-job entries) so
+ *        the results array is byte-identical whether a job was
+ *        simulated or served from cache.
  */
 std::string reportJson(const std::string &sweepName,
                        const std::vector<SweepJob> &jobs,
                        const std::vector<core::RunResult> &results,
-                       bool includePerf = false);
+                       bool includePerf = false,
+                       const SweepCacheStats *cacheStats = nullptr);
 
 /** reportJson() to a stream. */
 void writeReport(std::ostream &os, const std::string &sweepName,
                  const std::vector<SweepJob> &jobs,
                  const std::vector<core::RunResult> &results,
-                 bool includePerf = false);
+                 bool includePerf = false,
+                 const SweepCacheStats *cacheStats = nullptr);
 
 /** reportJson() to a file; fusion_fatal if it cannot be opened. */
 void writeReportFile(const std::string &path,
                      const std::string &sweepName,
                      const std::vector<SweepJob> &jobs,
                      const std::vector<core::RunResult> &results,
-                     bool includePerf = false);
+                     bool includePerf = false,
+                     const SweepCacheStats *cacheStats = nullptr);
 
 } // namespace fusion::sweep
 

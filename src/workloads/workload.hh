@@ -21,6 +21,7 @@
 #define FUSION_WORKLOADS_WORKLOAD_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,10 @@ scaled(Scale s, std::size_t small, std::size_t paper,
     }
     return paper;
 }
+
+/** Stable lower-case scale name ("small", "paper", "large"); also
+ *  the trace-store file key component. */
+const char *scaleName(Scale s);
 
 /** One benchmark application. */
 class Workload
@@ -90,6 +95,22 @@ std::unique_ptr<Workload> makeWorkload(const std::string &name);
  */
 void registerWorkload(const std::string &name,
                       std::unique_ptr<Workload> (*factory)());
+
+/**
+ * Build one workload by name, with a record/replay path: when the
+ * process-global trace store is armed (trace::setGlobalStoreDir,
+ * bench --trace-dir), a previously recorded trace for (name, scale)
+ * is replayed from disk instead of re-executing the kernels, and a
+ * freshly generated trace is recorded for next time. Replayed
+ * programs are exact round-trips — byte-identical serialized form
+ * and therefore byte-identical simulation results (anchored by
+ * tests/test_trace_store.cc). Registered test workloads
+ * (registerWorkload) are never recorded or replayed.
+ *
+ * @return std::nullopt for unknown names.
+ */
+std::optional<trace::Program> buildProgram(const std::string &name,
+                                           Scale scale);
 
 /** Build every workload at @p scale. */
 std::vector<trace::Program> buildAll(Scale scale);

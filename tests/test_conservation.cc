@@ -20,7 +20,7 @@ namespace
  *  the per-link byte counters — two fully independent paths. */
 TEST(Conservation, LinkLedgerMatchesByteCounters)
 {
-    trace::Program p = *buildProgram("adpcm", workloads::Scale::Small);
+    trace::Program p = *core::buildProgram("adpcm", workloads::Scale::Small);
     SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     System sys(cfg, p);
     sys.run();
@@ -57,7 +57,7 @@ TEST(Conservation, LinkLedgerMatchesByteCounters)
 TEST(Conservation, DramAccessesMatchAcrossCachedSystems)
 {
     trace::Program p =
-        *buildProgram("filter", workloads::Scale::Small);
+        *core::buildProgram("filter", workloads::Scale::Small);
     std::vector<double> accesses;
     for (auto k : {SystemKind::Shared, SystemKind::Fusion,
                    SystemKind::FusionDx}) {
@@ -77,7 +77,7 @@ TEST(Conservation, DramAccessesMatchAcrossCachedSystems)
  *  counter describe the same events. */
 TEST(Conservation, TileRequestsMatchLinkMessages)
 {
-    trace::Program p = *buildProgram("susan", workloads::Scale::Small);
+    trace::Program p = *core::buildProgram("susan", workloads::Scale::Small);
     System sys(SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion), p);
     RunResult r = sys.run();
     const auto &root = sys.ctx().stats.root();
@@ -103,7 +103,7 @@ TEST(Conservation, TileRequestsMatchLinkMessages)
  *  systems (the trace is the trace). */
 TEST(Conservation, MemOpsSeenEqualTraceLength)
 {
-    trace::Program p = *buildProgram("adpcm", workloads::Scale::Small);
+    trace::Program p = *core::buildProgram("adpcm", workloads::Scale::Small);
     for (auto k : {SystemKind::Scratch, SystemKind::Shared,
                    SystemKind::Fusion}) {
         System sys(SystemConfig::preset(SystemConfig::Preset::Paper, k), p);
@@ -130,9 +130,9 @@ TEST(Conservation, MemOpsSeenEqualTraceLength)
 TEST(Conservation, EnergyMonotoneInInputScale)
 {
     trace::Program small =
-        *buildProgram("filter", workloads::Scale::Small);
+        *core::buildProgram("filter", workloads::Scale::Small);
     trace::Program paper =
-        *buildProgram("filter", workloads::Scale::Paper);
+        *core::buildProgram("filter", workloads::Scale::Paper);
     for (auto k : {SystemKind::Scratch, SystemKind::Fusion}) {
         RunResult rs =
             runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, k), small);

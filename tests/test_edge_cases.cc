@@ -99,7 +99,7 @@ TEST(EdgeCases, SingleAcceleratorProgram)
 TEST(EdgeCases, DirectMappedTinyL0x)
 {
     trace::Program p =
-        *buildProgram("adpcm", workloads::Scale::Small);
+        *core::buildProgram("adpcm", workloads::Scale::Small);
     SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.l0xBytes = 256; // 4 lines
     cfg.l0xAssoc = 1;
@@ -111,7 +111,7 @@ TEST(EdgeCases, DirectMappedTinyL0x)
 TEST(EdgeCases, TinyL1xUnderLeasePressure)
 {
     trace::Program p =
-        *buildProgram("adpcm", workloads::Scale::Small);
+        *core::buildProgram("adpcm", workloads::Scale::Small);
     SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.l1xBytes = 1024; // 16 lines, 8-way: 2 sets
     RunResult r = runProgram(cfg, p);
@@ -122,7 +122,7 @@ TEST(EdgeCases, TinyL1xUnderLeasePressure)
 TEST(EdgeCases, TinyScratchpadManyWindows)
 {
     trace::Program p =
-        *buildProgram("filter", workloads::Scale::Small);
+        *core::buildProgram("filter", workloads::Scale::Small);
     SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, 
         SystemKind::Scratch);
     cfg.scratchpadBytes = 256; // 4 lines per window
@@ -133,7 +133,7 @@ TEST(EdgeCases, TinyScratchpadManyWindows)
 
 TEST(EdgeCases, WriteThroughComposesWithDx)
 {
-    trace::Program p = *buildProgram("fft", workloads::Scale::Small);
+    trace::Program p = *core::buildProgram("fft", workloads::Scale::Small);
     SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, 
         SystemKind::FusionDx);
     cfg.l0xWriteThrough = true;
@@ -145,7 +145,7 @@ TEST(EdgeCases, WriteThroughComposesWithDx)
 
 TEST(EdgeCases, ExtremeLeaseLengthsComplete)
 {
-    trace::Program p = *buildProgram("susan", workloads::Scale::Small);
+    trace::Program p = *core::buildProgram("susan", workloads::Scale::Small);
     for (Cycles lt : {Cycles(1), Cycles(1u << 20)}) {
         trace::Program q = p;
         for (auto &f : q.functions)
@@ -158,7 +158,7 @@ TEST(EdgeCases, ExtremeLeaseLengthsComplete)
 
 TEST(EdgeCases, MlpOneIsFullySerial)
 {
-    trace::Program p = *buildProgram("adpcm", workloads::Scale::Small);
+    trace::Program p = *core::buildProgram("adpcm", workloads::Scale::Small);
     trace::Program serial = p;
     for (auto &f : serial.functions)
         f.mlp = 1;

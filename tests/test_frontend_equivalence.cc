@@ -32,7 +32,7 @@ struct GoldenRun
 
 // Recorded from the seed (pre-TileFrontend) tree:
 //   fnv1a(runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, kind),
-//                    *buildProgram(workload, Scale::Small)).toJson())
+//                    *core::buildProgram(workload, Scale::Small)).toJson())
 //
 // Re-recorded once when the hash moved to the shared sim/hash.hh:
 // this test's original inline FNV-1a used a typo'd offset basis
@@ -67,7 +67,7 @@ TEST_P(FrontendEquivalence, JsonByteIdenticalToSeed)
 {
     const GoldenRun &g = GetParam();
     trace::Program p =
-        *buildProgram(g.workload, workloads::Scale::Small);
+        *core::buildProgram(g.workload, workloads::Scale::Small);
     RunResult r = runProgram(SystemConfig::preset(SystemConfig::Preset::Paper, g.kind), p);
     EXPECT_EQ(fnv1a(r.toJson()), g.hash)
         << "serialized output for " << g.workload << "/"

@@ -23,7 +23,7 @@ TEST_P(MultiTile, RunsToCompletionOnEveryBenchmark)
 {
     for (const char *name : {"adpcm", "disparity"}) {
         trace::Program p =
-            *buildProgram(name, workloads::Scale::Small);
+            *core::buildProgram(name, workloads::Scale::Small);
         SystemConfig cfg =
             SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
         cfg.numTiles = GetParam();
@@ -39,7 +39,7 @@ INSTANTIATE_TEST_SUITE_P(TileCounts, MultiTile,
 TEST(MultiTileTopology, AcceleratorsArePartitioned)
 {
     trace::Program p =
-        *buildProgram("disparity", workloads::Scale::Small);
+        *core::buildProgram("disparity", workloads::Scale::Small);
     SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.numTiles = 2;
     System sys(cfg, p);
@@ -52,7 +52,7 @@ TEST(MultiTileTopology, AcceleratorsArePartitioned)
 
 TEST(MultiTileTopology, MoreTilesThanAcceleratorsClamps)
 {
-    trace::Program p = *buildProgram("adpcm", workloads::Scale::Small);
+    trace::Program p = *core::buildProgram("adpcm", workloads::Scale::Small);
     SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.numTiles = 16; // adpcm has 2 accelerators
     System sys(cfg, p);
@@ -66,7 +66,7 @@ TEST(MultiTile, SplittingSharersCostsHostTraffic)
     // ADPCM's coder/decoder share nearly everything: splitting them
     // across two tiles must push the shared lines through the host
     // LLC (inter-tile MESI forwards) instead of the tile L1X.
-    trace::Program p = *buildProgram("adpcm", workloads::Scale::Small);
+    trace::Program p = *core::buildProgram("adpcm", workloads::Scale::Small);
     SystemConfig one = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     SystemConfig two = one;
     two.numTiles = 2;
@@ -83,7 +83,7 @@ TEST(MultiTile, SplittingSharersCostsHostTraffic)
 
 TEST(MultiTile, DxForwardingStaysIntraTile)
 {
-    trace::Program p = *buildProgram("fft", workloads::Scale::Small);
+    trace::Program p = *core::buildProgram("fft", workloads::Scale::Small);
     SystemConfig cfg =
         SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::FusionDx);
     cfg.numTiles = 3; // splits the 6 FFT stages 2/2/2
@@ -98,7 +98,7 @@ TEST(MultiTile, DxForwardingStaysIntraTile)
 TEST(MultiTile, OverlapComposesWithTiles)
 {
     trace::Program p =
-        *buildProgram("disparity", workloads::Scale::Small);
+        *core::buildProgram("disparity", workloads::Scale::Small);
     SystemConfig cfg = SystemConfig::preset(SystemConfig::Preset::Paper, SystemKind::Fusion);
     cfg.numTiles = 2;
     cfg.overlapInvocations = true;

@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Result-cache tests (src/sweep/result_cache.*, DESIGN.md §10):
+ *
+ *  - SystemConfig::canonicalHash() moves for EVERY user-settable
+ *    knob and is value-based (explicitly-assigned defaults hash
+ *    like untouched defaults) — the property that makes the hash a
+ *    safe cache key.
+ *  - RunResult binary round trips are toJson()-byte-identical,
+ *    including the wall-clock perf block.
+ *  - ResultCache disk behavior: hit/miss, corrupt entries degrade
+ *    to misses and are deleted, the byte cap evicts oldest-first,
+ *    failed results are never stored.
+ *  - runSweep() integration: cold-then-warm byte identity, lazy
+ *    transforms, in-flight dedupe, telemetry/fault bypass, and the
+ *    cache-off path matching the cache-on results exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "core/runner.hh"
+#include "sim/hash.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/sweep.hh"
+
+namespace fusion::sweep
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using core::RunResult;
+using core::SystemConfig;
+using core::SystemKind;
+
+class TempDir
+{
+  public:
+    explicit TempDir(const char *tag)
+        : _path(fs::temp_directory_path() /
+                (std::string("fusion-test-") + tag + "-" +
+                 std::to_string(::getpid())))
+    {
+        fs::remove_all(_path);
+        fs::create_directories(_path);
+    }
+    ~TempDir() { fs::remove_all(_path); }
+    std::string str() const { return _path.string(); }
+
+  private:
+    fs::path _path;
+};
+
+// ---------------------------------------------------------------
+// canonicalHash.
+// ---------------------------------------------------------------
+
+/** Every user-settable knob must move the hash. A knob missing from
+ *  this table (or from canonicalHash) means a config change could
+ *  alias a stale cache entry — extend BOTH when adding a field. */
+TEST(CanonicalHash, EveryKnobChangesTheHash)
+{
+    struct Knob
+    {
+        const char *name;
+        void (*mutate)(SystemConfig &);
+    };
+    const Knob kKnobs[] = {
+        {"kind",
+         [](SystemConfig &c) { c.kind = SystemKind::Scratch; }},
+        {"scratchpadBytes",
+         [](SystemConfig &c) { c.scratchpadBytes *= 2; }},
+        {"l0xBytes", [](SystemConfig &c) { c.l0xBytes *= 2; }},
+        {"l0xAssoc", [](SystemConfig &c) { c.l0xAssoc *= 2; }},
+        {"l0xRepl",
+         [](SystemConfig &c) {
+             c.l0xRepl = c.l0xRepl == mem::ReplPolicy::Lru
+                             ? mem::ReplPolicy::Fifo
+                             : mem::ReplPolicy::Lru;
+         }},
+        {"l1xBytes", [](SystemConfig &c) { c.l1xBytes *= 2; }},
+        {"l1xAssoc", [](SystemConfig &c) { c.l1xAssoc *= 2; }},
+        {"l1xBanks", [](SystemConfig &c) { c.l1xBanks *= 2; }},
+        {"l0xWriteThrough",
+         [](SystemConfig &c) {
+             c.l0xWriteThrough = !c.l0xWriteThrough;
+         }},
+        {"llc.capacityBytes",
+         [](SystemConfig &c) { c.llc.capacityBytes *= 2; }},
+        {"llc.assoc", [](SystemConfig &c) { c.llc.assoc *= 2; }},
+        {"llc.nucaBanks",
+         [](SystemConfig &c) { c.llc.nucaBanks *= 2; }},
+        {"llc.bankLatency",
+         [](SystemConfig &c) { c.llc.bankLatency += 1; }},
+        {"llc.hopLatency",
+         [](SystemConfig &c) { c.llc.hopLatency += 1; }},
+        {"dram.channels",
+         [](SystemConfig &c) { c.dram.channels *= 2; }},
+        {"dram.cmdQueueDepth",
+         [](SystemConfig &c) { c.dram.cmdQueueDepth += 1; }},
+        {"dram.rowHitLatency",
+         [](SystemConfig &c) { c.dram.rowHitLatency += 1; }},
+        {"dram.rowMissLatency",
+         [](SystemConfig &c) { c.dram.rowMissLatency += 1; }},
+        {"dram.burstCycles",
+         [](SystemConfig &c) { c.dram.burstCycles += 1; }},
+        {"dram.rowBytes",
+         [](SystemConfig &c) { c.dram.rowBytes *= 2; }},
+        {"dram.accessPj",
+         [](SystemConfig &c) { c.dram.accessPj += 1.0; }},
+        {"hostCore.issueWidth",
+         [](SystemConfig &c) { c.hostCore.issueWidth += 1; }},
+        {"hostCore.maxOutstanding",
+         [](SystemConfig &c) { c.hostCore.maxOutstanding += 1; }},
+        {"hostCore.storeQueue",
+         [](SystemConfig &c) { c.hostCore.storeQueue += 1; }},
+        {"hostL1Bytes",
+         [](SystemConfig &c) { c.hostL1Bytes *= 2; }},
+        {"hostL1Assoc",
+         [](SystemConfig &c) { c.hostL1Assoc *= 2; }},
+        {"datapathWidth",
+         [](SystemConfig &c) { c.datapathWidth += 1; }},
+        {"accelStoreBuffer",
+         [](SystemConfig &c) { c.accelStoreBuffer += 1; }},
+        {"overlapInvocations",
+         [](SystemConfig &c) {
+             c.overlapInvocations = !c.overlapInvocations;
+         }},
+        {"numTiles", [](SystemConfig &c) { c.numTiles += 1; }},
+        {"dmaMaxOutstanding",
+         [](SystemConfig &c) { c.dmaMaxOutstanding += 1; }},
+        {"guard.maxCycles",
+         [](SystemConfig &c) { c.guard.maxCycles += 1000; }},
+        {"guard.maxWallMs",
+         [](SystemConfig &c) { c.guard.maxWallMs += 1000; }},
+        {"guard.noProgressTicks",
+         [](SystemConfig &c) { c.guard.noProgressTicks += 100; }},
+        {"guard.invariantPeriod",
+         [](SystemConfig &c) { c.guard.invariantPeriod += 64; }},
+        {"guard.invariantsAtEnd",
+         [](SystemConfig &c) {
+             c.guard.invariantsAtEnd = !c.guard.invariantsAtEnd;
+         }},
+        {"guard.fault.kind",
+         [](SystemConfig &c) {
+             c.guard.fault.kind = guard::FaultKind::LeakMshr;
+         }},
+        {"guard.fault.triggerAfter",
+         [](SystemConfig &c) { c.guard.fault.triggerAfter += 1; }},
+        {"guard.fault.delay",
+         [](SystemConfig &c) { c.guard.fault.delay += 1; }},
+        {"guard.schedule.seed",
+         [](SystemConfig &c) { c.guard.schedule.seed += 1; }},
+        {"guard.schedule.faults",
+         [](SystemConfig &c) {
+             c.guard.schedule.faults.push_back(
+                 {guard::FaultKind::DropFlit, 3, 0, 0.5});
+         }},
+        {"obs.trace",
+         [](SystemConfig &c) { c.obs.trace = !c.obs.trace; }},
+        {"obs.traceKindMask",
+         [](SystemConfig &c) { c.obs.traceKindMask ^= 1; }},
+        {"obs.traceLimit",
+         [](SystemConfig &c) { c.obs.traceLimit += 1; }},
+        {"obs.metricsInterval",
+         [](SystemConfig &c) { c.obs.metricsInterval += 128; }},
+        {"orchestrator.policy",
+         [](SystemConfig &c) {
+             c.orchestrator.policy =
+                 core::OrchPolicy::EpsilonGreedy;
+         }},
+        {"orchestrator.staticMode",
+         [](SystemConfig &c) {
+             c.orchestrator.staticMode = SystemKind::Shared;
+         }},
+        {"orchestrator.epsilon",
+         [](SystemConfig &c) { c.orchestrator.epsilon += 0.05; }},
+        {"orchestrator.rngSeed",
+         [](SystemConfig &c) { c.orchestrator.rngSeed += 1; }},
+        {"orchestrator.minDwell",
+         [](SystemConfig &c) { c.orchestrator.minDwell += 1; }},
+        {"orchestrator.switchFixedCycles",
+         [](SystemConfig &c) {
+             c.orchestrator.switchFixedCycles += 1;
+         }},
+        {"orchestrator.switchCyclesPerLine",
+         [](SystemConfig &c) {
+             c.orchestrator.switchCyclesPerLine += 1;
+         }},
+        {"orchestrator.switchPjPerLine",
+         [](SystemConfig &c) {
+             c.orchestrator.switchPjPerLine += 1.0;
+         }},
+        {"orchestrator.dxForwardFraction",
+         [](SystemConfig &c) {
+             c.orchestrator.dxForwardFraction += 0.01;
+         }},
+        {"orchestrator.scratchFootprintRatio",
+         [](SystemConfig &c) {
+             c.orchestrator.scratchFootprintRatio += 1.0;
+         }},
+        {"shardDomains",
+         [](SystemConfig &c) { c.shardDomains += 1; }},
+    };
+    const SystemConfig base;
+    const std::uint64_t h0 = base.canonicalHash();
+    for (const Knob &k : kKnobs) {
+        SystemConfig c;
+        k.mutate(c);
+        EXPECT_NE(c.canonicalHash(), h0) << k.name;
+    }
+}
+
+/** Value-based: re-assigning the default value is a no-op, and two
+ *  paths to the same values hash identically. */
+TEST(CanonicalHash, InvariantToDefaultedAssignments)
+{
+    const SystemConfig base;
+    SystemConfig assigned;
+    assigned.l0xBytes = base.l0xBytes;
+    assigned.numTiles = base.numTiles;
+    assigned.overlapInvocations = base.overlapInvocations;
+    assigned.orchestrator.epsilon = base.orchestrator.epsilon;
+    EXPECT_EQ(assigned.canonicalHash(), base.canonicalHash());
+
+    auto a = SystemConfig::preset(SystemConfig::Preset::AxcLarge,
+                                  SystemKind::Fusion);
+    SystemConfig b;
+    b.kind = SystemKind::Fusion;
+    b.scratchpadBytes = 8 * 1024;
+    b.l0xBytes = 8 * 1024;
+    b.l1xBytes = 256 * 1024;
+    EXPECT_EQ(a.canonicalHash(), b.canonicalHash());
+}
+
+// ---------------------------------------------------------------
+// RunResult binary round trip.
+// ---------------------------------------------------------------
+
+RunResult
+smallRun(SystemKind kind = SystemKind::Fusion)
+{
+    auto prog =
+        core::buildProgram("fft", workloads::Scale::Small);
+    SystemConfig cfg;
+    cfg.kind = kind;
+    return core::runProgram(cfg, *prog);
+}
+
+TEST(ResultSerde, RoundTripIsJsonIdentical)
+{
+    for (auto kind : {SystemKind::Scratch, SystemKind::Fusion,
+                      SystemKind::Auto}) {
+        RunResult r = smallRun(kind);
+        RunResult out;
+        std::string err;
+        ASSERT_TRUE(core::deserializeResult(
+            core::serializeResult(r), out, &err))
+            << err;
+        EXPECT_EQ(r.toJson(), out.toJson());
+        // The perf block rides along bit-exactly, so warm --json
+        // reports (which include perf) replay byte-identically.
+        EXPECT_EQ(r.toJson(true), out.toJson(true));
+    }
+}
+
+TEST(ResultSerde, CorruptImagesAreRejected)
+{
+    RunResult r = smallRun();
+    const std::string image = core::serializeResult(r);
+    RunResult out;
+    EXPECT_FALSE(core::deserializeResult("", out));
+    EXPECT_FALSE(core::deserializeResult(
+        image.substr(0, image.size() / 2), out));
+    EXPECT_FALSE(core::deserializeResult(image + "x", out));
+    std::string bad = image;
+    bad[bad.size() / 2] =
+        static_cast<char>(bad[bad.size() / 2] ^ 0x10);
+    EXPECT_FALSE(core::deserializeResult(bad, out));
+}
+
+// ---------------------------------------------------------------
+// ResultCache disk behavior.
+// ---------------------------------------------------------------
+
+TEST(ResultCache, StoreLookupHitMissAndTouch)
+{
+    TempDir dir("rescache");
+    ResultCache cache(dir.str());
+    const CacheKey key{0x1234, 0x5678};
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    RunResult r = smallRun();
+    cache.store(key, r);
+    EXPECT_EQ(cache.stats().stores, 1u);
+    auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->toJson(true), r.toJson(true));
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ResultCache, CorruptEntryIsAMissAndIsDeleted)
+{
+    TempDir dir("rescorrupt");
+    ResultCache cache(dir.str());
+    const CacheKey key{1, 2};
+    cache.store(key, smallRun());
+    const std::string p = cache.path(key);
+    ASSERT_TRUE(fs::exists(p));
+    {
+        std::ofstream f(p, std::ios::binary | std::ios::trunc);
+        f << "not a result";
+    }
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    EXPECT_FALSE(fs::exists(p)) << "corrupt entry not removed";
+}
+
+TEST(ResultCache, FailedResultsAreNeverStored)
+{
+    TempDir dir("resfail");
+    ResultCache cache(dir.str());
+    RunResult r = smallRun();
+    guard::SimError e;
+    e.category = guard::ErrorCategory::Internal;
+    e.component = "test";
+    r.error = std::move(e);
+    cache.store({9, 9}, r);
+    EXPECT_EQ(cache.stats().stores, 0u);
+    EXPECT_FALSE(cache.lookup({9, 9}).has_value());
+}
+
+TEST(ResultCache, ByteCapEvictsOldestFirst)
+{
+    TempDir dir("resevict");
+    RunResult r = smallRun();
+    const std::uint64_t entry =
+        core::serializeResult(r).size();
+    // Room for ~2 entries; storing 4 must evict.
+    ResultCache cache(dir.str(), 2 * entry + entry / 2);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        cache.store({i, i}, r);
+    EXPECT_GT(cache.stats().evictions, 0u);
+    std::uint64_t total = 0;
+    for (const auto &ent :
+         fs::recursive_directory_iterator(dir.str()))
+        if (ent.is_regular_file())
+            total += ent.file_size();
+    EXPECT_LE(total, cache.maxBytes());
+    // The newest entry must have survived.
+    EXPECT_TRUE(cache.lookup({3, 3}).has_value());
+}
+
+// ---------------------------------------------------------------
+// Sweep integration.
+// ---------------------------------------------------------------
+
+std::vector<SweepJob>
+smallJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (auto kind : {SystemKind::Scratch, SystemKind::Shared,
+                      SystemKind::Fusion}) {
+        SweepJob j;
+        j.cfg.kind = kind;
+        j.workload = "adpcm";
+        j.scale = workloads::Scale::Small;
+        j.tag = core::systemKindShortName(kind);
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+TEST(SweepCache, ColdThenWarmIsByteIdentical)
+{
+    TempDir dir("sweepcache");
+    ResultCache cache(dir.str());
+    auto jobs = smallJobs();
+
+    SweepCacheStats cold, warm;
+    SweepOptions so;
+    so.jobs = 2;
+    so.cache = &cache;
+    so.cacheStats = &cold;
+    auto r1 = runSweep(jobs, so);
+    EXPECT_EQ(cold.misses, jobs.size());
+    EXPECT_EQ(cold.hits, 0u);
+
+    so.cacheStats = &warm;
+    auto r2 = runSweep(jobs, so);
+    EXPECT_EQ(warm.hits, jobs.size());
+    EXPECT_EQ(warm.misses, 0u);
+    EXPECT_EQ(reportJson("t", jobs, r1), reportJson("t", jobs, r2));
+    // And both match a cache-free sweep: the cache may never change
+    // what a sweep returns, only how fast it returns it.
+    auto r3 = runSweep(jobs, {});
+    EXPECT_EQ(reportJson("t", jobs, r1), reportJson("t", jobs, r3));
+}
+
+TEST(SweepCache, IdenticalInFlightJobsAreDeduplicated)
+{
+    TempDir dir("sweepdedup");
+    ResultCache cache(dir.str());
+    // Four byte-identical jobs: one simulates, three share it.
+    std::vector<SweepJob> jobs(4, smallJobs()[0]);
+    SweepCacheStats stats;
+    SweepOptions so;
+    so.jobs = 4;
+    so.cache = &cache;
+    so.cacheStats = &stats;
+    auto results = runSweep(jobs, so);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.deduped, 3u);
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_EQ(results[0].toJson(), results[i].toJson());
+}
+
+TEST(SweepCache, InstrumentedJobsBypassTheCache)
+{
+    TempDir dir("sweepbypass");
+    ResultCache cache(dir.str());
+    auto jobs = smallJobs();
+    jobs[0].cfg.obs.trace = true; // telemetry => not cacheable
+    jobs[1].cfg.guard.fault.kind =
+        guard::FaultKind::DelayGrant; // armed fault => not cacheable
+    jobs[1].cfg.guard.fault.delay = 8;
+    SweepCacheStats stats;
+    SweepOptions so;
+    so.cache = &cache;
+    so.cacheStats = &stats;
+    (void)runSweep(jobs, so);
+    // Only the untouched third job participates.
+    EXPECT_EQ(stats.misses + stats.hits, 1u);
+    (void)runSweep(jobs, so);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(SweepCache, LazyTransformMatchesEagerCopy)
+{
+    auto base = std::make_shared<const trace::Program>(
+        *core::buildProgram("adpcm", workloads::Scale::Small));
+
+    // Eager: mutate a copy up front, attach it to the job.
+    auto eager = std::make_shared<trace::Program>(*base);
+    for (auto &f : eager->functions)
+        f.leaseTime *= 2;
+    SweepJob je;
+    je.workload = "adpcm";
+    je.scale = workloads::Scale::Small;
+    je.prog = eager;
+
+    // Lazy: attach the base and express the mutation as a
+    // transform; the engine applies it inside the worker.
+    SweepJob jl = je;
+    jl.prog = base;
+    jl.transform = [](trace::Program &p) {
+        for (auto &f : p.functions)
+            f.leaseTime *= 2;
+    };
+    jl.transformId = fnv1a("test/lease-x2");
+
+    auto re = runSweep({je}, {});
+    auto rl = runSweep({jl}, {});
+    EXPECT_EQ(re[0].toJson(), rl[0].toJson());
+
+    // Distinct transforms on the same base must key distinct cache
+    // entries: warm both and expect two independent hits.
+    SweepJob j2 = jl;
+    j2.transform = [](trace::Program &p) {
+        for (auto &f : p.functions)
+            f.leaseTime *= 4;
+    };
+    j2.transformId = fnv1a("test/lease-x4");
+    TempDir dir("sweeptransform");
+    ResultCache cache(dir.str());
+    SweepCacheStats stats;
+    SweepOptions so;
+    so.cache = &cache;
+    so.cacheStats = &stats;
+    (void)runSweep({jl, j2}, so);
+    EXPECT_EQ(stats.misses, 2u);
+    (void)runSweep({jl, j2}, so);
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.deduped, 0u);
+}
+
+} // namespace
+} // namespace fusion::sweep

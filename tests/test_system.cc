@@ -18,7 +18,7 @@ namespace
 trace::Program
 smallProgram(const char *name = "adpcm")
 {
-    return *buildProgram(name, workloads::Scale::Small);
+    return *core::buildProgram(name, workloads::Scale::Small);
 }
 
 class AllSystems : public ::testing::TestWithParam<SystemKind>
